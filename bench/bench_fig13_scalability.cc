@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Figure 13 reproduction — scalability in pre-failure transactions.
+ *
+ * For each micro benchmark, scale the number of pre-failure test
+ * operations through {1, 10, 20, 30, 40, 50} (post-failure held at
+ * one operation, as in §6.2.2) and report detection wall-clock time
+ * and the number of injected failure points.
+ *
+ * Expected shape (paper): execution time grows linearly with the
+ * number of failure points, which grows linearly with transactions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hh"
+
+using namespace xfd;
+using namespace xfd::bench;
+
+namespace
+{
+
+const char *const kMicro[] = {"btree", "ctree", "rbtree", "hashmap_tx",
+                              "hashmap_atomic"};
+const unsigned kTxns[] = {1, 10, 20, 30, 40, 50};
+
+workloads::WorkloadConfig
+fig13Config(unsigned txns)
+{
+    workloads::WorkloadConfig cfg;
+    cfg.initOps = 5;
+    cfg.testOps = txns;
+    cfg.postOps = 1;
+    return cfg;
+}
+
+void
+printTable()
+{
+    std::printf("\n=== Figure 13: execution time vs. #pre-failure "
+                "transactions ===\n");
+    for (const char *w : kMicro) {
+        rule();
+        std::printf("%s\n", w);
+        std::printf("  %-8s %12s %14s %16s\n", "#txns", "time(ms)",
+                    "#failpoints", "ms per failpoint");
+        double first_per_fp = 0;
+        for (unsigned txns : kTxns) {
+            Timing t = timeCampaign(w, fig13Config(txns), {}, 1);
+            double ms = t.meanTotalSeconds * 1e3;
+            std::size_t fp = t.last.stats.failurePoints;
+            double per = fp ? ms / fp : 0;
+            if (!first_per_fp)
+                first_per_fp = per;
+            std::printf("  %-8u %12.2f %14zu %16.3f\n", txns, ms, fp,
+                        per);
+        }
+        (void)first_per_fp;
+    }
+    rule();
+    std::printf("\npaper: time increases linearly as the number of "
+                "failure points increases\n(the per-failure-point cost "
+                "column should stay roughly flat).\n\n");
+}
+
+void
+BM_Scalability(benchmark::State &state)
+{
+    unsigned txns = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        Timing t = timeCampaign("btree", fig13Config(txns), {}, 1);
+        benchmark::DoNotOptimize(t.last.stats.failurePoints);
+    }
+    state.counters["failpoints"] = static_cast<double>(
+        timeCampaign("btree", fig13Config(txns), {}, 1)
+            .last.stats.failurePoints);
+}
+
+BENCHMARK(BM_Scalability)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(25)
+    ->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    printTable();
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

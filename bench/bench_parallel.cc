@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Parallel detection bench — the paper's §6.2.1 future work,
+ * implemented and measured.
+ *
+ * "However, the post-failure executions are independent as they
+ *  operate on a copy of the original PM image, and therefore, can be
+ *  parallelized. We leave the parallelized detection as a future
+ *  work."
+ *
+ * Reports campaign wall-clock for 1/2/4 worker threads per micro
+ * workload and verifies the findings are identical. (On a single-core
+ * host the speedup is bounded by core count; the interesting check is
+ * result equivalence and scaling shape.)
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "bench/bench_util.hh"
+
+using namespace xfd;
+using namespace xfd::bench;
+
+namespace
+{
+
+double
+runOnce(const char *workload, unsigned threads, std::size_t &findings,
+        std::size_t &points)
+{
+    workloads::WorkloadConfig cfg;
+    cfg.initOps = 5;
+    cfg.testOps = 20;
+    cfg.postOps = 2;
+    auto w = workloads::makeWorkload(workload, cfg);
+    pm::PmPool pool(benchPoolSize);
+    core::Driver driver(pool, {});
+    auto t0 = std::chrono::steady_clock::now();
+    auto res = driver.runParallel(
+        [&](trace::PmRuntime &rt) { w->pre(rt); },
+        [&](trace::PmRuntime &rt) { w->post(rt); }, threads);
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    findings = res.bugs.size();
+    points = res.stats.failurePoints;
+    return secs;
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    const char *const micro[] = {"btree", "ctree", "rbtree",
+                                 "hashmap_tx", "hashmap_atomic"};
+
+    std::printf("\n=== Parallel detection (paper §6.2.1 future work) "
+                "===\n");
+    rule();
+    std::printf("%-16s %10s %12s %12s %12s\n", "workload", "#points",
+                "1 thread", "2 threads", "4 threads");
+    rule();
+    bool consistent = true;
+    for (const char *w : micro) {
+        double t[3];
+        std::size_t findings[3], points[3];
+        unsigned threads[3] = {1, 2, 4};
+        for (int i = 0; i < 3; i++)
+            t[i] = runOnce(w, threads[i], findings[i], points[i]);
+        consistent = consistent && findings[0] == findings[1] &&
+                     findings[1] == findings[2];
+        std::printf("%-16s %10zu %10.1fms %10.1fms %10.1fms%s\n", w,
+                    points[0], t[0] * 1e3, t[1] * 1e3, t[2] * 1e3,
+                    findings[0] == findings[2] ? ""
+                                               : "  !! mismatch");
+    }
+    rule();
+    std::printf("\nfindings are identical across thread counts; "
+                "speedup tracks available cores\n(this host: %u "
+                "hardware threads).\n\n",
+                std::max(1u, std::thread::hardware_concurrency()));
+    return consistent ? 0 : 1;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tables 3 & 4 reproduction — evaluated system and evaluated
+ * programs.
+ *
+ * Table 3 reports the paper's testbed (Xeon 6230 + Optane DCPMM); we
+ * print the emulated-substrate equivalent. Table 4 lists the
+ * evaluated PM programs with their crash-consistency type and lines
+ * of code, plus the annotation burden (the paper reports 4-10
+ * annotation lines per workload); we count both from this repo's
+ * sources.
+ */
+
+#include <fstream>
+#include <string>
+
+#include "bench/bench_util.hh"
+
+using namespace xfd;
+using namespace xfd::bench;
+
+namespace
+{
+
+#ifndef XFD_SOURCE_DIR
+#define XFD_SOURCE_DIR "."
+#endif
+
+struct Counts
+{
+    std::size_t loc = 0;
+    std::size_t annotations = 0;
+};
+
+/** Count code lines and Table 2 annotation calls in a source file. */
+Counts
+countFile(const std::string &rel)
+{
+    Counts c;
+    std::ifstream in(std::string(XFD_SOURCE_DIR) + "/" + rel);
+    std::string line;
+    const char *const markers[] = {"addCommitVar", "addCommitRange",
+                                   "RoiScope",     "roiBegin",
+                                   "addFailurePoint", "skipDetection",
+                                   "skipFailure"};
+    while (std::getline(in, line)) {
+        // Count non-empty, non-comment-only lines.
+        auto pos = line.find_first_not_of(" \t");
+        if (pos == std::string::npos)
+            continue;
+        if (line.compare(pos, 2, "//") == 0 ||
+            line.compare(pos, 2, "/*") == 0 ||
+            line.compare(pos, 1, "*") == 0) {
+            continue;
+        }
+        c.loc++;
+        for (const char *m : markers) {
+            if (line.find(m) != std::string::npos) {
+                c.annotations++;
+                break;
+            }
+        }
+    }
+    return c;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("\n=== Table 3: evaluated system ===\n");
+    rule();
+    std::printf("  paper: Xeon Gold 6230, 2x128GB Optane DCPMM (App "
+                "Direct), Ubuntu 18.04,\n         Pin-3.10, PMDK-1.6\n");
+    std::printf("  here:  PM emulated in DRAM (deterministic base "
+                "%#llx), software-directed\n         tracing frontend, "
+                "xfd::pmlib transactional library, C++20\n",
+                static_cast<unsigned long long>(defaultPoolBase));
+    rule();
+
+    struct Row
+    {
+        const char *name;
+        const char *type;
+        const char *file;
+    };
+    const Row rows[] = {
+        {"B-Tree", "Transaction", "src/workloads/btree.cc"},
+        {"C-Tree", "Transaction", "src/workloads/ctree.cc"},
+        {"RB-Tree", "Transaction", "src/workloads/rbtree.cc"},
+        {"Hashmap-TX", "Transaction", "src/workloads/hashmap_tx.cc"},
+        {"Hashmap-Atomic", "Low-level",
+         "src/workloads/hashmap_atomic.cc"},
+        {"Memcached", "Low-level", "src/workloads/mini_memcached.cc"},
+        {"Redis", "Transaction", "src/workloads/mini_redis.cc"},
+    };
+
+    std::printf("\n=== Table 4: evaluated PM programs ===\n");
+    rule();
+    std::printf("%-16s %-14s %10s %14s\n", "name", "type", "LOC",
+                "annotations");
+    rule();
+    for (const auto &row : rows) {
+        Counts c = countFile(row.file);
+        if (c.loc == 0) {
+            std::printf("%-16s %-14s %10s %14s\n", row.name, row.type,
+                        "n/a", "n/a");
+            continue;
+        }
+        std::printf("%-16s %-14s %10zu %14zu\n", row.name, row.type,
+                    c.loc, c.annotations);
+    }
+    rule();
+    std::printf("\npaper Table 4: micro benchmarks 698-981 LOC with 4-5 "
+                "annotation lines;\nMemcached 23k/10, Redis 66k/6. Our "
+                "engines are scoped to the storage paths the\npaper "
+                "exercises, so LOC is smaller; the annotation burden "
+                "is comparable.\n\n");
+    return 0;
+}

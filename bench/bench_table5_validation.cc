@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Table 5 reproduction — synthetic-bug validation matrix.
+ *
+ * Runs every registered bug campaign and prints, per workload, how
+ * many of the injected races (R), semantic bugs (S) and performance
+ * bugs (P) were detected, split into the PMTest-suite column and the
+ * additional column, exactly like the paper's Table 5. The expected
+ * output is full detection (the paper reports the same).
+ */
+
+#include "bench/bench_util.hh"
+#include "bugsuite/registry.hh"
+
+using namespace xfd;
+using namespace xfd::bench;
+using namespace xfd::bugsuite;
+
+namespace
+{
+
+struct Cell
+{
+    std::size_t detected = 0;
+    std::size_t total = 0;
+
+    std::string
+    str() const
+    {
+        if (!total)
+            return "  -  ";
+        return strprintf("%2zu/%-2zu", detected, total);
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+
+    const char *const micro[] = {"btree", "ctree", "rbtree",
+                                 "hashmap_tx", "hashmap_atomic"};
+
+    std::printf("\n=== Table 5: synthetic-bug validation "
+                "(detected/injected) ===\n");
+    rule();
+    std::printf("%-16s | %-13s | %-11s | %-5s\n", "",
+                "PMTest suite", "Additional", "");
+    std::printf("%-16s | %5s %5s | %5s %5s | %5s\n", "workload", "R",
+                "P", "R", "S", "total");
+    rule();
+
+    std::size_t all_detected = 0, all_total = 0;
+    for (const char *w : micro) {
+        Cell suite_r, suite_p, add_r, add_s;
+        for (const auto &c : bugCasesFor(w)) {
+            if (c.origin == Origin::Extra)
+                continue;
+            Cell *cell = nullptr;
+            bool suite = c.origin == Origin::PmTestSuite;
+            if (c.expected == Expected::Race)
+                cell = suite ? &suite_r : &add_r;
+            else if (c.expected == Expected::Performance)
+                cell = &suite_p;
+            else if (c.expected == Expected::Semantic)
+                cell = &add_s;
+            if (!cell)
+                continue;
+            cell->total++;
+            auto res = runBugCase(c);
+            if (detected(c, res))
+                cell->detected++;
+        }
+        std::size_t det = suite_r.detected + suite_p.detected +
+                          add_r.detected + add_s.detected;
+        std::size_t tot = suite_r.total + suite_p.total + add_r.total +
+                          add_s.total;
+        all_detected += det;
+        all_total += tot;
+        std::printf("%-16s | %s %s | %s %s | %2zu/%-2zu\n", w,
+                    suite_r.str().c_str(), suite_p.str().c_str(),
+                    add_r.str().c_str(), add_s.str().c_str(), det, tot);
+    }
+    rule();
+    std::printf("overall: %zu/%zu detected\n", all_detected, all_total);
+    std::printf("\npaper Table 5 injects R/S/P per workload: B-Tree "
+                "8R+2P(+4R), C-Tree 5R+1P(+1R),\nRB-Tree 7R+1P(+1R), "
+                "Hashmap-TX 6R+1P(+3R), Hashmap-Atomic 10R+2P(+3R+4S); "
+                "the\nvalidation 'shows that XFDetector is effective "
+                "in detecting these synthetic bugs'.\n\n");
+    return all_detected == all_total ? 0 : 1;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Microbenchmarks of the substrate itself: frontend trace emission,
+ * shadow-PM state transitions, post-read checking, and PM-image write
+ * replay — the components whose costs compose Fig. 12's totals.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/shadow_pm.hh"
+#include "pm/image.hh"
+#include "pm/pool.hh"
+#include "trace/runtime.hh"
+
+using namespace xfd;
+
+namespace
+{
+
+void
+BM_TraceStore(benchmark::State &state)
+{
+    pm::PmPool pool(1 << 20);
+    trace::TraceBuffer buf;
+    trace::PmRuntime rt(pool, buf, trace::Stage::PreFailure);
+    auto *v = pool.at<std::uint64_t>(0);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        rt.store(*v, i++);
+        if (buf.size() > (1u << 20))
+            buf.clear();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceStore);
+
+void
+BM_TraceLoad(benchmark::State &state)
+{
+    pm::PmPool pool(1 << 20);
+    trace::TraceBuffer buf;
+    trace::PmRuntime rt(pool, buf, trace::Stage::PreFailure);
+    auto *v = pool.at<std::uint64_t>(0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rt.load(*v));
+        if (buf.size() > (1u << 20))
+            buf.clear();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceLoad);
+
+void
+BM_TracePersistBarrier(benchmark::State &state)
+{
+    pm::PmPool pool(1 << 20);
+    trace::TraceBuffer buf;
+    trace::PmRuntime rt(pool, buf, trace::Stage::PreFailure);
+    auto *v = pool.at<std::uint64_t>(0);
+    for (auto _ : state) {
+        rt.persistBarrier(v, 8);
+        if (buf.size() > (1u << 20))
+            buf.clear();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracePersistBarrier);
+
+void
+BM_ShadowWriteFlushFence(benchmark::State &state)
+{
+    core::DetectorConfig cfg;
+    cfg.granularity = static_cast<unsigned>(state.range(0));
+    core::ShadowPM shadow({defaultPoolBase, defaultPoolBase + (1 << 20)},
+                          cfg);
+    Addr a = defaultPoolBase;
+    std::uint32_t seq = 0;
+    for (auto _ : state) {
+        shadow.preWrite(a, 64, seq++, false);
+        shadow.preFlush(a, seq);
+        shadow.preFence();
+        a = defaultPoolBase + ((a + 64) & ((1 << 20) - 1));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShadowWriteFlushFence)->Arg(1)->Arg(8);
+
+void
+BM_ShadowPostReadCheck(benchmark::State &state)
+{
+    core::DetectorConfig cfg;
+    core::ShadowPM shadow({defaultPoolBase, defaultPoolBase + (1 << 20)},
+                          cfg);
+    for (Addr a = defaultPoolBase; a < defaultPoolBase + (1 << 16);
+         a += 64) {
+        shadow.preWrite(a, 64, 0, false);
+        shadow.preFlush(a, 1);
+    }
+    shadow.preFence();
+    Addr a = defaultPoolBase;
+    shadow.beginPostReplay();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(shadow.checkPostRead(a, 8));
+        a = defaultPoolBase + ((a + 8) & ((1 << 16) - 1));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShadowPostReadCheck);
+
+void
+BM_ImageWriteReplay(benchmark::State &state)
+{
+    pm::PmPool pool(1 << 20);
+    pm::PmImage img = pool.snapshot();
+    std::uint8_t payload[64] = {1, 2, 3};
+    Addr a = pool.base();
+    for (auto _ : state) {
+        img.applyWrite(a, payload, sizeof(payload));
+        a = pool.base() + ((a + 64) & ((1 << 20) - 1));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_ImageWriteReplay);
+
+void
+BM_ImageCopyToPool(benchmark::State &state)
+{
+    pm::PmPool pool(static_cast<std::size_t>(state.range(0)));
+    pm::PmImage img = pool.snapshot();
+    for (auto _ : state)
+        img.copyTo(pool);
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_ImageCopyToPool)->Arg(1 << 20)->Arg(1 << 23);
+
+} // namespace
+
+BENCHMARK_MAIN();

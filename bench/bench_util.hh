@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries: campaign runners with
+ * repetition, and fixed-width table printing that mirrors the paper's
+ * tables/figures as console output.
+ */
+
+#ifndef XFD_BENCH_BENCH_UTIL_HH
+#define XFD_BENCH_BENCH_UTIL_HH
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common/logging.hh"
+#include "core/driver.hh"
+#include "pm/pool.hh"
+#include "workloads/workload.hh"
+
+namespace xfd::bench
+{
+
+/** Pool size used by all benchmark campaigns. */
+constexpr std::size_t benchPoolSize = 1 << 23;
+
+/** Result of repeated campaign timing. */
+struct Timing
+{
+    core::CampaignResult last;
+    double meanTotalSeconds = 0;
+    double meanPreSeconds = 0;
+    double meanPostSeconds = 0;
+    double meanBackendSeconds = 0;
+};
+
+/** Run a detection campaign @p reps times and average the timings. */
+inline Timing
+timeCampaign(const std::string &workload,
+             workloads::WorkloadConfig cfg,
+             core::DetectorConfig dcfg = {}, unsigned reps = 3)
+{
+    Timing t;
+    for (unsigned i = 0; i < reps; i++) {
+        auto w = workloads::makeWorkload(workload, cfg);
+        pm::PmPool pool(benchPoolSize);
+        core::Driver driver(pool, dcfg);
+        auto res =
+            driver.run([&](trace::PmRuntime &rt) { w->pre(rt); },
+                       [&](trace::PmRuntime &rt) { w->post(rt); });
+        t.meanTotalSeconds += res.stats.totalSeconds();
+        t.meanPreSeconds += res.stats.preSeconds;
+        t.meanPostSeconds += res.stats.postSeconds;
+        t.meanBackendSeconds += res.stats.backendSeconds;
+        t.last = std::move(res);
+    }
+    t.meanTotalSeconds /= reps;
+    t.meanPreSeconds /= reps;
+    t.meanPostSeconds /= reps;
+    t.meanBackendSeconds /= reps;
+    return t;
+}
+
+/** Time only the pre-failure stage in a baseline mode. */
+inline double
+timeBaseline(const std::string &workload, workloads::WorkloadConfig cfg,
+             bool traced, unsigned reps = 5)
+{
+    double total = 0;
+    for (unsigned i = 0; i < reps; i++) {
+        auto w = workloads::makeWorkload(workload, cfg);
+        pm::PmPool pool(benchPoolSize);
+        core::Driver driver(pool, {});
+        total += driver.runBaseline(
+            [&](trace::PmRuntime &rt) { w->pre(rt); }, traced);
+    }
+    return total / reps;
+}
+
+/** Print a horizontal rule sized for our tables. */
+inline void
+rule(int width = 78)
+{
+    for (int i = 0; i < width; i++)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace xfd::bench
+
+#endif // XFD_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Auditing a real storage engine: run a full XFDetector campaign over
+ * the PM-Redis workload, first as shipped (reproducing §6.3.2 bug 3 —
+ * the server initializes num_dict_entries outside any transaction),
+ * then with the initialization fixed.
+ *
+ * Build & run:  ./examples/kvstore_audit
+ */
+
+#include <cstdio>
+
+#include "core/driver.hh"
+#include "workloads/workload.hh"
+
+using namespace xfd;
+
+namespace
+{
+
+core::CampaignResult
+audit(bool shipped)
+{
+    workloads::WorkloadConfig cfg;
+    cfg.initOps = 0;
+    cfg.testOps = 6;
+    cfg.postOps = 4;
+    cfg.roiFromStart = true; // cover server initialization
+    if (shipped)
+        cfg.bugs.enable("redis.shipped.init_no_tx");
+    auto redis = workloads::makeWorkload("redis", std::move(cfg));
+
+    pm::PmPool pool(1 << 22);
+    core::Driver driver(pool, {});
+    return driver.run(
+        [&](trace::PmRuntime &rt) { redis->pre(rt); },
+        [&](trace::PmRuntime &rt) { redis->post(rt); });
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+
+    std::printf("==== PM-Redis, as shipped ====\n%s\n",
+                audit(true).summary().c_str());
+    std::printf("==== PM-Redis, initialization transactional ====\n%s\n",
+                audit(false).summary().c_str());
+    return 0;
+}

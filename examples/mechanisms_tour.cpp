@@ -1,0 +1,241 @@
+/**
+ * @file
+ * A tour of the Table 1 crash-consistency mechanisms, each driven
+ * under failure injection:
+ *
+ *   undo logging       -> pmlib::Tx          (TX_BEGIN/TX_ADD/TX_END)
+ *   redo logging       -> pmlib::RedoTx
+ *   checkpointing      -> pmlib::Checkpointer
+ *   shadow paging      -> pmlib::shadowUpdate
+ *   operational logging-> pmlib::OpLog
+ *
+ * The same logical update — bump two fields of a record — runs under
+ * every mechanism; each variant must come back clean (the detector
+ * validates the mechanism implementations themselves).
+ *
+ * Build & run:  ./examples/mechanisms_tour
+ */
+
+#include <cstdio>
+
+#include "core/driver.hh"
+#include "pmlib/checkpoint.hh"
+#include "pmlib/objpool.hh"
+#include "pmlib/oplog.hh"
+#include "pmlib/redo.hh"
+#include "pmlib/shadow_obj.hh"
+#include "pmlib/tx.hh"
+
+using namespace xfd;
+using trace::PmRuntime;
+
+namespace
+{
+
+struct Record
+{
+    std::uint64_t hits;
+    std::uint64_t bytes;
+};
+
+/** Root: the record, plus bookkeeping for each mechanism. */
+struct Root
+{
+    Record rec;
+    pm::PPtr<Record> shadowRec;
+    std::uint64_t redoArea;
+    std::uint64_t ckptData;
+    std::uint64_t ckptArea;
+    std::uint64_t opsArea;
+};
+
+core::CampaignResult
+runMechanism(const char *layout,
+             const std::function<void(PmRuntime &, pmlib::ObjPool &)> &setup,
+             const std::function<void(PmRuntime &, pmlib::ObjPool &)> &update,
+             const std::function<void(PmRuntime &, pmlib::ObjPool &)> &recover)
+{
+    pm::PmPool pool(1 << 22);
+    core::Driver driver(pool, {});
+    return driver.run(
+        [&](PmRuntime &rt) {
+            pmlib::ObjPool op =
+                pmlib::ObjPool::create(rt, layout, sizeof(Root));
+            setup(rt, op);
+            trace::RoiScope roi(rt);
+            for (int i = 0; i < 3; i++)
+                update(rt, op);
+        },
+        [&](PmRuntime &rt) {
+            pmlib::ObjPool op =
+                pmlib::ObjPool::openOrCreate(rt, layout, sizeof(Root));
+            trace::RoiScope roi(rt);
+            recover(rt, op);
+        });
+}
+
+void
+show(const char *name, const core::CampaignResult &res)
+{
+    std::printf("%-22s %3zu failure points, %zu finding(s)%s\n", name,
+                res.stats.failurePoints, res.bugs.size(),
+                res.bugs.empty() ? "" : "  <-- unexpected!");
+    for (const auto &b : res.bugs)
+        std::printf("%s\n", b.str().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    std::printf("each mechanism performs the same record update under "
+                "failure injection:\n\n");
+
+    // ---- undo logging -------------------------------------------
+    show("undo logging",
+         runMechanism(
+             "tour_undo", [](PmRuntime &, pmlib::ObjPool &) {},
+             [](PmRuntime &rt, pmlib::ObjPool &op) {
+                 Root *r = op.root<Root>();
+                 pmlib::Tx tx(op);
+                 tx.add(r->rec);
+                 rt.store(r->rec.hits, rt.load(r->rec.hits) + 1);
+                 rt.store(r->rec.bytes, rt.load(r->rec.bytes) + 512);
+                 tx.commit();
+             },
+             [](PmRuntime &rt, pmlib::ObjPool &op) {
+                 Root *r = op.root<Root>();
+                 (void)rt.load(r->rec.hits); // open() already recovered
+                 (void)rt.load(r->rec.bytes);
+             }));
+
+    // ---- redo logging -------------------------------------------
+    show("redo logging",
+         runMechanism(
+             "tour_redo",
+             [](PmRuntime &rt, pmlib::ObjPool &op) {
+                 Root *r = op.root<Root>();
+                 rt.store(r->redoArea,
+                          op.heap().palloc(pmlib::RedoTx::areaSize()));
+                 rt.persistBarrier(&r->redoArea, 8);
+             },
+             [](PmRuntime &rt, pmlib::ObjPool &op) {
+                 Root *r = op.root<Root>();
+                 pmlib::RedoTx tx(op, r->redoArea);
+                 tx.stageField(r->rec.hits, rt.load(r->rec.hits) + 1);
+                 tx.stageField(r->rec.bytes,
+                               rt.load(r->rec.bytes) + 512);
+                 tx.commit();
+             },
+             [](PmRuntime &rt, pmlib::ObjPool &op) {
+                 Root *r = op.root<Root>();
+                 if (r->redoArea)
+                     pmlib::RedoTx::recover(op, r->redoArea);
+                 (void)rt.load(r->rec.hits);
+                 (void)rt.load(r->rec.bytes);
+             }));
+
+    // ---- checkpointing ------------------------------------------
+    constexpr std::size_t dsz = sizeof(Record);
+    show("checkpointing",
+         runMechanism(
+             "tour_ckpt",
+             [](PmRuntime &rt, pmlib::ObjPool &op) {
+                 Root *r = op.root<Root>();
+                 rt.store(r->ckptData, op.heap().palloc(dsz));
+                 rt.store(r->ckptArea, op.heap().palloc(
+                                           pmlib::Checkpointer::areaSize(
+                                               dsz)));
+                 rt.persistBarrier(&r->ckptData, 16);
+                 pmlib::Checkpointer ck(op, r->ckptArea, r->ckptData,
+                                        dsz);
+                 ck.annotate();
+                 ck.format();
+             },
+             [](PmRuntime &rt, pmlib::ObjPool &op) {
+                 Root *r = op.root<Root>();
+                 pmlib::Checkpointer ck(op, r->ckptArea, r->ckptData,
+                                        dsz);
+                 ck.annotate();
+                 auto *rec = static_cast<Record *>(
+                     rt.pool().toHost(r->ckptData, dsz));
+                 rt.store(rec->hits, rt.load(rec->hits) + 1);
+                 rt.persistBarrier(&rec->hits, 8);
+                 ck.checkpoint();
+             },
+             [](PmRuntime &rt, pmlib::ObjPool &op) {
+                 Root *r = op.root<Root>();
+                 if (!r->ckptArea)
+                     return;
+                 pmlib::Checkpointer ck(op, r->ckptArea, r->ckptData,
+                                        dsz);
+                 ck.annotate();
+                 ck.restore();
+                 auto *rec = static_cast<Record *>(
+                     rt.pool().toHost(r->ckptData, dsz));
+                 (void)rt.load(rec->hits);
+             }));
+
+    // ---- shadow paging ------------------------------------------
+    show("shadow paging",
+         runMechanism(
+             "tour_shadow", [](PmRuntime &, pmlib::ObjPool &) {},
+             [](PmRuntime &, pmlib::ObjPool &op) {
+                 Root *r = op.root<Root>();
+                 pmlib::shadowUpdate(
+                     op, r->shadowRec, [](PmRuntime &rt, Record *rec) {
+                         rt.store(rec->hits, rec->hits + 1);
+                         rt.store(rec->bytes, rec->bytes + 512);
+                     });
+             },
+             [](PmRuntime &rt, pmlib::ObjPool &op) {
+                 Root *r = op.root<Root>();
+                 pm::PPtr<Record> p = rt.load(r->shadowRec);
+                 if (!p.null()) {
+                     (void)rt.load(p.get(rt.pool())->hits);
+                     (void)rt.load(p.get(rt.pool())->bytes);
+                 }
+             }));
+
+    // ---- operational logging ------------------------------------
+    show("operational logging",
+         runMechanism(
+             "tour_oplog",
+             [](PmRuntime &rt, pmlib::ObjPool &op) {
+                 Root *r = op.root<Root>();
+                 rt.store(r->opsArea,
+                          op.heap().palloc(pmlib::OpLog::areaSize()));
+                 rt.persistBarrier(&r->opsArea, 8);
+                 pmlib::OpLog log(op, r->opsArea);
+                 log.format();
+             },
+             [](PmRuntime &rt, pmlib::ObjPool &op) {
+                 Root *r = op.root<Root>();
+                 pmlib::OpLog log(op, r->opsArea);
+                 // Blind (idempotent) operation: "set hits to N".
+                 static std::uint64_t n = 0;
+                 n += 7;
+                 log.append({1, 0, n});
+                 rt.store(r->rec.hits, n);
+                 rt.persistBarrier(&r->rec.hits, 8);
+                 log.markApplied();
+             },
+             [](PmRuntime &rt, pmlib::ObjPool &op) {
+                 Root *r = op.root<Root>();
+                 if (!r->opsArea)
+                     return;
+                 pmlib::OpLog log(op, r->opsArea);
+                 log.replay([&](const pmlib::LoggedOp &o) {
+                     rt.store(r->rec.hits, o.arg1);
+                     rt.persistBarrier(&r->rec.hits, 8);
+                 });
+                 (void)rt.load(r->rec.hits);
+             }));
+
+    std::printf("\nall five mechanisms should report 0 findings: the "
+                "detector validates the\nmechanism implementations "
+                "themselves.\n");
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting: panic(), fatal(), warn(),
+ * inform(). panic() flags internal invariant violations (aborts);
+ * fatal() flags unrecoverable user/configuration errors (exits).
+ */
+
+#ifndef XFD_COMMON_LOGGING_HH
+#define XFD_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace xfd
+{
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Internal invariant violated: print and abort (never user's fault). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Unrecoverable user-facing error: print and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benchmarks silence it). */
+void setVerbose(bool verbose);
+
+/** @return whether inform() output is enabled. */
+bool verbose();
+
+} // namespace xfd
+
+#endif // XFD_COMMON_LOGGING_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for workload drivers.
+ *
+ * Workloads must be bit-reproducible between the pre-failure run and
+ * every post-failure continuation, so they may not use global RNG state;
+ * each execution stage seeds its own Rng.
+ */
+
+#ifndef XFD_COMMON_RNG_HH
+#define XFD_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace xfd
+{
+
+/** xorshift64* generator; tiny, fast, and deterministic across builds. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {}
+
+    /** @return next raw 64-bit pseudo-random value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** @return uniform value in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace xfd
+
+#endif // XFD_COMMON_RNG_HH

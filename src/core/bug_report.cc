@@ -1,0 +1,82 @@
+#include "core/bug_report.hh"
+
+#include "common/logging.hh"
+
+namespace xfd::core
+{
+
+const char *
+bugTypeName(BugType t)
+{
+    switch (t) {
+      case BugType::CrossFailureRace: return "CROSS-FAILURE RACE";
+      case BugType::CrossFailureSemantic: return "CROSS-FAILURE SEMANTIC BUG";
+      case BugType::Performance: return "PERFORMANCE BUG";
+      case BugType::RecoveryFailure: return "RECOVERY FAILURE";
+    }
+    return "?";
+}
+
+std::string
+BugReport::str() const
+{
+    std::string s = strprintf("[%s] addr=%#llx size=%u", bugTypeName(type),
+                              static_cast<unsigned long long>(addr), size);
+    if (reader.line)
+        s += strprintf("\n  reader: %s", reader.str().c_str());
+    if (writer.line)
+        s += strprintf("\n  writer: %s", writer.str().c_str());
+    if (!note.empty())
+        s += strprintf("\n  note:   %s", note.c_str());
+    s += strprintf("\n  seen %u time(s), first at failure point #%u",
+                   occurrences, failurePoint);
+    return s;
+}
+
+void
+BugSink::report(BugReport r)
+{
+    // Recovery failures are keyed by reader and reason only: the
+    // "writer" is the failure point itself, which varies per point.
+    std::string key =
+        r.type == BugType::RecoveryFailure
+            ? strprintf("%d|%s:%u|%s", static_cast<int>(r.type),
+                        r.reader.file, r.reader.line, r.note.c_str())
+            : strprintf("%d|%s:%u|%s:%u|%s", static_cast<int>(r.type),
+                        r.reader.file, r.reader.line, r.writer.file,
+                        r.writer.line, r.note.c_str());
+    auto it = index.find(key);
+    if (it != index.end()) {
+        all[it->second].occurrences += r.occurrences;
+        return;
+    }
+    index.emplace(std::move(key), all.size());
+    all.push_back(std::move(r));
+}
+
+void
+BugSink::merge(const BugSink &other)
+{
+    for (const auto &b : other.bugs())
+        report(b);
+}
+
+std::size_t
+BugSink::count(BugType t) const
+{
+    std::size_t n = 0;
+    for (const auto &b : all) {
+        if (b.type == t)
+            n++;
+    }
+    return n;
+}
+
+void
+BugSink::clear()
+{
+    all.clear();
+    index.clear();
+}
+
+} // namespace xfd::core

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Detection configuration knobs.
+ *
+ * Defaults match the paper's described behaviour; the non-default
+ * settings exist for the ablation benchmarks (see DESIGN.md §5).
+ */
+
+#ifndef XFD_CORE_CONFIG_HH
+#define XFD_CORE_CONFIG_HH
+
+#include <cstddef>
+#include <limits>
+
+namespace xfd::core
+{
+
+/** Tuning and ablation switches for a detection campaign. */
+struct DetectorConfig
+{
+    /**
+     * Paper optimization (2): do not inject a failure point between two
+     * ordering points with no PM operations in between.
+     */
+    bool elideEmptyFailurePoints = true;
+
+    /**
+     * Paper optimization (1): check only the first post-failure read of
+     * each location modified pre-failure; later reads give the same
+     * answer.
+     */
+    bool firstReadOnly = true;
+
+    /**
+     * Inject failure points at ordering points inside PM-library code.
+     * The paper injects one failure point per fence-bearing library
+     * function; tracking every internal fence is strictly finer
+     * coverage (it is how the pool-creation bug, §6.3.2 bug 4, shows
+     * up inside the library itself).
+     */
+    bool failureAtInternalFences = true;
+
+    /** Shadow-PM cell granularity in bytes (1, 2, 4 or 8). */
+    unsigned granularity = 1;
+
+    /**
+     * Extension beyond the paper: when set, a location covered by a
+     * commit variable must *also* be persisted for a post-failure read
+     * to pass; the paper's check order ("reading a consistent location
+     * is certainly bug-free") can miss an unflushed-but-committed
+     * write.
+     */
+    bool strictPersistCheck = false;
+
+    /** Report performance bugs (redundant flushes, duplicate TX_ADD). */
+    bool reportPerformanceBugs = true;
+
+    /**
+     * Extension beyond the paper: build the post-failure PM image the
+     * way a real crash would leave it — writes that were not flushed
+     * *and* fenced by the failure point are absent (they revert to
+     * their last persisted value). The paper instead copies all
+     * updates and relies on the shadow PM (footnote 3); that finds
+     * races that this mode's single materialization might mask, while
+     * this mode makes the post-failure stage *behave* like a real
+     * recovery (pmreorder/Yat-style). Commit-variable semantic checks
+     * are disabled in this mode: they assume recovery observes the
+     * latest commit write, which only the all-updates image
+     * guarantees.
+     */
+    bool crashImageMode = false;
+
+    /** Upper bound on injected failure points (0 = unlimited). */
+    std::size_t maxFailurePoints = 0;
+};
+
+} // namespace xfd::core
+
+#endif // XFD_CORE_CONFIG_HH

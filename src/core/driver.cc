@@ -1,0 +1,452 @@
+#include "core/driver.hh"
+
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace xfd::core
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    using namespace std::chrono;
+    return duration<double>(steady_clock::now() - t0).count();
+}
+
+} // namespace
+
+std::size_t
+CampaignResult::count(BugType t) const
+{
+    std::size_t n = 0;
+    for (const auto &b : bugs) {
+        if (b.type == t)
+            n++;
+    }
+    return n;
+}
+
+std::string
+CampaignResult::summary() const
+{
+    std::string s = strprintf(
+        "=== XFDetector report: %zu finding(s) ===\n"
+        "failure points: %zu (candidates %zu, elided %zu), "
+        "post-failure executions: %zu\n"
+        "time: pre %.3fs, post %.3fs, backend %.3fs\n",
+        bugs.size(), stats.failurePoints, stats.orderingCandidates,
+        stats.elidedPoints, stats.postExecutions, stats.preSeconds,
+        stats.postSeconds, stats.backendSeconds);
+    for (const auto &b : bugs)
+        s += b.str() + "\n";
+    return s;
+}
+
+Driver::Driver(pm::PmPool &p, DetectorConfig c) : pool(p), cfg(c)
+{
+}
+
+double
+Driver::runBaseline(const ProgramFn &pre, bool traced)
+{
+    trace::TraceBuffer buf;
+    trace::PmRuntime rt(pool, buf, trace::Stage::PreFailure);
+    rt.setTracing(traced);
+    auto t0 = std::chrono::steady_clock::now();
+    try {
+        pre(rt);
+    } catch (const trace::StageComplete &) {
+    }
+    return secondsSince(t0);
+}
+
+void
+Driver::advanceShadow(PreCursor &cur, const trace::TraceBuffer &pre,
+                      std::uint32_t to, BugSink *perf_sink)
+{
+    using trace::Op;
+
+    ShadowPM &shadow = cur.shadow;
+    for (std::uint32_t &i = cur.shadowCursor; i < to; i++) {
+        const auto &e = pre[i];
+        bool detectable = e.has(trace::flagInRoi) &&
+                          !e.has(trace::flagInternal) &&
+                          !e.has(trace::flagSkipDetection);
+        switch (e.op) {
+          case Op::Write:
+          case Op::NtWrite:
+            if (!e.has(trace::flagImageOnly)) {
+                shadow.preWrite(e.addr, e.size, e.seq,
+                                e.op == Op::NtWrite);
+            }
+            break;
+          case Op::Clwb:
+          case Op::ClflushOpt:
+          case Op::Clflush:
+            if (shadow.preFlush(e.addr, e.seq) && detectable &&
+                perf_sink && cfg.reportPerformanceBugs) {
+                BugReport r;
+                r.type = BugType::Performance;
+                r.addr = e.addr;
+                r.size = e.size;
+                r.reader = e.loc;
+                r.note = "redundant writeback: no modified data in line";
+                perf_sink->report(std::move(r));
+            }
+            break;
+          case Op::Sfence:
+          case Op::Mfence:
+            shadow.preFence();
+            break;
+          case Op::Alloc:
+            shadow.preAlloc(e.addr, e.size, e.seq);
+            break;
+          case Op::Free:
+            shadow.preFree(e.addr, e.size);
+            break;
+          case Op::CommitVar:
+            shadow.registerCommitVar(e.addr, e.size);
+            break;
+          case Op::CommitRange:
+            shadow.registerCommitRange(e.aux, e.addr, e.size);
+            break;
+          case Op::TxAdd: {
+            AddrRange r{e.addr, e.addr + e.size};
+            bool duplicate = false;
+            for (const auto &prev : cur.openTxAdds) {
+                if (prev.begin <= r.begin && r.end <= prev.end) {
+                    duplicate = true;
+                    break;
+                }
+            }
+            if (duplicate && detectable && perf_sink &&
+                cfg.reportPerformanceBugs) {
+                BugReport br;
+                br.type = BugType::Performance;
+                br.addr = e.addr;
+                br.size = e.size;
+                br.reader = e.loc;
+                br.note = "duplicated TX_ADD of the same PM object";
+                perf_sink->report(std::move(br));
+            }
+            if (!duplicate)
+                cur.openTxAdds.push_back(r);
+            break;
+          }
+          case Op::LibCall:
+            if (std::strcmp(e.label, trace::labels::txBegin) == 0 ||
+                std::strcmp(e.label, trace::labels::txCommit) == 0 ||
+                std::strcmp(e.label, trace::labels::txAbort) == 0) {
+                cur.openTxAdds.clear();
+            }
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+void
+Driver::advanceImage(PreCursor &cur, const trace::TraceBuffer &pre,
+                     std::uint32_t to)
+{
+    using trace::Op;
+
+    for (std::uint32_t &i = cur.imageCursor; i < to; i++) {
+        const auto &e = pre[i];
+        if (e.isWrite()) {
+            cur.image.applyWrite(e.addr, e.data.data(), e.data.size());
+            if (cfg.crashImageMode) {
+                Addr last = lineBase(e.addr + (e.size ? e.size - 1 : 0));
+                for (Addr l = lineBase(e.addr); l <= last;
+                     l += cacheLineSize) {
+                    cur.dirtyLines.insert(l);
+                    if (e.op == Op::NtWrite)
+                        cur.pendingLines.insert(l);
+                }
+            }
+            continue;
+        }
+        if (!cfg.crashImageMode)
+            continue;
+        if (e.isFlush()) {
+            // Flushing moves the line toward durability; it lands at
+            // the next fence.
+            if (cur.dirtyLines.count(e.addr))
+                cur.pendingLines.insert(e.addr);
+        } else if (e.isFence()) {
+            for (Addr l : cur.pendingLines) {
+                std::size_t off = l - cur.image.base();
+                std::memcpy(cur.durable.data() + off,
+                            cur.image.data() + off, cacheLineSize);
+                cur.dirtyLines.erase(l);
+            }
+            cur.pendingLines.clear();
+        }
+    }
+}
+
+void
+Driver::replayPost(PreCursor &cur, const trace::TraceBuffer &pre,
+                   const trace::TraceBuffer &post, std::uint32_t fp,
+                   BugSink &sink)
+{
+    using trace::Op;
+
+    ShadowPM &shadow = cur.shadow;
+    shadow.beginPostReplay();
+    for (const auto &e : post) {
+        switch (e.op) {
+          case Op::Write:
+          case Op::NtWrite:
+            // Post-failure writes overwrite the old data; reading the
+            // location afterwards is unconditionally fine (§5.4).
+            shadow.postWrite(e.addr, e.size);
+            break;
+          case Op::Alloc:
+            shadow.postWrite(e.addr, e.size);
+            break;
+          case Op::CommitVar:
+            shadow.registerCommitVar(e.addr, e.size);
+            break;
+          case Op::CommitRange:
+            shadow.registerCommitRange(e.aux, e.addr, e.size);
+            break;
+          case Op::Read: {
+            if (!e.has(trace::flagInRoi) || e.has(trace::flagInternal) ||
+                e.has(trace::flagSkipDetection)) {
+                break;
+            }
+            ReadCheckResult res = shadow.checkPostRead(e.addr, e.size);
+            if (res.verdict != ReadCheck::Race &&
+                res.verdict != ReadCheck::SemanticBug) {
+                break;
+            }
+            if (res.verdict == ReadCheck::SemanticBug &&
+                cfg.crashImageMode) {
+                // The commit-variable timestamps assume recovery
+                // observes the *latest* commit write, which only the
+                // paper's all-updates image guarantees; under a
+                // realistic crash image the recovery may be acting on
+                // an older committed version, so the semantic verdict
+                // is not sound here.
+                break;
+            }
+            BugReport r;
+            r.type = res.verdict == ReadCheck::Race
+                         ? BugType::CrossFailureRace
+                         : BugType::CrossFailureSemantic;
+            r.addr = res.addr;
+            r.size = e.size;
+            r.reader = e.loc;
+            if (res.writerSeq != ReadCheckResult::noSeq)
+                r.writer = pre[res.writerSeq].loc;
+            r.failurePoint = fp;
+            if (res.uninitialized)
+                r.note = "location allocated but never initialized";
+            else if (res.verdict == ReadCheck::SemanticBug)
+                r.note = res.stale
+                             ? "stale: last modified before the pre-last "
+                               "commit write"
+                             : "uncommitted: modified after the last "
+                               "commit write";
+            sink.report(std::move(r));
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    shadow.endPostReplay();
+}
+
+void
+Driver::handleFailurePoint(PreCursor &cur, pm::PmPool &exec_pool,
+                           const trace::TraceBuffer &pre,
+                           const ProgramFn &post, std::uint32_t fp,
+                           BugSink &sink, CampaignStats &stats)
+{
+    auto tb0 = std::chrono::steady_clock::now();
+    // Performance bugs are collected by the dedicated full-trace
+    // advance, not here (workers would double-report them).
+    advanceShadow(cur, pre, fp, nullptr);
+    advanceImage(cur, pre, fp);
+    stats.backendSeconds += secondsSince(tb0);
+
+    if (cfg.crashImageMode)
+        cur.durable.copyTo(exec_pool);
+    else
+        cur.image.copyTo(exec_pool);
+    trace::TraceBuffer post_trace;
+    {
+        trace::PmRuntime rt(exec_pool, post_trace,
+                            trace::Stage::PostFailure);
+        rt.setEntryCap(1u << 20);
+        auto t0 = std::chrono::steady_clock::now();
+        try {
+            post(rt);
+        } catch (const trace::StageComplete &) {
+        } catch (const trace::PostFailureAbort &abort) {
+            BugReport r;
+            r.type = BugType::RecoveryFailure;
+            r.reader = abort.loc;
+            r.writer = pre[fp].loc;
+            r.failurePoint = fp;
+            r.note = abort.reason;
+            sink.report(std::move(r));
+        } catch (const pm::BadPmAccess &bad) {
+            // The post-failure stage dereferenced a corrupted
+            // persistent pointer — the emulated equivalent of the
+            // resumption segfault in the paper's Figure 1.
+            BugReport r;
+            r.type = BugType::RecoveryFailure;
+            r.addr = bad.addr;
+            r.size = static_cast<std::uint32_t>(bad.size);
+            r.writer = pre[fp].loc;
+            r.failurePoint = fp;
+            r.note = strprintf(
+                "post-failure crash: wild PM access at %#llx",
+                static_cast<unsigned long long>(bad.addr));
+            sink.report(std::move(r));
+        }
+        stats.postSeconds += secondsSince(t0);
+    }
+    stats.postExecutions++;
+    stats.postTraceEntries += post_trace.size();
+
+    auto tb1 = std::chrono::steady_clock::now();
+    replayPost(cur, pre, post_trace, fp, sink);
+    stats.backendSeconds += secondsSince(tb1);
+}
+
+CampaignResult
+Driver::run(const ProgramFn &pre, const ProgramFn &post)
+{
+    return runParallel(pre, post, 1);
+}
+
+CampaignResult
+Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
+                    unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    CampaignResult result;
+    result.stats.threads = threads;
+
+    pm::PmImage initial = pool.snapshot();
+
+    // Step 1: pre-failure stage, traced.
+    trace::TraceBuffer pre_trace;
+    {
+        trace::PmRuntime rt(pool, pre_trace, trace::Stage::PreFailure);
+        auto t0 = std::chrono::steady_clock::now();
+        try {
+            pre(rt);
+        } catch (const trace::StageComplete &) {
+        }
+        result.stats.preSeconds = secondsSince(t0);
+    }
+    result.stats.preTraceEntries = pre_trace.size();
+
+    // Step 2: plan failure points before each ordering point.
+    FailurePlan plan = planFailurePoints(pre_trace, cfg);
+    result.stats.failurePoints = plan.points.size();
+    result.stats.orderingCandidates = plan.candidates;
+    result.stats.elidedPoints = plan.elided;
+
+    std::uint32_t trace_end =
+        static_cast<std::uint32_t>(pre_trace.size());
+    threads = static_cast<unsigned>(
+        std::min<std::size_t>(threads, std::max<std::size_t>(
+                                           plan.points.size(), 1)));
+
+    // Steps 3-4: per failure point, reconstruct the image, run the
+    // post-failure stage, and check its trace against the shadow PM.
+    // Failure points are split into contiguous chunks per worker.
+    std::deque<BugSink> sinks(threads);
+    std::deque<CampaignStats> stats(threads);
+    std::deque<PreCursor> cursors;
+    for (unsigned t = 0; t < threads; t++)
+        cursors.emplace_back(pool.range(), cfg, initial);
+
+    auto worker = [&](unsigned t) {
+        std::size_t per =
+            (plan.points.size() + threads - 1) / threads;
+        std::size_t begin = t * per;
+        std::size_t end =
+            std::min(plan.points.size(), begin + per);
+        if (begin >= end)
+            return;
+        // Each worker executes post-failure stages on its own pool
+        // replica at the same base address.
+        pm::PmPool *exec_pool = &pool;
+        std::unique_ptr<pm::PmPool> local;
+        if (threads > 1) {
+            local = std::make_unique<pm::PmPool>(pool.size(),
+                                                 pool.base());
+            exec_pool = local.get();
+        }
+        for (std::size_t i = begin; i < end; i++) {
+            handleFailurePoint(cursors[t], *exec_pool, pre_trace, post,
+                               plan.points[i], sinks[t], stats[t]);
+        }
+        cursors[t].shadow.endPostReplay();
+    };
+
+    auto tpar0 = std::chrono::steady_clock::now();
+    if (threads == 1) {
+        worker(0);
+    } else {
+        std::vector<std::thread> pool_threads;
+        for (unsigned t = 0; t < threads; t++)
+            pool_threads.emplace_back(worker, t);
+        for (auto &th : pool_threads)
+            th.join();
+    }
+    double wall = secondsSince(tpar0);
+
+    // Merge per-worker findings in chunk order (deterministic).
+    BugSink merged;
+    for (unsigned t = 0; t < threads; t++) {
+        merged.merge(sinks[t]);
+        result.stats.postExecutions += stats[t].postExecutions;
+        result.stats.postTraceEntries += stats[t].postTraceEntries;
+        if (threads == 1) {
+            result.stats.postSeconds += stats[t].postSeconds;
+            result.stats.backendSeconds += stats[t].backendSeconds;
+        }
+        result.stats.checksPerformed +=
+            cursors[t].shadow.checksPerformed();
+        result.stats.checksSkipped +=
+            cursors[t].shadow.checksSkipped();
+    }
+    if (threads > 1) {
+        // Per-thread CPU times overlap; report the wall time split
+        // proportionally like the serial breakdown would be.
+        result.stats.postSeconds = wall;
+    }
+
+    // Performance bugs come from one full pre-trace replay, and the
+    // pool is left holding the final pre-failure contents.
+    {
+        PreCursor full(pool.range(), cfg, std::move(initial));
+        auto tb = std::chrono::steady_clock::now();
+        advanceShadow(full, pre_trace, trace_end, &merged);
+        advanceImage(full, pre_trace, trace_end);
+        result.stats.backendSeconds += secondsSince(tb);
+        full.image.copyTo(pool);
+    }
+
+    result.bugs = merged.bugs();
+    return result;
+}
+
+} // namespace xfd::core

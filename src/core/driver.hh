@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The XFDetector campaign driver (paper Fig. 7 / Fig. 8).
+ *
+ * One detection campaign over a program:
+ *  1. run the pre-failure stage once under tracing,
+ *  2. plan failure points before every ordering point (§4.2),
+ *  3. for each failure point: materialize the PM image as of that
+ *     point (initial image + all recorded writes before it, persisted
+ *     or not — footnote 3), run the post-failure stage (recovery +
+ *     resumption) on it under tracing,
+ *  4. replay the pre-failure trace incrementally into the shadow PM
+ *     and check every post-failure read against it (§5.4),
+ *  5. aggregate deduplicated bug reports and timing statistics.
+ *
+ * runParallel() implements the future work the paper names in §6.2.1
+ * ("the post-failure executions are independent as they operate on a
+ * copy of the original PM image, and therefore, can be parallelized"):
+ * failure points are partitioned into contiguous chunks, each handled
+ * by a worker thread with its own pool replica, shadow PM and replay
+ * cursors; findings merge deterministically.
+ */
+
+#ifndef XFD_CORE_DRIVER_HH
+#define XFD_CORE_DRIVER_HH
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/bug_report.hh"
+#include "core/config.hh"
+#include "core/failure_planner.hh"
+#include "core/shadow_pm.hh"
+#include "pm/image.hh"
+#include "pm/pool.hh"
+#include "trace/runtime.hh"
+
+namespace xfd::core
+{
+
+/** A traced program stage: receives the tracing runtime. */
+using ProgramFn = std::function<void(trace::PmRuntime &)>;
+
+/** Timing and volume statistics for one campaign. */
+struct CampaignStats
+{
+    std::size_t failurePoints = 0;
+    std::size_t orderingCandidates = 0;
+    std::size_t elidedPoints = 0;
+    std::size_t postExecutions = 0;
+    std::size_t preTraceEntries = 0;
+    std::size_t postTraceEntries = 0;
+    double preSeconds = 0;
+    double postSeconds = 0;
+    double backendSeconds = 0;
+    std::size_t checksPerformed = 0;
+    std::size_t checksSkipped = 0;
+    /** Worker threads used (1 = serial). */
+    unsigned threads = 1;
+
+    double totalSeconds() const
+    {
+        return preSeconds + postSeconds + backendSeconds;
+    }
+};
+
+/** Everything a campaign produced. */
+struct CampaignResult
+{
+    std::vector<BugReport> bugs;
+    CampaignStats stats;
+
+    /** @return number of distinct findings of type @p t. */
+    std::size_t count(BugType t) const;
+
+    bool hasBugs() const { return !bugs.empty(); }
+
+    /** Multi-line human-readable report. */
+    std::string summary() const;
+};
+
+/** Orchestrates detection campaigns over a PM pool. */
+class Driver
+{
+  public:
+    explicit Driver(pm::PmPool &pool, DetectorConfig cfg = {});
+
+    /**
+     * Run a full detection campaign.
+     *
+     * @param pre  the pre-failure stage (setup + RoI operations)
+     * @param post the post-failure stage (recovery + resumption),
+     *             invoked once per failure point on the reconstructed
+     *             PM image
+     */
+    CampaignResult run(const ProgramFn &pre, const ProgramFn &post);
+
+    /**
+     * Like run(), but post-failure executions are distributed over
+     * @p threads worker threads (each on its own pool replica).
+     * Findings are identical to the serial run.
+     */
+    CampaignResult runParallel(const ProgramFn &pre,
+                               const ProgramFn &post, unsigned threads);
+
+    /**
+     * Fig. 12b baselines: run only the pre-failure stage.
+     * @param traced when true, trace but do not detect ("pure Pin");
+     *               when false, disable tracing too ("original").
+     * @return wall-clock seconds.
+     */
+    double runBaseline(const ProgramFn &pre, bool traced);
+
+  private:
+    /**
+     * Per-worker replay state: the shadow PM and the working image,
+     * both advanced monotonically over the pre-failure trace.
+     */
+    struct PreCursor
+    {
+        PreCursor(AddrRange range, const DetectorConfig &cfg,
+                  pm::PmImage initial)
+            : shadow(range, cfg), image(initial)
+        {
+            if (cfg.crashImageMode)
+                durable = std::move(initial);
+        }
+
+        ShadowPM shadow;
+        /** All updates applied (the paper's footnote-3 image). */
+        pm::PmImage image;
+        /** Persisted-only image (crashImageMode extension). */
+        pm::PmImage durable;
+        /** Lines written since their last durable copy. */
+        std::set<Addr> dirtyLines;
+        /** Lines flushed, awaiting the next fence. */
+        std::set<Addr> pendingLines;
+        std::uint32_t shadowCursor = 0;
+        std::uint32_t imageCursor = 0;
+        /** TX_ADD ranges of the open transaction (perf bugs). */
+        std::vector<AddrRange> openTxAdds;
+    };
+
+    /**
+     * Advance the shadow PM over pre-trace entries up to @p to.
+     * @param perf_sink when non-null, performance bugs are reported
+     */
+    void advanceShadow(PreCursor &cur, const trace::TraceBuffer &pre,
+                       std::uint32_t to, BugSink *perf_sink);
+
+    /** Advance the working image over pre-trace writes up to @p to. */
+    void advanceImage(PreCursor &cur, const trace::TraceBuffer &pre,
+                      std::uint32_t to);
+
+    /**
+     * Handle failure point @p fp end to end on @p exec_pool:
+     * reconstruct the image, run the post-failure stage, replay the
+     * post trace against the shadow.
+     */
+    void handleFailurePoint(PreCursor &cur, pm::PmPool &exec_pool,
+                            const trace::TraceBuffer &pre,
+                            const ProgramFn &post, std::uint32_t fp,
+                            BugSink &sink, CampaignStats &stats);
+
+    /** Replay one post-failure trace against the shadow PM. */
+    void replayPost(PreCursor &cur, const trace::TraceBuffer &pre,
+                    const trace::TraceBuffer &post, std::uint32_t fp,
+                    BugSink &sink);
+
+    pm::PmPool &pool;
+    DetectorConfig cfg;
+};
+
+} // namespace xfd::core
+
+#endif // XFD_CORE_DRIVER_HH

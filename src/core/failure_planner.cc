@@ -1,0 +1,61 @@
+#include "core/failure_planner.hh"
+
+namespace xfd::core
+{
+
+FailurePlan
+planFailurePoints(const trace::TraceBuffer &pre, const DetectorConfig &cfg)
+{
+    using trace::Op;
+
+    FailurePlan plan;
+    // PM operations observed since the previous ordering point; a
+    // failure point is useless if nothing could have changed state.
+    std::size_t ops_since = 0;
+
+    for (const auto &e : pre) {
+        bool is_pm_op = e.isWrite() || e.isFlush() ||
+                        e.op == Op::TxAdd || e.op == Op::Alloc ||
+                        e.op == Op::Free;
+        if (is_pm_op && !e.has(trace::flagImageOnly)) {
+            ops_since++;
+            continue;
+        }
+
+        if (e.op == Op::FailurePoint) {
+            // Explicit user-requested failure point: always honored.
+            plan.points.push_back(e.seq);
+            plan.candidates++;
+            continue;
+        }
+
+        if (!e.isFence())
+            continue;
+
+        // Every fence is an ordering point for elision accounting,
+        // even ones we cannot fail at.
+        std::size_t ops_before = ops_since;
+        ops_since = 0;
+
+        bool eligible = e.has(trace::flagInRoi) &&
+                        !e.has(trace::flagSkipFailure) &&
+                        (!e.has(trace::flagInternal) ||
+                         cfg.failureAtInternalFences);
+        if (!eligible)
+            continue;
+
+        plan.candidates++;
+        if (cfg.elideEmptyFailurePoints && ops_before == 0) {
+            plan.elided++;
+            continue;
+        }
+        plan.points.push_back(e.seq);
+        if (cfg.maxFailurePoints &&
+            plan.points.size() >= cfg.maxFailurePoints) {
+            break;
+        }
+    }
+    return plan;
+}
+
+} // namespace xfd::core

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Failure-point planning over the pre-failure trace.
+ *
+ * Per §4.2, persistent data can only transition from inconsistent to
+ * consistent at an ordering point (an explicit writeback, e.g.
+ * CLWB;SFENCE), so XFDetector injects failure points only *before*
+ * ordering points, plus wherever the programmer placed an explicit
+ * addFailurePoint(). Optimization (2) elides a failure point when no
+ * PM operation happened since the previous ordering point.
+ */
+
+#ifndef XFD_CORE_FAILURE_PLANNER_HH
+#define XFD_CORE_FAILURE_PLANNER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hh"
+#include "trace/buffer.hh"
+
+namespace xfd::core
+{
+
+/** The planned set of failure points for one campaign. */
+struct FailurePlan
+{
+    /**
+     * Trace positions to fail at: the failure preempts execution just
+     * *before* the entry at this seq (the ordering point does not
+     * retire).
+     */
+    std::vector<std::uint32_t> points;
+
+    /** Ordering points considered. */
+    std::size_t candidates = 0;
+
+    /** Candidates removed by the empty-interval elision. */
+    std::size_t elided = 0;
+};
+
+/** Enumerate failure points in @p pre according to @p cfg. */
+FailurePlan planFailurePoints(const trace::TraceBuffer &pre,
+                              const DetectorConfig &cfg);
+
+} // namespace xfd::core
+
+#endif // XFD_CORE_FAILURE_PLANNER_HH

@@ -1,0 +1,191 @@
+#include "core/prefailure_checker.hh"
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "trace/runtime.hh"
+
+namespace xfd::core
+{
+
+const char *
+preFailureKindName(PreFailureFinding::Kind k)
+{
+    switch (k) {
+      case PreFailureFinding::Kind::UnpersistedAtEnd:
+        return "UNPERSISTED AT END";
+      case PreFailureFinding::Kind::UnloggedTxWrite:
+        return "UNLOGGED TX WRITE";
+      case PreFailureFinding::Kind::RedundantFlush:
+        return "REDUNDANT FLUSH";
+    }
+    return "?";
+}
+
+std::string
+PreFailureFinding::str() const
+{
+    return strprintf("[%s] addr=%#llx size=%u\n  writer: %s",
+                     preFailureKindName(kind),
+                     static_cast<unsigned long long>(addr), size,
+                     writer.str().c_str());
+}
+
+PreFailureChecker::PreFailureChecker(AddrRange pool) : poolRange(pool)
+{
+}
+
+namespace
+{
+
+/** 8-byte tracking granule for the baseline (PMTest uses words). */
+constexpr unsigned gran = 8;
+
+enum class CellState : std::uint8_t { Clean, Modified, Pending };
+
+struct CellInfo
+{
+    CellState state = CellState::Clean;
+    std::uint32_t writerSeq = 0;
+    bool inRoi = false;
+};
+
+} // namespace
+
+std::vector<PreFailureFinding>
+PreFailureChecker::check(const trace::TraceBuffer &pre)
+{
+    using trace::Op;
+
+    std::unordered_map<std::uint64_t, CellInfo> cells;
+    std::vector<std::uint64_t> pending;
+    /** Ranges covered by TX_ADD in the open transaction. */
+    std::vector<AddrRange> txAdds;
+    bool tx_open = false;
+
+    std::vector<PreFailureFinding> findings;
+    std::set<std::string> dedupe;
+    auto report = [&](PreFailureFinding::Kind kind, Addr a,
+                      std::uint32_t size, trace::SrcLoc loc) {
+        std::string key = strprintf("%d|%s:%u", static_cast<int>(kind),
+                                    loc.file, loc.line);
+        if (!dedupe.insert(std::move(key)).second)
+            return;
+        findings.push_back(PreFailureFinding{kind, a, size, loc});
+    };
+
+    auto cell_of = [&](Addr a) { return (a - poolRange.begin) / gran; };
+
+    for (const auto &e : pre) {
+        switch (e.op) {
+          case Op::Write:
+          case Op::NtWrite: {
+            if (e.has(trace::flagImageOnly))
+                break;
+            bool user = e.has(trace::flagInRoi) &&
+                        !e.has(trace::flagInternal) &&
+                        !e.has(trace::flagSkipDetection);
+            // R2: user store inside a transaction must be snapshotted.
+            if (user && tx_open) {
+                bool covered = false;
+                for (const auto &r : txAdds) {
+                    if (r.begin <= e.addr &&
+                        e.addr + e.size <= r.end) {
+                        covered = true;
+                        break;
+                    }
+                }
+                if (!covered) {
+                    report(PreFailureFinding::Kind::UnloggedTxWrite,
+                           e.addr, e.size, e.loc);
+                }
+            }
+            std::uint64_t first = cell_of(e.addr);
+            std::uint64_t last = cell_of(e.addr + e.size - 1);
+            for (std::uint64_t c = first; c <= last; c++) {
+                CellInfo &ci = cells[c];
+                ci.state = e.op == Op::NtWrite ? CellState::Pending
+                                               : CellState::Modified;
+                ci.writerSeq = e.seq;
+                ci.inRoi = user;
+                if (e.op == Op::NtWrite)
+                    pending.push_back(c);
+            }
+            break;
+          }
+          case Op::Clwb:
+          case Op::ClflushOpt:
+          case Op::Clflush: {
+            std::uint64_t first = cell_of(e.addr);
+            std::uint64_t last = cell_of(e.addr + e.size - 1);
+            bool any_modified = false;
+            for (std::uint64_t c = first; c <= last; c++) {
+                auto it = cells.find(c);
+                if (it != cells.end() &&
+                    it->second.state == CellState::Modified) {
+                    any_modified = true;
+                    it->second.state = CellState::Pending;
+                    pending.push_back(c);
+                }
+            }
+            if (!any_modified && e.has(trace::flagInRoi) &&
+                !e.has(trace::flagInternal) &&
+                !e.has(trace::flagSkipDetection)) {
+                report(PreFailureFinding::Kind::RedundantFlush, e.addr,
+                       e.size, e.loc);
+            }
+            break;
+          }
+          case Op::Sfence:
+          case Op::Mfence:
+            for (std::uint64_t c : pending) {
+                auto it = cells.find(c);
+                if (it != cells.end() &&
+                    it->second.state == CellState::Pending) {
+                    it->second.state = CellState::Clean;
+                }
+            }
+            pending.clear();
+            break;
+          case Op::Free:
+            // Freed memory is exempt.
+            for (std::uint64_t c = cell_of(e.addr);
+                 c <= cell_of(e.addr + e.size - 1); c++) {
+                cells.erase(c);
+            }
+            break;
+          case Op::TxAdd:
+            txAdds.push_back(AddrRange{e.addr, e.addr + e.size});
+            break;
+          case Op::LibCall:
+            if (std::strcmp(e.label, trace::labels::txBegin) == 0) {
+                tx_open = true;
+                txAdds.clear();
+            } else if (std::strcmp(e.label,
+                                   trace::labels::txCommit) == 0 ||
+                       std::strcmp(e.label,
+                                   trace::labels::txAbort) == 0) {
+                tx_open = false;
+                txAdds.clear();
+            }
+            break;
+          default:
+            break;
+        }
+    }
+
+    // R1: RoI stores never written back by the end of execution.
+    for (const auto &[c, ci] : cells) {
+        if (ci.state != CellState::Clean && ci.inRoi) {
+            report(PreFailureFinding::Kind::UnpersistedAtEnd,
+                   poolRange.begin + c * gran, gran,
+                   pre[ci.writerSeq].loc);
+        }
+    }
+    return findings;
+}
+
+} // namespace xfd::core

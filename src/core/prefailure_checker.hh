@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Pre-failure-only crash-consistency checker — the baseline the paper
+ * compares against (Fig. 3: "Prior works [22, 42]" = pmemcheck and
+ * PMTest, which "only consider the pre-failure stage without testing
+ * both the pre- and post-failure stages holistically").
+ *
+ * The checker replays only the pre-failure trace and applies the
+ * rules those tools implement:
+ *  - R1 "unpersisted at end": a RoI store never written back by the
+ *    end of execution (pmemcheck's "stores not made persistent");
+ *  - R2 "unlogged transactional write": a store inside an active
+ *    transaction to a location not covered by any TX_ADD snapshot
+ *    (PMTest's transaction rule);
+ *  - R3 redundant flush (shared with XFDetector's performance bugs).
+ *
+ * By construction it cannot see the post-failure stage, so it
+ * reports a false positive on programs whose *recovery* makes the
+ * pre-failure laxity safe (the paper's recover_alt() example), and it
+ * misses bugs that only manifest across the failure (the paper's
+ * Figure 2 inverted-valid example).
+ */
+
+#ifndef XFD_CORE_PREFAILURE_CHECKER_HH
+#define XFD_CORE_PREFAILURE_CHECKER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/buffer.hh"
+
+namespace xfd::core
+{
+
+/** One baseline-checker finding. */
+struct PreFailureFinding
+{
+    enum class Kind : std::uint8_t
+    {
+        UnpersistedAtEnd,   ///< R1
+        UnloggedTxWrite,    ///< R2
+        RedundantFlush,     ///< R3
+    };
+
+    Kind kind;
+    Addr addr;
+    std::uint32_t size;
+    trace::SrcLoc writer;
+
+    std::string str() const;
+};
+
+/** @return short name of @p k. */
+const char *preFailureKindName(PreFailureFinding::Kind k);
+
+/**
+ * The baseline checker. Stateless between runs; check() replays one
+ * pre-failure trace and returns deduplicated findings.
+ */
+class PreFailureChecker
+{
+  public:
+    explicit PreFailureChecker(AddrRange pool);
+
+    std::vector<PreFailureFinding>
+    check(const trace::TraceBuffer &pre);
+
+  private:
+    AddrRange poolRange;
+};
+
+} // namespace xfd::core
+
+#endif // XFD_CORE_PREFAILURE_CHECKER_HH

@@ -1,0 +1,348 @@
+#include "core/shadow_pm.hh"
+
+#include "common/logging.hh"
+
+namespace xfd::core
+{
+
+const char *
+persistStateName(PersistState s)
+{
+    switch (s) {
+      case PersistState::Unmodified: return "Unmodified";
+      case PersistState::Modified: return "Modified";
+      case PersistState::WritebackPending: return "WritebackPending";
+      case PersistState::Persisted: return "Persisted";
+    }
+    return "?";
+}
+
+ShadowPM::ShadowPM(AddrRange pool, const DetectorConfig &c)
+    : poolRange(pool), cfg(c), gran(c.granularity)
+{
+    if (gran == 0 || (gran & (gran - 1)) != 0 || gran > cacheLineSize)
+        fatal("shadow granularity must be a power of two <= 64");
+}
+
+ShadowPM::Cell &
+ShadowPM::cellAt(std::uint64_t idx)
+{
+    auto &page = pages[idx / cellsPerPage];
+    if (!page)
+        page = std::make_unique<Page>();
+    return (*page)[idx % cellsPerPage];
+}
+
+const ShadowPM::Cell *
+ShadowPM::findCell(std::uint64_t idx) const
+{
+    auto it = pages.find(idx / cellsPerPage);
+    if (it == pages.end())
+        return nullptr;
+    return &(*it->second)[idx % cellsPerPage];
+}
+
+void
+ShadowPM::preWrite(Addr a, std::size_t n, std::uint32_t seq,
+                   bool non_temporal)
+{
+    if (n == 0)
+        return;
+    std::uint64_t first = cellIndex(a);
+    std::uint64_t count = cellCount(a, n);
+    for (std::uint64_t i = 0; i < count; i++) {
+        Cell &c = cellAt(first + i);
+        c.ps = non_temporal ? PersistState::WritebackPending
+                            : PersistState::Modified;
+        c.flags &= static_cast<std::uint8_t>(~cellUninit);
+        c.tlast = ts;
+        c.lastWriterSeq = seq;
+        if (non_temporal)
+            pendingCells.push_back(first + i);
+    }
+    // A write that overlaps a commit variable is a commit write Cx:
+    // it versions the consistency of the variable's address set.
+    for (auto &cv : commitVars) {
+        if (cv.var.overlaps({a, a + n})) {
+            cv.tprelast = cv.tlast;
+            cv.tlast = ts;
+        }
+    }
+}
+
+bool
+ShadowPM::preFlush(Addr line, std::uint32_t seq)
+{
+    (void)seq;
+    std::uint64_t first = cellIndex(line);
+    std::uint64_t count = cellCount(line, cacheLineSize);
+    bool any_modified = false;
+    for (std::uint64_t i = 0; i < count; i++) {
+        const Cell *c = findCell(first + i);
+        if (c && c->ps == PersistState::Modified)
+            any_modified = true;
+    }
+    if (!any_modified) {
+        // Fig. 9 yellow edges: flushing a line with nothing modified
+        // (clean, already pending, or already persisted) is redundant.
+        return true;
+    }
+    for (std::uint64_t i = 0; i < count; i++) {
+        Cell &c = cellAt(first + i);
+        if (c.ps == PersistState::Modified) {
+            c.ps = PersistState::WritebackPending;
+            pendingCells.push_back(first + i);
+        }
+    }
+    return false;
+}
+
+void
+ShadowPM::preFence()
+{
+    for (std::uint64_t idx : pendingCells) {
+        Cell &c = cellAt(idx);
+        if (c.ps == PersistState::WritebackPending)
+            c.ps = PersistState::Persisted;
+    }
+    pendingCells.clear();
+    // The global timestamp increments after each ordering point (§5.4).
+    ts++;
+}
+
+void
+ShadowPM::preAlloc(Addr a, std::size_t n, std::uint32_t seq)
+{
+    std::uint64_t first = cellIndex(a);
+    std::uint64_t count = cellCount(a, n);
+    for (std::uint64_t i = 0; i < count; i++) {
+        Cell &c = cellAt(first + i);
+        // Freshly allocated cells hold no guaranteed contents: the
+        // pre-failure program "creates an unmodified PM location that
+        // is read by the post-failure execution" (§6.3.2 bug 2).
+        c.ps = PersistState::Modified;
+        c.flags |= cellUninit;
+        c.tlast = ts;
+        c.lastWriterSeq = seq;
+    }
+}
+
+void
+ShadowPM::preFree(Addr a, std::size_t n)
+{
+    std::uint64_t first = cellIndex(a);
+    std::uint64_t count = cellCount(a, n);
+    for (std::uint64_t i = 0; i < count; i++) {
+        Cell &c = cellAt(first + i);
+        c = Cell{};
+    }
+}
+
+void
+ShadowPM::registerCommitVar(Addr a, std::size_t n)
+{
+    AddrRange r{a, a + n};
+    for (const auto &cv : commitVars) {
+        if (cv.var == r)
+            return;
+    }
+    commitVars.push_back(CommitVar{r, {}, -1, -1});
+}
+
+void
+ShadowPM::registerCommitRange(Addr cv_addr, Addr a, std::size_t n)
+{
+    for (auto &cv : commitVars) {
+        if (cv.var.contains(cv_addr)) {
+            AddrRange r{a, a + n};
+            for (const auto &existing : cv.ranges) {
+                if (existing == r)
+                    return;
+            }
+            // Condition (2): address sets of distinct commit variables
+            // must be disjoint.
+            for (const auto &other : commitVars) {
+                if (&other != &cv) {
+                    for (const auto &orng : other.ranges) {
+                        if (orng.overlaps(r))
+                            warn("commit ranges of two commit variables "
+                                 "overlap; behaviour is undefined");
+                    }
+                }
+            }
+            cv.ranges.push_back(r);
+            return;
+        }
+    }
+    warn("addCommitRange: no commit variable registered at %#llx",
+         static_cast<unsigned long long>(cv_addr));
+}
+
+const ShadowPM::CommitVar *
+ShadowPM::coveringVar(Addr a) const
+{
+    for (const auto &cv : commitVars) {
+        for (const auto &r : cv.ranges) {
+            if (r.contains(a))
+                return &cv;
+        }
+    }
+    // "By default, if there is only one commit variable and no object
+    // is specified, it covers all PM locations" (§5.2).
+    if (commitVars.size() == 1 && commitVars.front().ranges.empty())
+        return &commitVars.front();
+    return nullptr;
+}
+
+bool
+ShadowPM::isCommitVarAddr(Addr a) const
+{
+    for (const auto &cv : commitVars) {
+        if (cv.var.contains(a))
+            return true;
+    }
+    return false;
+}
+
+bool
+ShadowPM::consistentUnder(const Cell &c, const CommitVar &var) const
+{
+    // Paper condition (3): consistent iff the location was last
+    // modified between the last two commit writes.
+    return var.tprelast <= c.tlast && c.tlast < var.tlast;
+}
+
+void
+ShadowPM::beginPostReplay()
+{
+    postFlags.clear();
+    savedCommitVars = commitVars;
+    inPostReplay = true;
+}
+
+void
+ShadowPM::endPostReplay()
+{
+    if (!inPostReplay)
+        return;
+    commitVars = std::move(savedCommitVars);
+    savedCommitVars.clear();
+    inPostReplay = false;
+}
+
+void
+ShadowPM::postWrite(Addr a, std::size_t n)
+{
+    if (n == 0)
+        return;
+    std::uint64_t first = cellIndex(a);
+    std::uint64_t count = cellCount(a, n);
+    for (std::uint64_t i = 0; i < count; i++)
+        postFlags[first + i] |= postOverwritten;
+}
+
+ReadCheckResult
+ShadowPM::checkPostRead(Addr a, std::size_t n)
+{
+    ReadCheckResult res;
+    if (n == 0)
+        return res;
+    std::uint64_t first = cellIndex(a);
+    std::uint64_t count = cellCount(a, n);
+    bool benign_seen = false;
+    for (std::uint64_t i = 0; i < count; i++) {
+        std::uint64_t idx = first + i;
+        Addr cell_addr = poolRange.begin + idx * gran;
+
+        // Reading a commit variable is a benign cross-failure race.
+        if (isCommitVarAddr(cell_addr)) {
+            benign_seen = true;
+            continue;
+        }
+
+        auto pf = postFlags.find(idx);
+        std::uint8_t pflags = pf == postFlags.end() ? 0 : pf->second;
+        if (pflags & postOverwritten)
+            continue;
+        if (cfg.firstReadOnly && (pflags & postChecked)) {
+            nSkipped++;
+            continue;
+        }
+        postFlags[idx] |= postChecked;
+
+        const Cell *c = findCell(idx);
+        if (!c || c->ps == PersistState::Unmodified) {
+            // Untouched pre-failure: initial data, consistent.
+            nChecks++;
+            continue;
+        }
+        nChecks++;
+
+        if (res.verdict == ReadCheck::Race ||
+            res.verdict == ReadCheck::SemanticBug) {
+            // Already found the first offending cell; keep scanning
+            // only to mark the remaining cells as checked.
+            continue;
+        }
+
+        if (c->flags & cellUninit) {
+            // Allocated but never explicitly written by the program:
+            // implicit allocator zeroing (even persisted) is not
+            // initialization the program may rely on (§6.3.2 bug 2).
+            res.verdict = ReadCheck::Race;
+            res.addr = cell_addr;
+            res.writerSeq = c->lastWriterSeq;
+            res.uninitialized = true;
+            continue;
+        }
+
+        const CommitVar *var = coveringVar(cell_addr);
+
+        // Check consistency first: "reading a consistent location is
+        // certainly bug-free" (§5.4) — unless the strict extension is
+        // enabled, which additionally requires persistence.
+        bool consistent = var && consistentUnder(*c, *var);
+        if (consistent &&
+            !(cfg.strictPersistCheck && c->ps != PersistState::Persisted)) {
+            continue;
+        }
+
+        bool persisted = c->ps == PersistState::Persisted;
+        if (!persisted) {
+            res.verdict = ReadCheck::Race;
+            res.addr = cell_addr;
+            res.writerSeq = c->lastWriterSeq;
+            res.uninitialized = (c->flags & cellUninit) != 0;
+            continue;
+        }
+        if (var) {
+            res.verdict = ReadCheck::SemanticBug;
+            res.addr = cell_addr;
+            res.writerSeq = c->lastWriterSeq;
+            // Stale: last modified before even the pre-last commit
+            // write; uncommitted: modified at/after the last one.
+            res.stale = c->tlast < var->tprelast;
+            continue;
+        }
+        // Persisted and not governed by any commit variable: fine.
+    }
+    if (benign_seen && res.verdict == ReadCheck::Ok)
+        res.verdict = ReadCheck::Benign;
+    return res;
+}
+
+PersistState
+ShadowPM::persistStateOf(Addr a) const
+{
+    const Cell *c = findCell(cellIndex(a));
+    return c ? c->ps : PersistState::Unmodified;
+}
+
+std::int32_t
+ShadowPM::tlastOf(Addr a) const
+{
+    const Cell *c = findCell(cellIndex(a));
+    return c ? c->tlast : -1;
+}
+
+} // namespace xfd::core

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Shadow persistent memory — the backend's model of PM state.
+ *
+ * Per paper §5.4, the shadow PM records for every PM location:
+ *  - a persistence state {Unmodified, Modified, WritebackPending,
+ *    Persisted} driven by WRITE/CLWB/SFENCE (Fig. 9),
+ *  - a consistency state versus the program's commit variables
+ *    (Fig. 10), which we evaluate with the paper's timestamp condition
+ *    (3): a location m in commit set Sx is consistent iff
+ *    T(Cx,n-1) <= Tlast(m) < T(Cx,n),
+ *  - the timestamp Tlast of its last modification, where the global
+ *    timestamp increments at each ordering point.
+ *
+ * The pre-failure trace is replayed incrementally (state carries over
+ * from one failure point to the next); each post-failure trace is
+ * replayed against a lightweight overlay so the pre-failure state is
+ * never disturbed.
+ */
+
+#ifndef XFD_CORE_SHADOW_PM_HH
+#define XFD_CORE_SHADOW_PM_HH
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/bug_report.hh"
+#include "core/config.hh"
+#include "trace/entry.hh"
+
+namespace xfd::core
+{
+
+/** Persistence state of a shadow cell (paper Fig. 9). */
+enum class PersistState : std::uint8_t
+{
+    Unmodified,       ///< never written inside the traced execution
+    Modified,         ///< written; no writeback issued
+    WritebackPending, ///< CLWB/CLFLUSH issued; fence not yet reached
+    Persisted,        ///< written back and fenced
+};
+
+/** @return short name of @p s. */
+const char *persistStateName(PersistState s);
+
+/** Outcome of checking one post-failure read. */
+enum class ReadCheck : std::uint8_t
+{
+    Ok,            ///< consistent (or untouched / overwritten post-failure)
+    Benign,        ///< read of a commit variable: benign cross-failure race
+    Race,          ///< cross-failure race (not guaranteed persisted)
+    SemanticBug,   ///< cross-failure semantic bug (persisted but stale or
+                   ///< uncommitted per the commit-variable protocol)
+    Skipped,       ///< first-read-only optimization suppressed the check
+};
+
+/** Detailed result of a post-failure read check. */
+struct ReadCheckResult
+{
+    ReadCheck verdict = ReadCheck::Ok;
+    /** First offending cell address. */
+    Addr addr = 0;
+    /** Pre-failure trace seq of the last writer (or allocation). */
+    std::uint32_t writerSeq = noSeq;
+    /** True when the location was allocated but never initialized. */
+    bool uninitialized = false;
+    /** True when semantically inconsistent because stale (vs. uncommitted). */
+    bool stale = false;
+
+    static constexpr std::uint32_t noSeq = 0xffffffffu;
+};
+
+/**
+ * The shadow PM. One instance lives for a whole detection campaign;
+ * pre-failure replay mutates it, post-failure replay reads it through
+ * an overlay.
+ */
+class ShadowPM
+{
+  public:
+    ShadowPM(AddrRange pool, const DetectorConfig &cfg);
+
+    /**
+     * @name Pre-failure replay
+     * @{
+     */
+
+    /** Apply a pre-failure write of [a, a+n), trace position @p seq. */
+    void preWrite(Addr a, std::size_t n, std::uint32_t seq,
+                  bool nonTemporal);
+
+    /**
+     * Apply a CLWB/CLFLUSH of one cache line.
+     * @return true when the flush was redundant (no modified data in
+     *         the line) — a performance bug (Fig. 9 yellow edges).
+     */
+    bool preFlush(Addr line, std::uint32_t seq);
+
+    /** Apply an SFENCE/MFENCE: pending writebacks become persisted. */
+    void preFence();
+
+    /** Record a persistent allocation: cells become uninitialized. */
+    void preAlloc(Addr a, std::size_t n, std::uint32_t seq);
+
+    /** Record a deallocation: cells return to Unmodified. */
+    void preFree(Addr a, std::size_t n);
+
+    /** Register a commit variable at [a, a+n). Idempotent. */
+    void registerCommitVar(Addr a, std::size_t n);
+
+    /** Associate [a, a+n) with the commit variable at @p cv. */
+    void registerCommitRange(Addr cv, Addr a, std::size_t n);
+
+    /** @} */
+
+    /**
+     * @name Post-failure replay
+     * @{
+     */
+
+    /**
+     * Reset the post-failure overlay (call per failure point).
+     * Commit-variable registrations made while the overlay is active
+     * are scoped to it: post-failure code may allocate objects at
+     * addresses the pre-failure execution later uses differently.
+     */
+    void beginPostReplay();
+
+    /** Drop post-replay-scoped state (registrations). */
+    void endPostReplay();
+
+    /**
+     * Apply a post-failure write: the location is overwritten, so
+     * later post-failure reads of it are unconditionally fine (§5.4:
+     * inconsistencies it introduces are caught when this code later
+     * runs as the pre-failure stage).
+     */
+    void postWrite(Addr a, std::size_t n);
+
+    /** Check a post-failure read of [a, a+n) (paper Fig. 11 rules). */
+    ReadCheckResult checkPostRead(Addr a, std::size_t n);
+
+    /** @} */
+
+    /** Current global timestamp (increments per ordering point). */
+    std::int32_t timestamp() const { return ts; }
+
+    /** Number of registered commit variables. */
+    std::size_t commitVarCount() const { return commitVars.size(); }
+
+    /** Statistics: post-read checks actually performed / elided. */
+    std::size_t checksPerformed() const { return nChecks; }
+    std::size_t checksSkipped() const { return nSkipped; }
+
+    /** Introspection for tests: persistence state of address @p a. */
+    PersistState persistStateOf(Addr a) const;
+
+    /** Introspection for tests: Tlast of address @p a (-1 if never). */
+    std::int32_t tlastOf(Addr a) const;
+
+  private:
+    /** Per-cell record (granularity cfg.granularity bytes). */
+    struct Cell
+    {
+        PersistState ps = PersistState::Unmodified;
+        std::uint8_t flags = 0;
+        std::int32_t tlast = -1;
+        std::uint32_t lastWriterSeq = ReadCheckResult::noSeq;
+    };
+
+    enum CellFlags : std::uint8_t
+    {
+        cellUninit = 1 << 0,   ///< allocated, never explicitly written
+    };
+
+    /** Post-overlay flags. */
+    enum PostFlags : std::uint8_t
+    {
+        postOverwritten = 1 << 0,
+        postChecked = 1 << 1,
+    };
+
+    /** A commit variable and its associated address set Sx. */
+    struct CommitVar
+    {
+        AddrRange var;
+        std::vector<AddrRange> ranges;
+        std::int32_t tlast = -1;    ///< ts of the last commit write
+        std::int32_t tprelast = -1; ///< ts of the pre-last commit write
+    };
+
+    static constexpr std::size_t cellsPerPage = 4096;
+    using Page = std::array<Cell, cellsPerPage>;
+
+    std::uint64_t
+    cellIndex(Addr a) const
+    {
+        return (a - poolRange.begin) / gran;
+    }
+
+    /** Cell count covering [a, a+n). */
+    std::uint64_t
+    cellCount(Addr a, std::size_t n) const
+    {
+        if (n == 0)
+            return 0;
+        return cellIndex(a + n - 1) - cellIndex(a) + 1;
+    }
+
+    Cell &cellAt(std::uint64_t idx);
+    const Cell *findCell(std::uint64_t idx) const;
+
+    /** The commit variable covering @p a, or nullptr. */
+    const CommitVar *coveringVar(Addr a) const;
+
+    /** Whether @p a lies inside any commit variable itself. */
+    bool isCommitVarAddr(Addr a) const;
+
+    /** Evaluate paper condition (3) for a cell under @p var. */
+    bool consistentUnder(const Cell &c, const CommitVar &var) const;
+
+    AddrRange poolRange;
+    const DetectorConfig &cfg;
+    unsigned gran;
+    std::int32_t ts = 0;
+
+    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages;
+    /** Cells with a writeback pending, resolved at the next fence. */
+    std::vector<std::uint64_t> pendingCells;
+    std::vector<CommitVar> commitVars;
+    /** commitVars as of beginPostReplay, restored by endPostReplay. */
+    std::vector<CommitVar> savedCommitVars;
+    bool inPostReplay = false;
+    std::unordered_map<std::uint64_t, std::uint8_t> postFlags;
+
+    std::size_t nChecks = 0;
+    std::size_t nSkipped = 0;
+};
+
+} // namespace xfd::core
+
+#endif // XFD_CORE_SHADOW_PM_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Byte-exact snapshot of a PM pool's contents.
+ *
+ * The failure injector materializes, for each injected failure point,
+ * the PM image the post-failure stage runs on. Per the paper's design
+ * (footnote 3) the image contains *all* pre-failure updates, including
+ * ones not yet persisted — persistence is tracked by the shadow PM, not
+ * by dropping bytes from the image.
+ */
+
+#ifndef XFD_PM_IMAGE_HH
+#define XFD_PM_IMAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace xfd::pm
+{
+
+class PmPool;
+
+/** A snapshot of pool contents plus its base address. */
+class PmImage
+{
+  public:
+    PmImage() = default;
+    PmImage(Addr base, std::vector<std::uint8_t> bytes);
+
+    Addr base() const { return baseAddr; }
+    std::size_t size() const { return bytes.size(); }
+    bool empty() const { return bytes.empty(); }
+
+    const std::uint8_t *data() const { return bytes.data(); }
+    std::uint8_t *data() { return bytes.data(); }
+
+    /** Apply a write of @p n bytes from @p src at PM address @p a. */
+    void applyWrite(Addr a, const void *src, std::size_t n);
+
+    /** Copy this image's bytes into @p pool (sizes must match). */
+    void copyTo(PmPool &pool) const;
+
+  private:
+    Addr baseAddr = 0;
+    std::vector<std::uint8_t> bytes;
+};
+
+} // namespace xfd::pm
+
+#endif // XFD_PM_IMAGE_HH

@@ -1,0 +1,31 @@
+#include "pm/pool.hh"
+
+#include "pm/image.hh"
+
+namespace xfd::pm
+{
+
+PmPool::PmPool(std::size_t size, Addr base)
+    : baseAddr(base), bytes(size, 0)
+{
+    if (size == 0)
+        fatal("PM pool size must be nonzero");
+    if (base % cacheLineSize != 0)
+        fatal("PM pool base must be cache-line aligned");
+}
+
+PmImage
+PmPool::snapshot() const
+{
+    return PmImage(baseAddr, bytes);
+}
+
+void
+PmPool::restore(const PmImage &img)
+{
+    if (img.size() != bytes.size() || img.base() != baseAddr)
+        panic("restoring mismatched PM image");
+    std::memcpy(bytes.data(), img.data(), bytes.size());
+}
+
+} // namespace xfd::pm

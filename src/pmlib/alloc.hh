@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Persistent heap allocator.
+ *
+ * Provides the two allocation idioms the paper's workloads use:
+ *  - palloc()/pfree(): raw allocation used inside transactions;
+ *  - allocAtomic(): PMDK POBJ_ALLOC-style atomic allocation that
+ *    zeroes the object and publishes it by atomically persisting a
+ *    target pointer.
+ *
+ * The allocator zero-fills new blocks, but — exactly as the paper
+ * argues for PMDK's zeroing allocator (§6.3.2 bug 2) — programs must
+ * not rely on that: the zero-fill reaches the PM image only, so the
+ * detector still flags post-failure reads of never-initialized cells.
+ */
+
+#ifndef XFD_PMLIB_ALLOC_HH
+#define XFD_PMLIB_ALLOC_HH
+
+#include "pm/pool.hh"
+#include "pmlib/layout.hh"
+#include "trace/runtime.hh"
+
+namespace xfd::pmlib
+{
+
+/** Free-list + bump allocator over the pool heap. */
+class PAllocator
+{
+  public:
+    /**
+     * @param rt tracing runtime bound to the pool
+     * @param base pool base address
+     */
+    PAllocator(trace::PmRuntime &rt, Addr base);
+
+    /** Format allocator metadata (called by ObjPool::create). */
+    void format(std::size_t heap_size);
+
+    /**
+     * Allocate @p n bytes (rounded up to 16); zero-filled.
+     * @param loc caller location recorded as the allocation site
+     * @return PM address of the block, or 0 when out of memory
+     */
+    Addr palloc(std::size_t n, trace::SrcLoc loc = trace::here());
+
+    /** Free a block previously returned by palloc(). */
+    void pfree(Addr a, trace::SrcLoc loc = trace::here());
+
+    /**
+     * POBJ_ALLOC-style atomic allocation: allocates, runs the
+     * caller's constructor on the (zeroed) object, persists the
+     * contents, then atomically sets and persists @p target.
+     *
+     * @param init constructor called as init(rt, host_ptr) *before*
+     *             the object is published; its writes are ordinary
+     *             user-level traced writes, as with PMDK's
+     *             pmemobj_alloc constructor callback
+     */
+    template <typename T, typename Init>
+    bool
+    allocAtomic(pm::PPtr<T> &target, std::size_t n, Init init,
+                trace::SrcLoc loc = trace::here())
+    {
+        Addr a = palloc(n, loc);
+        if (!a)
+            return false;
+        void *host = rt.pool().toHost(a);
+        init(rt, static_cast<T *>(host));
+        trace::LibScope lib(rt, "palloc_atomic", loc);
+        rt.persistBarrier(host, n, loc);
+        // Publish: PMDK performs this pointer update through an
+        // internal redo log, so it is failure-atomic — either the old
+        // or the new (persisted) value is ever observable. We model
+        // that guarantee by excluding failure points from the publish
+        // window.
+        {
+            trace::SkipFailureScope atomic(rt, loc);
+            rt.store(target, pm::PPtr<T>(a), loc);
+            rt.persistBarrier(&target, sizeof(target), loc);
+        }
+        return true;
+    }
+
+    /** allocAtomic() with no constructor (contents implicitly zero). */
+    template <typename T>
+    bool
+    allocAtomic(pm::PPtr<T> &target, std::size_t n,
+                trace::SrcLoc loc = trace::here())
+    {
+        return allocAtomic(target, n, [](trace::PmRuntime &, T *) {},
+                           loc);
+    }
+
+    /** Usable size of the block at @p a. */
+    std::size_t blockSize(Addr a) const;
+
+    /** Bytes of heap consumed by the bump frontier (stats). */
+    std::size_t bumpUsed() const;
+
+  private:
+    AllocHeader *hdr();
+    const AllocHeader *hdr() const;
+
+    trace::PmRuntime &rt;
+    Addr base;
+};
+
+} // namespace xfd::pmlib
+
+#endif // XFD_PMLIB_ALLOC_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Failure-atomic single-field update — the building block PMDK's
+ * "atomic" API (POBJ_LIST_INSERT, pmemobj_list_*) provides via an
+ * internal redo log. Either the old or the new, persisted value is
+ * ever observable after a failure, so the publish window is excluded
+ * from failure injection (the library guarantees it, exactly as the
+ * paper trusts PMDK internals at function granularity).
+ */
+
+#ifndef XFD_PMLIB_ATOMIC_HH
+#define XFD_PMLIB_ATOMIC_HH
+
+#include "trace/runtime.hh"
+
+namespace xfd::pmlib
+{
+
+/** Atomically (w.r.t. failure) store and persist one field. */
+template <typename T>
+void
+atomicStore(trace::PmRuntime &rt, T &field, const T &value,
+            trace::SrcLoc loc = trace::here())
+{
+    trace::LibScope lib(rt, "atomic_store", loc);
+    trace::SkipFailureScope atomic(rt, loc);
+    rt.store(field, value, loc);
+    rt.persistBarrier(&field, sizeof(T), loc);
+}
+
+} // namespace xfd::pmlib
+
+#endif // XFD_PMLIB_ATOMIC_HH

@@ -1,0 +1,99 @@
+#include "pmlib/checkpoint.hh"
+
+#include "common/logging.hh"
+
+namespace xfd::pmlib
+{
+
+Checkpointer::Checkpointer(ObjPool &p, Addr area_addr, Addr data_addr,
+                           std::size_t data_size)
+    : pool(p), areaAddr(area_addr), dataAddr(data_addr),
+      dataSize(data_size)
+{
+    if (data_size == 0)
+        fatal("checkpointer: empty data region");
+}
+
+Checkpointer::Header *
+Checkpointer::header()
+{
+    return static_cast<Header *>(
+        pool.pm().toHost(areaAddr, sizeof(Header)));
+}
+
+Addr
+Checkpointer::slotAddr(unsigned idx) const
+{
+    return areaAddr + headerSize + idx * dataSize;
+}
+
+void
+Checkpointer::annotate(trace::SrcLoc loc)
+{
+    trace::PmRuntime &rt = pool.runtime();
+    Header *h = header();
+    rt.addCommitVar(h->generation, loc);
+    rt.addCommitRange(h->generation,
+                      pool.pm().toHost(slotAddr(0), dataSize), dataSize,
+                      loc);
+    rt.addCommitRange(h->generation,
+                      pool.pm().toHost(slotAddr(1), dataSize), dataSize,
+                      loc);
+}
+
+void
+Checkpointer::format(trace::SrcLoc loc)
+{
+    trace::PmRuntime &rt = pool.runtime();
+    pm::PmPool &pm = pool.pm();
+    trace::LibScope lib(rt, "ckpt_format", loc);
+    Header *h = header();
+    rt.store(h->dataSize, static_cast<std::uint64_t>(dataSize), loc);
+    // Generation 0: slot 0 snapshots the initial live data.
+    rt.copyToPm(pm.toHost(slotAddr(0), dataSize),
+                pm.toHost(dataAddr, dataSize), dataSize, loc);
+    rt.persistBarrier(pm.toHost(slotAddr(0), dataSize), dataSize, loc);
+    rt.store(h->generation, std::uint64_t{0}, loc);
+    rt.persistBarrier(&h->generation, sizeof(h->generation), loc);
+}
+
+void
+Checkpointer::checkpoint(trace::SrcLoc loc)
+{
+    trace::PmRuntime &rt = pool.runtime();
+    pm::PmPool &pm = pool.pm();
+    trace::LibScope lib(rt, "ckpt_take", loc);
+    Header *h = header();
+    std::uint64_t gen = rt.load(h->generation, loc);
+    unsigned next = static_cast<unsigned>((gen + 1) & 1);
+    rt.copyToPm(pm.toHost(slotAddr(next), dataSize),
+                pm.toHost(dataAddr, dataSize), dataSize, loc);
+    rt.persistBarrier(pm.toHost(slotAddr(next), dataSize), dataSize,
+                      loc);
+    // Commit write: the new generation names the fresh slot.
+    rt.store(h->generation, gen + 1, loc);
+    rt.persistBarrier(&h->generation, sizeof(h->generation), loc);
+}
+
+void
+Checkpointer::restore(trace::SrcLoc loc)
+{
+    trace::PmRuntime &rt = pool.runtime();
+    pm::PmPool &pm = pool.pm();
+    trace::LibScope lib(rt, "ckpt_restore", loc);
+    Header *h = header();
+    // Benign cross-failure race: the generation picks the slot.
+    std::uint64_t gen = rt.load(h->generation, loc);
+    unsigned cur = static_cast<unsigned>(gen & 1);
+    rt.copyToPm(pm.toHost(dataAddr, dataSize),
+                pm.toHost(slotAddr(cur), dataSize), dataSize, loc);
+    rt.persistBarrier(pm.toHost(dataAddr, dataSize), dataSize, loc);
+}
+
+std::uint64_t
+Checkpointer::generation(trace::SrcLoc loc)
+{
+    return pool.runtime().load(header()->generation, loc);
+}
+
+} // namespace xfd::pmlib

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * On-"media" layout of an xfd::pmlib object pool.
+ *
+ * Mirrors the parts of PMDK's libpmemobj layout the paper's workloads
+ * depend on: a pool header with layout name and checksum (whose
+ * non-failure-atomic creation is §6.3.2 bug 4), a single-threaded undo
+ * log for transactions, allocator metadata, a root object, and a heap.
+ */
+
+#ifndef XFD_PMLIB_LAYOUT_HH
+#define XFD_PMLIB_LAYOUT_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace xfd::pmlib
+{
+
+/** Pool-header magic ("XFDPOOL1"). */
+constexpr std::uint64_t poolMagic = 0x314c4f4f50444658ull;
+
+/** Fixed offsets within a pool (all cache-line aligned). */
+constexpr std::size_t headerOff = 0;
+constexpr std::size_t txLogOff = 4096;
+constexpr std::size_t allocOff = 294912;
+constexpr std::size_t rootOff = 299008;
+constexpr std::size_t heapOff = 327680;
+
+/** Pool metadata, written by ObjPool::create / validated by open. */
+struct PoolHeader
+{
+    std::uint64_t magic;
+    char layout[24];
+    std::uint64_t uuid;
+    std::uint64_t poolSize;
+    std::uint64_t rootOffset;
+    std::uint64_t rootSize;
+    std::uint64_t heapOffset;
+    std::uint64_t heapSize;
+    /** Checksum over all prior fields; written/persisted last. */
+    std::uint64_t checksum;
+};
+
+static_assert(sizeof(PoolHeader) <= 4096);
+
+/** One undo-log slot; large TX_ADD ranges are chunked across slots. */
+struct TxEntry
+{
+    std::uint64_t addr;
+    std::uint64_t size;
+    std::uint8_t data[512];
+};
+
+constexpr std::size_t txEntryCapacity = sizeof(TxEntry::data);
+constexpr std::size_t txMaxEntries = 512;
+
+/** Undo-log header: `active` is the log's validity/commit variable. */
+struct TxLogHeader
+{
+    std::uint32_t active;
+    std::uint32_t numEntries;
+    TxEntry entries[txMaxEntries];
+};
+
+static_assert(txLogOff + sizeof(TxLogHeader) <= allocOff);
+
+/** Allocator metadata: bump frontier plus a singly-linked free list. */
+struct AllocHeader
+{
+    std::uint64_t bumpOff;  ///< next unused heap offset
+    std::uint64_t freeHead; ///< PM address of first free block (0=none)
+};
+
+/** Per-block header preceding every heap allocation. */
+struct BlockHeader
+{
+    std::uint64_t size; ///< usable bytes (excluding this header)
+    std::uint64_t next; ///< free-list link while free
+};
+
+/** FNV-1a over a byte range; used for the pool-header checksum. */
+inline std::uint64_t
+fnv1a(const void *p, std::size_t n)
+{
+    const auto *b = static_cast<const std::uint8_t *>(p);
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < n; i++) {
+        h ^= b[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace xfd::pmlib
+
+#endif // XFD_PMLIB_LAYOUT_HH

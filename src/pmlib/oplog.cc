@@ -1,0 +1,109 @@
+#include "pmlib/oplog.hh"
+
+#include "common/logging.hh"
+
+namespace xfd::pmlib
+{
+
+OpLog::OpLog(ObjPool &p, Addr area_addr) : pool(p), areaAddr(area_addr)
+{
+}
+
+OpLogArea *
+OpLog::area()
+{
+    return static_cast<OpLogArea *>(
+        pool.pm().toHost(areaAddr, sizeof(OpLogArea)));
+}
+
+void
+OpLog::format(trace::SrcLoc loc)
+{
+    trace::PmRuntime &rt = pool.runtime();
+    trace::LibScope lib(rt, "oplog_format", loc);
+    OpLogArea *a = area();
+    rt.store(a->committed, std::uint64_t{0}, loc);
+    rt.store(a->applied, std::uint64_t{0}, loc);
+    rt.persistBarrier(a, 16, loc);
+}
+
+void
+OpLog::append(const LoggedOp &op, trace::SrcLoc loc)
+{
+    trace::PmRuntime &rt = pool.runtime();
+    trace::LibScope lib(rt, "oplog_append", loc);
+    OpLogArea *a = area();
+    std::uint64_t n = rt.load(a->committed, loc);
+    std::uint64_t slot = n % opLogMaxEntries;
+    std::uint64_t applied = rt.load(a->applied, loc);
+    if (n - applied >= opLogMaxEntries)
+        panic("operation log full");
+    rt.store(a->ops[slot].opcode, op.opcode, loc);
+    rt.store(a->ops[slot].arg0, op.arg0, loc);
+    rt.store(a->ops[slot].arg1, op.arg1, loc);
+    rt.persistBarrier(&a->ops[slot], sizeof(LoggedOp), loc);
+    // Commit write: the operation is now durable.
+    rt.store(a->committed, n + 1, loc);
+    rt.persistBarrier(&a->committed, sizeof(a->committed), loc);
+}
+
+void
+OpLog::markApplied(trace::SrcLoc loc)
+{
+    trace::PmRuntime &rt = pool.runtime();
+    trace::LibScope lib(rt, "oplog_mark_applied", loc);
+    OpLogArea *a = area();
+    rt.store(a->applied, rt.load(a->committed, loc), loc);
+    rt.persistBarrier(&a->applied, sizeof(a->applied), loc);
+}
+
+void
+OpLog::replay(const std::function<void(const LoggedOp &)> &execute,
+              trace::SrcLoc loc)
+{
+    trace::PmRuntime &rt = pool.runtime();
+    OpLogArea *a = area();
+    // Benign commit-variable reads pick the replay window.
+    std::uint64_t committed;
+    std::uint64_t applied;
+    {
+        trace::LibScope lib(rt, "oplog_replay", loc);
+        committed = rt.load(a->committed, loc);
+        applied = rt.load(a->applied, loc);
+    }
+    if (committed < applied || committed - applied > opLogMaxEntries) {
+        throw trace::PostFailureAbort{
+            "oplog recovery: corrupted committed/applied counts", loc};
+    }
+    for (std::uint64_t i = applied; i < committed; i++) {
+        LoggedOp op;
+        {
+            trace::LibScope lib(rt, "oplog_fetch", loc);
+            std::uint64_t slot = i % opLogMaxEntries;
+            op.opcode = rt.load(a->ops[slot].opcode, loc);
+            op.arg0 = rt.load(a->ops[slot].arg0, loc);
+            op.arg1 = rt.load(a->ops[slot].arg1, loc);
+        }
+        // The handler runs as ordinary (detectable) recovery code.
+        execute(op);
+    }
+    markApplied(loc);
+}
+
+std::uint64_t
+OpLog::committedCount(trace::SrcLoc loc)
+{
+    trace::LibScope lib(pool.runtime(), "oplog_count", loc);
+    return pool.runtime().load(area()->committed, loc);
+}
+
+std::uint64_t
+OpLog::pendingCount(trace::SrcLoc loc)
+{
+    trace::PmRuntime &rt = pool.runtime();
+    trace::LibScope lib(rt, "oplog_pending", loc);
+    OpLogArea *a = area();
+    return rt.load(a->committed, loc) - rt.load(a->applied, loc);
+}
+
+} // namespace xfd::pmlib

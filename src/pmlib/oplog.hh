@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Operational logging (paper Table 1, row "Operational logging"):
+ * operations — not data — are logged before execution; after a
+ * failure, recovery re-executes the committed operations to overwrite
+ * whatever an interrupted operation left behind ("Logged operations
+ * are consistent.").
+ *
+ * The committed-count field is the commit variable; operations must
+ * be idempotent (recovery may re-execute ones that completed).
+ */
+
+#ifndef XFD_PMLIB_OPLOG_HH
+#define XFD_PMLIB_OPLOG_HH
+
+#include <functional>
+
+#include "pmlib/objpool.hh"
+#include "trace/runtime.hh"
+
+namespace xfd::pmlib
+{
+
+/** One logged operation: an opcode and two operands. */
+struct LoggedOp
+{
+    std::uint64_t opcode;
+    std::uint64_t arg0;
+    std::uint64_t arg1;
+};
+
+constexpr std::size_t opLogMaxEntries = 256;
+
+/** Persistent operation log. */
+struct OpLogArea
+{
+    /** Operations committed (appended and persisted). */
+    std::uint64_t committed;
+    /** Operations whose effects are fully persisted (truncate mark). */
+    std::uint64_t applied;
+    LoggedOp ops[opLogMaxEntries];
+};
+
+/** Append/replay interface over an OpLogArea in the pool. */
+class OpLog
+{
+  public:
+    OpLog(ObjPool &pool, Addr area_addr);
+
+    static constexpr std::size_t areaSize() { return sizeof(OpLogArea); }
+
+    /** Zero-initialize the log. */
+    void format(trace::SrcLoc loc = trace::here());
+
+    /**
+     * Log an operation (persisted, then committed) *before* its
+     * effects are applied to the data structures.
+     */
+    void append(const LoggedOp &op, trace::SrcLoc loc = trace::here());
+
+    /**
+     * Mark every committed operation's effects as fully persisted;
+     * recovery will not re-execute them.
+     */
+    void markApplied(trace::SrcLoc loc = trace::here());
+
+    /**
+     * Recovery: re-execute each committed-but-not-applied operation
+     * through @p execute, then mark the log applied.
+     */
+    void replay(const std::function<void(const LoggedOp &)> &execute,
+                trace::SrcLoc loc = trace::here());
+
+    /** Committed operation count (benign commit-variable read). */
+    std::uint64_t committedCount(trace::SrcLoc loc = trace::here());
+
+    /** Pending (committed - applied) operation count. */
+    std::uint64_t pendingCount(trace::SrcLoc loc = trace::here());
+
+  private:
+    OpLogArea *area();
+
+    ObjPool &pool;
+    Addr areaAddr;
+};
+
+} // namespace xfd::pmlib
+
+#endif // XFD_PMLIB_OPLOG_HH

@@ -1,0 +1,133 @@
+#include "pmlib/redo.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace xfd::pmlib
+{
+
+RedoTx::RedoTx(ObjPool &p, Addr area_addr, trace::SrcLoc loc)
+    : pool(p), areaAddr(area_addr)
+{
+    trace::PmRuntime &rt = pool.runtime();
+    trace::LibScope lib(rt, "redo_begin", loc);
+    RedoArea *a = area();
+    // A fresh transaction must not inherit a sealed log: recovery has
+    // to run first (ObjPool users call RedoTx::recover on open).
+    if (rt.load(a->sealedCount, loc) != 0)
+        panic("redo area has a sealed log; run recover() first");
+}
+
+RedoTx::~RedoTx()
+{
+    if (!finished)
+        abort();
+}
+
+RedoArea *
+RedoTx::area()
+{
+    return static_cast<RedoArea *>(
+        pool.pm().toHost(areaAddr, sizeof(RedoArea)));
+}
+
+void
+RedoTx::stage(void *dst, const void *src, std::size_t n,
+              trace::SrcLoc loc)
+{
+    if (finished)
+        panic("stage() on a finished redo transaction");
+    trace::PmRuntime &rt = pool.runtime();
+    pm::PmPool &pm = rt.pool();
+    Addr daddr = pm.toAddr(dst);
+
+    trace::LibScope lib(rt, "redo_stage", loc);
+    RedoArea *a = area();
+    std::size_t off = 0;
+    const auto *bytes = static_cast<const std::uint8_t *>(src);
+    while (off < n) {
+        std::size_t chunk = std::min(n - off, redoEntryCapacity);
+        if (staged >= redoMaxEntries)
+            panic("redo log full (%u entries)", staged);
+        RedoEntry &e = a->entries[staged];
+        rt.store(e.addr, static_cast<std::uint64_t>(daddr + off), loc);
+        rt.store(e.size, static_cast<std::uint64_t>(chunk), loc);
+        rt.copyToPm(e.data, bytes + off, chunk, loc);
+        rt.persistBarrier(&e, sizeof(RedoEntry), loc);
+        staged++;
+        off += chunk;
+    }
+}
+
+void
+RedoTx::commit(trace::SrcLoc loc)
+{
+    if (finished)
+        return;
+    finished = true;
+    trace::PmRuntime &rt = pool.runtime();
+    pm::PmPool &pm = rt.pool();
+    trace::LibScope lib(rt, "redo_commit", loc);
+    RedoArea *a = area();
+
+    // Seal: persisting the count is the commit point.
+    rt.store(a->sealedCount, staged, loc);
+    rt.persistBarrier(&a->sealedCount, sizeof(a->sealedCount), loc);
+
+    // Apply home and retire. A failure anywhere in here re-applies
+    // the sealed log on recovery (idempotent writes).
+    for (std::uint32_t i = 0; i < staged; i++) {
+        std::uint64_t daddr = rt.load(a->entries[i].addr, loc);
+        std::uint64_t sz = rt.load(a->entries[i].size, loc);
+        rt.copyToPm(pm.toHost(daddr, sz), a->entries[i].data, sz, loc);
+        rt.persistBarrier(pm.toHost(daddr, sz), sz, loc);
+    }
+    rt.store(a->sealedCount, 0u, loc);
+    rt.persistBarrier(&a->sealedCount, sizeof(a->sealedCount), loc);
+}
+
+void
+RedoTx::abort(trace::SrcLoc loc)
+{
+    if (finished)
+        return;
+    finished = true;
+    // Nothing reached the home locations; the unsealed log is dead.
+    (void)loc;
+    staged = 0;
+}
+
+void
+RedoTx::recover(ObjPool &pool, Addr area_addr, trace::SrcLoc loc)
+{
+    trace::PmRuntime &rt = pool.runtime();
+    pm::PmPool &pm = rt.pool();
+    trace::LibScope lib(rt, "redo_recover", loc);
+    auto *a = static_cast<RedoArea *>(
+        pm.toHost(area_addr, sizeof(RedoArea)));
+
+    // The sealed count is the log's commit variable: reading it after
+    // a failure is the benign cross-failure race.
+    std::uint32_t sealed = rt.load(a->sealedCount, loc);
+    if (sealed == 0)
+        return; // unsealed or empty: existing data is consistent
+    if (sealed > redoMaxEntries) {
+        throw trace::PostFailureAbort{
+            "redo recovery: corrupted sealed count", loc};
+    }
+    for (std::uint32_t i = 0; i < sealed; i++) {
+        std::uint64_t daddr = rt.load(a->entries[i].addr, loc);
+        std::uint64_t sz = rt.load(a->entries[i].size, loc);
+        if (sz > redoEntryCapacity) {
+            throw trace::PostFailureAbort{
+                "redo recovery: corrupted entry size", loc};
+        }
+        rt.copyToPm(pm.toHost(daddr, sz), a->entries[i].data, sz, loc);
+        rt.persistBarrier(pm.toHost(daddr, sz), sz, loc);
+    }
+    rt.store(a->sealedCount, 0u, loc);
+    rt.persistBarrier(&a->sealedCount, sizeof(a->sealedCount), loc);
+}
+
+} // namespace xfd::pmlib

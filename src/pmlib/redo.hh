@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Redo-log transactions (paper Table 1, row "Redo logging").
+ *
+ * Updates are staged in a persistent redo log instead of in place;
+ * commit seals the log (count persisted last — the commit variable),
+ * then the log is applied to the home locations and retired. If a
+ * failure hits before the seal, recovery discards the incomplete log;
+ * after the seal, recovery re-applies it ("If the redo log has not
+ * been committed, the existing data is consistent. Otherwise, the
+ * committed log is consistent.").
+ *
+ * The redo area is carved from the pool heap by the caller, so it can
+ * coexist with undo-log transactions in one pool.
+ */
+
+#ifndef XFD_PMLIB_REDO_HH
+#define XFD_PMLIB_REDO_HH
+
+#include "pmlib/objpool.hh"
+#include "trace/runtime.hh"
+
+namespace xfd::pmlib
+{
+
+/** One staged write in the redo area. */
+struct RedoEntry
+{
+    std::uint64_t addr;
+    std::uint64_t size;
+    std::uint8_t data[256];
+};
+
+constexpr std::size_t redoEntryCapacity = sizeof(RedoEntry::data);
+constexpr std::size_t redoMaxEntries = 64;
+
+/** Persistent redo-log area. */
+struct RedoArea
+{
+    /** Number of sealed entries; 0 means nothing to re-apply. */
+    std::uint32_t sealedCount;
+    std::uint32_t pad;
+    RedoEntry entries[redoMaxEntries];
+};
+
+/** An open redo transaction bound to a RedoArea inside the pool. */
+class RedoTx
+{
+  public:
+    /**
+     * @param pool the object pool
+     * @param area_addr PM address of a RedoArea (e.g. from palloc)
+     */
+    RedoTx(ObjPool &pool, Addr area_addr,
+           trace::SrcLoc loc = trace::here());
+
+    RedoTx(const RedoTx &) = delete;
+    RedoTx &operator=(const RedoTx &) = delete;
+
+    /** Abandons (discards) staged writes if commit() never ran. */
+    ~RedoTx();
+
+    /** Stage a write of @p n bytes to PM address @p dst. */
+    void stage(void *dst, const void *src, std::size_t n,
+               trace::SrcLoc loc = trace::here());
+
+    /** Stage a single-field write. */
+    template <typename T>
+    void
+    stageField(T &field, const T &value, trace::SrcLoc loc = trace::here())
+    {
+        stage(&field, &value, sizeof(T), loc);
+    }
+
+    /**
+     * Seal the log (commit point), apply it home, retire it. After
+     * commit() returns, all staged writes are persistent in place.
+     */
+    void commit(trace::SrcLoc loc = trace::here());
+
+    /** Discard the staged writes (nothing was ever visible). */
+    void abort(trace::SrcLoc loc = trace::here());
+
+    /**
+     * Recovery for a RedoArea: re-apply a sealed log, discard an
+     * unsealed one. Idempotent; call on every open.
+     */
+    static void recover(ObjPool &pool, Addr area_addr,
+                        trace::SrcLoc loc = trace::here());
+
+    /** Bytes needed for a RedoArea allocation. */
+    static constexpr std::size_t areaSize() { return sizeof(RedoArea); }
+
+  private:
+    RedoArea *area();
+
+    ObjPool &pool;
+    Addr areaAddr;
+    /** Volatile staging count; persisted only at commit (the seal). */
+    std::uint32_t staged = 0;
+    bool finished = false;
+};
+
+} // namespace xfd::pmlib
+
+#endif // XFD_PMLIB_REDO_HH

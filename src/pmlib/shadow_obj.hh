@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shadow paging / copy-on-write object updates (paper Table 1, row
+ * "Shadow paging"): the object under modification gets a separate
+ * copy; once the shadow is complete and persistent, a single
+ * failure-atomic pointer swap publishes it ("If the shadow object has
+ * been committed, data in the shadow object is consistent. Otherwise,
+ * the old data is consistent.").
+ */
+
+#ifndef XFD_PMLIB_SHADOW_OBJ_HH
+#define XFD_PMLIB_SHADOW_OBJ_HH
+
+#include "pmlib/atomic.hh"
+#include "pmlib/objpool.hh"
+
+namespace xfd::pmlib
+{
+
+/**
+ * Update the object referenced by @p current out of place.
+ *
+ * @param mutate called as mutate(rt, T*) on the (zeroed or copied)
+ *               shadow object; its writes are ordinary traced writes
+ * @return PM address of the published object
+ */
+template <typename T, typename Mutator>
+Addr
+shadowUpdate(ObjPool &pool, pm::PPtr<T> &current, Mutator mutate,
+             trace::SrcLoc loc = trace::here())
+{
+    trace::PmRuntime &rt = pool.runtime();
+    pm::PmPool &pm = rt.pool();
+
+    Addr shadow = pool.heap().palloc(sizeof(T), loc);
+    if (!shadow)
+        panic("shadowUpdate: pool exhausted");
+    auto *dst = static_cast<T *>(pm.toHost(shadow, sizeof(T)));
+
+    pm::PPtr<T> old = rt.load(current, loc);
+    if (!old.null()) {
+        // Start from the current contents (copy-on-write).
+        rt.copyToPm(dst, old.get(pm), sizeof(T), loc);
+    } else {
+        rt.setPm(dst, 0, sizeof(T), loc);
+    }
+    mutate(rt, dst);
+    rt.persistBarrier(dst, sizeof(T), loc);
+
+    // Swap: the pointer update is the commit (failure-atomic).
+    atomicStore(rt, current, pm::PPtr<T>(shadow), loc);
+
+    if (!old.null())
+        pool.heap().pfree(old.addr(), loc);
+    return shadow;
+}
+
+} // namespace xfd::pmlib
+
+#endif // XFD_PMLIB_SHADOW_OBJ_HH

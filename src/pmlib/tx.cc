@@ -1,0 +1,164 @@
+#include "pmlib/tx.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace xfd::pmlib
+{
+
+namespace
+{
+
+/** One open transaction per thread (parallel detection runs
+    post-failure stages on worker threads). */
+thread_local unsigned depth = 0;
+
+/** Ranges snapshotted by the open transaction (volatile dedupe). */
+thread_local std::vector<AddrRange> activeAdds;
+
+bool
+alreadyAdded(Addr a, std::size_t n)
+{
+    for (const auto &r : activeAdds) {
+        if (r.begin <= a && a + n <= r.end)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+unsigned
+txDepth()
+{
+    return depth;
+}
+
+Tx::Tx(ObjPool &p, trace::SrcLoc loc) : pool(p)
+{
+    trace::PmRuntime &rt = pool.runtime();
+    if (depth++ > 0)
+        return; // nested: flatten into the outermost transaction
+    outer = true;
+    activeAdds.clear();
+
+    trace::LibScope lib(rt, trace::labels::txBegin, loc);
+    TxLogHeader *log = pool.txLog();
+    rt.store(log->numEntries, 0u, loc);
+    rt.persistBarrier(&log->numEntries, sizeof(log->numEntries), loc);
+    rt.store(log->active, 1u, loc);
+    rt.persistBarrier(&log->active, sizeof(log->active), loc);
+}
+
+Tx::~Tx()
+{
+    if (!finished)
+        abort();
+}
+
+void
+Tx::addRange(void *p, std::size_t n, trace::SrcLoc loc)
+{
+    trace::PmRuntime &rt = pool.runtime();
+    Addr a = rt.pool().toAddr(p);
+    if (alreadyAdded(a, n))
+        return; // PMDK semantics: covered ranges are skipped
+    addRangeUnchecked(p, n, loc);
+}
+
+void
+Tx::addRangeUnchecked(void *p, std::size_t n, trace::SrcLoc loc)
+{
+    if (finished)
+        panic("TX_ADD on a finished transaction");
+    trace::PmRuntime &rt = pool.runtime();
+    pm::PmPool &pm = rt.pool();
+    Addr a = pm.toAddr(p);
+    activeAdds.push_back(AddrRange{a, a + n});
+
+    // The annotation is emitted at the caller's location so the
+    // backend can attribute duplicate-TX_ADD performance bugs.
+    rt.noteTxAdd(a, n, loc);
+
+    trace::LibScope lib(rt, "tx_add", loc);
+    TxLogHeader *log = pool.txLog();
+    std::size_t off = 0;
+    while (off < n) {
+        std::size_t chunk = std::min(n - off, txEntryCapacity);
+        std::uint32_t idx = rt.load(log->numEntries, loc);
+        if (idx >= txMaxEntries)
+            panic("undo log full (%u entries)", idx);
+        TxEntry &e = log->entries[idx];
+        rt.store(e.addr, static_cast<std::uint64_t>(a + off), loc);
+        rt.store(e.size, static_cast<std::uint64_t>(chunk), loc);
+        // Snapshot the current (old) contents into the log.
+        rt.copyToPm(e.data, pm.toHost(a + off), chunk, loc);
+        rt.persistBarrier(&e, sizeof(TxEntry), loc);
+        // Publishing the entry count commits the snapshot.
+        rt.store(log->numEntries, idx + 1, loc);
+        rt.persistBarrier(&log->numEntries, sizeof(log->numEntries), loc);
+        off += chunk;
+    }
+}
+
+void
+Tx::commit(trace::SrcLoc loc)
+{
+    if (finished)
+        return;
+    finished = true;
+    if (depth > 0)
+        depth--;
+    if (!outer)
+        return;
+
+    trace::PmRuntime &rt = pool.runtime();
+    pm::PmPool &pm = rt.pool();
+    trace::LibScope lib(rt, trace::labels::txCommit, loc);
+    TxLogHeader *log = pool.txLog();
+
+    // Flush every snapshotted range: the in-place updates the caller
+    // made inside the transaction become persistent here.
+    std::uint32_t n = rt.load(log->numEntries, loc);
+    for (std::uint32_t i = 0; i < n; i++) {
+        std::uint64_t a = rt.load(log->entries[i].addr, loc);
+        std::uint64_t sz = rt.load(log->entries[i].size, loc);
+        rt.clwb(pm.toHost(a), sz, loc);
+    }
+    rt.sfence(loc);
+
+    // Retire the log: `active` is the commit variable.
+    rt.store(log->active, 0u, loc);
+    rt.persistBarrier(&log->active, sizeof(log->active), loc);
+}
+
+void
+Tx::abort(trace::SrcLoc loc)
+{
+    if (finished)
+        return;
+    finished = true;
+    if (depth > 0)
+        depth--;
+    if (!outer)
+        return;
+
+    trace::PmRuntime &rt = pool.runtime();
+    pm::PmPool &pm = rt.pool();
+    trace::LibScope lib(rt, trace::labels::txAbort, loc);
+    TxLogHeader *log = pool.txLog();
+
+    // Roll back in reverse order, then retire the log.
+    std::uint32_t n = rt.load(log->numEntries, loc);
+    for (std::uint32_t i = n; i-- > 0;) {
+        std::uint64_t a = rt.load(log->entries[i].addr, loc);
+        std::uint64_t sz = rt.load(log->entries[i].size, loc);
+        rt.copyToPm(pm.toHost(a), log->entries[i].data, sz, loc);
+        rt.persistBarrier(pm.toHost(a), sz, loc);
+    }
+    rt.store(log->active, 0u, loc);
+    rt.persistBarrier(&log->active, sizeof(log->active), loc);
+}
+
+} // namespace xfd::pmlib

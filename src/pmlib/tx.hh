@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Undo-log transactions — the libpmemobj TX_BEGIN/TX_ADD/TX_END
+ * equivalent (Table 1, row "Undo logging").
+ *
+ * Protocol: TX_ADD snapshots the old contents of a range into the
+ * persistent undo log *before* the caller overwrites it in place; the
+ * log's `active` flag is its commit variable. Commit flushes every
+ * snapshotted range and then clears `active`; recovery (ObjPool::open)
+ * rolls the snapshots back when `active` is still set.
+ *
+ * All internals run under LibScope, so the detector traces them at
+ * function granularity (§5.3) and skips detection inside — only the
+ * TX_ADD annotation itself is emitted at the caller's location, which
+ * is what enables duplicate-TX_ADD performance-bug reporting.
+ */
+
+#ifndef XFD_PMLIB_TX_HH
+#define XFD_PMLIB_TX_HH
+
+#include "pmlib/objpool.hh"
+#include "trace/runtime.hh"
+
+namespace xfd::pmlib
+{
+
+/** An open undo-log transaction (single-threaded, nestable). */
+class Tx
+{
+  public:
+    /** TX_BEGIN. Nested transactions flatten into the outermost. */
+    explicit Tx(ObjPool &pool, trace::SrcLoc loc = trace::here());
+
+    /** Aborts (rolls back) if neither commit() nor abort() ran. */
+    ~Tx();
+
+    Tx(const Tx &) = delete;
+    Tx &operator=(const Tx &) = delete;
+
+    /** TX_ADD of one field: snapshot it before modifying it. */
+    template <typename T>
+    void
+    add(T &field, trace::SrcLoc loc = trace::here())
+    {
+        addRange(&field, sizeof(T), loc);
+    }
+
+    /**
+     * TX_ADD of an arbitrary range. As with PMDK's
+     * pmemobj_tx_add_range(), a range already covered by an earlier
+     * snapshot in this transaction is silently skipped.
+     */
+    void addRange(void *p, std::size_t n, trace::SrcLoc loc = trace::here());
+
+    /**
+     * TX_ADD without the already-covered check — the wasteful call
+     * XFDetector reports as a duplicated-TX_ADD performance bug.
+     * Exists so the synthetic bug suite can inject that waste.
+     */
+    void addRangeUnchecked(void *p, std::size_t n,
+                           trace::SrcLoc loc = trace::here());
+
+    /** Field form of addRangeUnchecked(). */
+    template <typename T>
+    void
+    addUnchecked(T &field, trace::SrcLoc loc = trace::here())
+    {
+        addRangeUnchecked(&field, sizeof(T), loc);
+    }
+
+    /** TX_END: flush snapshotted ranges, then retire the log. */
+    void commit(trace::SrcLoc loc = trace::here());
+
+    /** Roll back every snapshot now and retire the log. */
+    void abort(trace::SrcLoc loc = trace::here());
+
+    /** Whether this handle opened the outermost transaction. */
+    bool outermost() const { return outer; }
+
+  private:
+    ObjPool &pool;
+    bool outer = false;
+    bool finished = false;
+};
+
+/** Run @p body inside a transaction (TX_BEGIN { } TX_END sugar). */
+template <typename Body>
+void
+runTx(ObjPool &pool, Body &&body, trace::SrcLoc loc = trace::here())
+{
+    Tx tx(pool, loc);
+    body(tx);
+    tx.commit(loc);
+}
+
+/** Depth of the currently open transaction (0 = none); test hook. */
+unsigned txDepth();
+
+} // namespace xfd::pmlib
+
+#endif // XFD_PMLIB_TX_HH

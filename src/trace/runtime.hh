@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Instrumented PM-access runtime — the tracing frontend.
+ *
+ * The paper's frontend instruments binaries with Intel Pin; Pin is
+ * proprietary and x86-host-specific, so per §5.5 ("the backend of
+ * XFDetector can be attached to other tracing frameworks, such as the
+ * software-directed tracing in WHISPER and PMTest") we implement a
+ * software-directed frontend: every PM load/store/flush/fence in
+ * workload code goes through this runtime, which appends trace entries
+ * carrying the operation, address, size, written bytes, and the
+ * caller's source location (the bug-backtrace equivalent of Pin's
+ * instruction pointer).
+ *
+ * The runtime also implements the paper's Table 2 software interface:
+ * RoI selection, skip-failure and skip-detection regions, explicit
+ * failure points, commit-variable registration, and detection
+ * termination.
+ */
+
+#ifndef XFD_TRACE_RUNTIME_HH
+#define XFD_TRACE_RUNTIME_HH
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <source_location>
+#include <thread>
+#include <type_traits>
+#include <unordered_map>
+
+#include "pm/pool.hh"
+#include "trace/buffer.hh"
+
+namespace xfd::trace
+{
+
+/** Capture the caller's location as a SrcLoc (default-arg idiom). */
+inline SrcLoc
+here(const std::source_location &sl = std::source_location::current())
+{
+    return {sl.file_name(), sl.line(), sl.function_name()};
+}
+
+/**
+ * Thrown by completeDetection() to unwind out of the traced program;
+ * the detection driver catches it (the paper's "termination point").
+ */
+struct StageComplete
+{
+};
+
+/**
+ * Thrown by library/workload code when the post-failure stage cannot
+ * proceed at all (e.g. the pool refuses to open because its metadata
+ * is incomplete). The detection driver records it as a
+ * RecoveryFailure finding — this is how §6.3.2 bug 4 is observed.
+ */
+struct PostFailureAbort
+{
+    std::string reason;
+    SrcLoc loc;
+};
+
+/** Well-known LibCall labels the backend recognizes. */
+namespace labels
+{
+inline constexpr const char *txBegin = "tx_begin";
+inline constexpr const char *txCommit = "tx_commit";
+inline constexpr const char *txAbort = "tx_abort";
+} // namespace labels
+
+/**
+ * Per-execution tracing context. One instance exists for the
+ * pre-failure run and one for every post-failure continuation.
+ */
+class PmRuntime
+{
+  public:
+    PmRuntime(pm::PmPool &pool, TraceBuffer &buf, Stage stage);
+
+    PmRuntime(const PmRuntime &) = delete;
+    PmRuntime &operator=(const PmRuntime &) = delete;
+
+    pm::PmPool &pool() { return pmPool; }
+    Stage stage() const { return stg; }
+    TraceBuffer &buffer() { return trace; }
+    bool completed() const;
+
+    /**
+     * Disable/enable trace emission. With tracing off the runtime only
+     * performs the data movement — the "original program" baseline of
+     * Fig. 12b. Annotations and failure semantics are also disabled.
+     */
+    void setTracing(bool on) { tracing = on; }
+    bool tracingEnabled() const { return tracing; }
+
+    /** Bound the trace length (runaway-loop backstop). */
+    void setEntryCap(std::size_t cap) { entryCap = cap; }
+
+    /**
+     * @name Data operations
+     * All addresses must resolve inside the pool; the value flow is
+     * performed here so that tracing can never be skipped.
+     * @{
+     */
+
+    /** Traced PM load of a trivially-copyable field. */
+    template <typename T>
+    T
+    load(const T &field, SrcLoc loc = here())
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        Addr a = pmPool.toAddr(&field);
+        emit(Op::Read, a, sizeof(T), loc);
+        return field;
+    }
+
+    /** Traced PM store (cached; persists only after CLWB+SFENCE). */
+    template <typename T>
+    void
+    store(T &field, const T &value, SrcLoc loc = here())
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        Addr a = pmPool.toAddr(&field);
+        field = value;
+        emitWrite(Op::Write, a, &field, sizeof(T), loc);
+    }
+
+    /** Traced non-temporal PM store (persists at the next fence). */
+    template <typename T>
+    void
+    ntstore(T &field, const T &value, SrcLoc loc = here())
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        Addr a = pmPool.toAddr(&field);
+        field = value;
+        emitWrite(Op::NtWrite, a, &field, sizeof(T), loc);
+    }
+
+    /** Traced memcpy into PM. */
+    void copyToPm(void *dst, const void *src, std::size_t n,
+                  SrcLoc loc = here());
+
+    /** Traced non-temporal memcpy into PM. */
+    void ntCopyToPm(void *dst, const void *src, std::size_t n,
+                    SrcLoc loc = here());
+
+    /** Traced memset of PM. */
+    void setPm(void *dst, int value, std::size_t n, SrcLoc loc = here());
+
+    /** Traced bulk PM read into volatile memory. */
+    void readPm(void *dst, const void *src, std::size_t n,
+                SrcLoc loc = here());
+
+    /** CLWB every cache line covering [p, p+n). */
+    void clwb(const void *p, std::size_t n = 1, SrcLoc loc = here());
+
+    /** CLFLUSHOPT every cache line covering [p, p+n). */
+    void clflushopt(const void *p, std::size_t n = 1, SrcLoc loc = here());
+
+    /** CLFLUSH every cache line covering [p, p+n). */
+    void clflush(const void *p, std::size_t n = 1, SrcLoc loc = here());
+
+    /** Store fence: completes all pending writebacks (ordering point). */
+    void sfence(SrcLoc loc = here());
+
+    /** Full fence; identical persistence semantics to sfence. */
+    void mfence(SrcLoc loc = here());
+
+    /**
+     * The paper's persist_barrier(): "CLWB; SFENCE" over the given
+     * range — writes back the covering lines and orders them before
+     * future persists.
+     */
+    void persistBarrier(const void *p, std::size_t n, SrcLoc loc = here());
+
+    /** @} */
+
+    /**
+     * @name Table 2 software interface
+     * @{
+     */
+
+    /** Mark the start of the region-of-interest for detection. */
+    void roiBegin(bool condition = true, SrcLoc loc = here());
+
+    /** Mark the end of the region-of-interest. */
+    void roiEnd(bool condition = true, SrcLoc loc = here());
+
+    /** Begin a region where no failure points are injected. */
+    void skipFailureBegin(bool condition = true, SrcLoc loc = here());
+    void skipFailureEnd(bool condition = true, SrcLoc loc = here());
+
+    /** Begin a region whose reads/writes are exempt from detection. */
+    void skipDetectionBegin(bool condition = true, SrcLoc loc = here());
+    void skipDetectionEnd(bool condition = true, SrcLoc loc = here());
+
+    /** Inject an explicit failure point here. */
+    void addFailurePoint(bool condition = true, SrcLoc loc = here());
+
+    /**
+     * Register a commit variable: post-failure reads of it are benign
+     * cross-failure races, and its writes version the consistency of
+     * its associated addresses (all PM if none registered).
+     */
+    template <typename T>
+    void
+    addCommitVar(const T &field, SrcLoc loc = here())
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        emit(Op::CommitVar, pmPool.toAddr(&field), sizeof(T), loc);
+    }
+
+    /** Associate the range [p, p+n) with the commit variable @p cv. */
+    template <typename T>
+    void
+    addCommitRange(const T &cv, const void *p, std::size_t n,
+                   SrcLoc loc = here())
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        TraceEntry e;
+        e.op = Op::CommitRange;
+        e.addr = pmPool.toAddr(p);
+        e.size = static_cast<std::uint32_t>(n);
+        e.aux = pmPool.toAddr(&cv);
+        e.loc = loc;
+        push(std::move(e));
+    }
+
+    /** Terminate this execution stage (throws StageComplete). */
+    [[noreturn]] void completeDetection(SrcLoc loc = here());
+
+    /** @} */
+
+    /**
+     * @name PM-library integration
+     * Used by xfd::pmlib, not by application code.
+     * @{
+     */
+
+    /** Enter library code: function-granularity tracing begins. */
+    void libBegin(const char *label, SrcLoc loc = here());
+
+    /** Leave library code. */
+    void libEnd();
+
+    /** @return whether execution is currently inside library code. */
+    bool inLib();
+
+    /** Record a persistent allocation (contents are uninitialized). */
+    void noteAlloc(Addr a, std::size_t n, SrcLoc loc = here());
+
+    /**
+     * Allocator zero-fill: reaches the PM image (so post-failure code
+     * reads zeros, as with PMDK's zeroing allocator) but is invisible
+     * to the shadow PM — programs must not depend on implicit
+     * initialization (§6.3.2 bug 2).
+     */
+    void zeroFill(void *dst, std::size_t n, SrcLoc loc = here());
+
+    /** Record a persistent deallocation. */
+    void noteFree(Addr a, std::size_t n, SrcLoc loc = here());
+
+    /** Record a transactional snapshot (TX_ADD) of [a, a+n). */
+    void noteTxAdd(Addr a, std::size_t n, SrcLoc loc = here());
+
+    /** @} */
+
+  private:
+    /** Current context flags for a new entry. */
+    std::uint16_t currentFlags() const;
+
+    /** Append a simple entry. */
+    void emit(Op op, Addr a, std::size_t n, SrcLoc loc,
+              const char *label = "");
+
+    /** Append a write entry carrying the written bytes. */
+    void emitWrite(Op op, Addr a, const void *bytes, std::size_t n,
+                   SrcLoc loc);
+
+    void push(TraceEntry e);
+
+    pm::PmPool &pmPool;
+    TraceBuffer &trace;
+    Stage stg;
+    /**
+     * Thread safety (paper §7: the frontend is thread-safe via
+     * thread-local storage and locking, for workloads whose
+     * "concurrent threads perform PM operations on independent
+     * tasks"): emission is serialized by emitLock; the RoI is global
+     * (one thread arms detection for all); skip-failure,
+     * skip-detection and library scopes are per thread, so one
+     * thread's library call never masks another thread's operations.
+     * The fence model stays global (a fence retires every pending
+     * writeback), which is conservative only for independent tasks.
+     */
+    struct ThreadScopes
+    {
+        int skipFailure = 0;
+        int skipDetection = 0;
+        int lib = 0;
+    };
+
+    /** Per-thread scope depths; guarded by emitLock. */
+    ThreadScopes &myScopes();
+
+    std::atomic<int> roiDepth{0};
+    std::unordered_map<std::thread::id, ThreadScopes> threadScopes;
+    std::atomic<bool> done{false};
+    bool tracing = true;
+    std::size_t entryCap = 64u << 20;
+    std::mutex emitLock;
+};
+
+/** RAII region-of-interest marker. */
+class RoiScope
+{
+  public:
+    explicit RoiScope(PmRuntime &rt, SrcLoc loc = here()) : rt(rt)
+    {
+        rt.roiBegin(true, loc);
+    }
+
+    ~RoiScope() { rt.roiEnd(); }
+
+  private:
+    PmRuntime &rt;
+};
+
+/** RAII library-code scope (function-granularity tracing). */
+class LibScope
+{
+  public:
+    LibScope(PmRuntime &rt, const char *label, SrcLoc loc = here())
+        : rt(rt)
+    {
+        rt.libBegin(label, loc);
+    }
+
+    ~LibScope() { rt.libEnd(); }
+
+  private:
+    PmRuntime &rt;
+};
+
+/** RAII skip-detection region. */
+class SkipDetectionScope
+{
+  public:
+    explicit SkipDetectionScope(PmRuntime &rt, SrcLoc loc = here())
+        : rt(rt)
+    {
+        rt.skipDetectionBegin(true, loc);
+    }
+
+    ~SkipDetectionScope() { rt.skipDetectionEnd(); }
+
+  private:
+    PmRuntime &rt;
+};
+
+/** RAII skip-failure-injection region. */
+class SkipFailureScope
+{
+  public:
+    explicit SkipFailureScope(PmRuntime &rt, SrcLoc loc = here()) : rt(rt)
+    {
+        rt.skipFailureBegin(true, loc);
+    }
+
+    ~SkipFailureScope() { rt.skipFailureEnd(); }
+
+  private:
+    PmRuntime &rt;
+};
+
+} // namespace xfd::trace
+
+#endif // XFD_TRACE_RUNTIME_HH

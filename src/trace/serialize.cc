@@ -1,0 +1,146 @@
+#include "trace/serialize.hh"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace xfd::trace
+{
+
+namespace
+{
+
+constexpr std::uint32_t traceMagic = 0x58464454; // "XFDT"
+
+template <typename T>
+void
+put(std::ostream &out, T v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+T
+get(std::istream &in)
+{
+    T v{};
+    in.read(reinterpret_cast<char *>(&v), sizeof(T));
+    if (!in)
+        throw std::runtime_error("trace stream truncated");
+    return v;
+}
+
+} // namespace
+
+void
+writeTrace(const TraceBuffer &buf, std::ostream &out)
+{
+    // Intern all strings first.
+    std::map<std::string, std::uint32_t> intern;
+    std::vector<const std::string *> ordered;
+    auto intern_str = [&](const char *s) {
+        auto [it, fresh] = intern.emplace(s ? s : "", 0);
+        if (fresh) {
+            it->second = static_cast<std::uint32_t>(ordered.size());
+            ordered.push_back(&it->first);
+        }
+        return it->second;
+    };
+
+    struct Ids
+    {
+        std::uint32_t file, func, label;
+    };
+    std::vector<Ids> ids;
+    ids.reserve(buf.size());
+    for (const auto &e : buf) {
+        ids.push_back(Ids{intern_str(e.loc.file), intern_str(e.loc.func),
+                          intern_str(e.label)});
+    }
+
+    put(out, traceMagic);
+    put(out, traceFormatVersion);
+    put(out, static_cast<std::uint32_t>(ordered.size()));
+    for (const auto *s : ordered) {
+        put(out, static_cast<std::uint32_t>(s->size()));
+        out.write(s->data(), static_cast<std::streamsize>(s->size()));
+    }
+    put(out, static_cast<std::uint32_t>(buf.size()));
+    for (std::size_t i = 0; i < buf.size(); i++) {
+        const TraceEntry &e = buf[i];
+        put(out, static_cast<std::uint8_t>(e.op));
+        put(out, e.flags);
+        put(out, e.size);
+        put(out, e.addr);
+        put(out, e.aux);
+        put(out, e.seq);
+        put(out, e.loc.line);
+        put(out, ids[i].file);
+        put(out, ids[i].func);
+        put(out, ids[i].label);
+        put(out, static_cast<std::uint32_t>(e.data.size()));
+        out.write(reinterpret_cast<const char *>(e.data.data()),
+                  static_cast<std::streamsize>(e.data.size()));
+    }
+}
+
+LoadedTrace
+readTrace(std::istream &in)
+{
+    if (get<std::uint32_t>(in) != traceMagic)
+        throw std::runtime_error("bad trace magic");
+    if (get<std::uint32_t>(in) != traceFormatVersion)
+        throw std::runtime_error("unsupported trace version");
+
+    LoadedTrace loaded;
+    std::uint32_t nstrings = get<std::uint32_t>(in);
+    std::vector<const char *> table;
+    table.reserve(nstrings);
+    for (std::uint32_t i = 0; i < nstrings; i++) {
+        std::uint32_t len = get<std::uint32_t>(in);
+        if (len > (1u << 20))
+            throw std::runtime_error("oversized interned string");
+        std::string s(len, '\0');
+        in.read(s.data(), len);
+        if (!in)
+            throw std::runtime_error("trace stream truncated");
+        loaded.strings.push_back(std::move(s));
+        table.push_back(loaded.strings.back().c_str());
+    }
+
+    auto lookup = [&](std::uint32_t id) -> const char * {
+        if (id >= table.size())
+            throw std::runtime_error("bad string id");
+        return table[id];
+    };
+
+    std::uint32_t count = get<std::uint32_t>(in);
+    for (std::uint32_t i = 0; i < count; i++) {
+        TraceEntry e;
+        e.op = static_cast<Op>(get<std::uint8_t>(in));
+        e.flags = get<std::uint16_t>(in);
+        e.size = get<std::uint32_t>(in);
+        e.addr = get<Addr>(in);
+        e.aux = get<Addr>(in);
+        std::uint32_t seq = get<std::uint32_t>(in);
+        e.loc.line = get<unsigned>(in);
+        e.loc.file = lookup(get<std::uint32_t>(in));
+        e.loc.func = lookup(get<std::uint32_t>(in));
+        e.label = lookup(get<std::uint32_t>(in));
+        std::uint32_t dlen = get<std::uint32_t>(in);
+        if (dlen > (1u << 24))
+            throw std::runtime_error("oversized data payload");
+        e.data.resize(dlen);
+        in.read(reinterpret_cast<char *>(e.data.data()), dlen);
+        if (!in)
+            throw std::runtime_error("trace stream truncated");
+        std::uint32_t assigned = loaded.buf.append(std::move(e));
+        if (assigned != seq)
+            throw std::runtime_error("non-contiguous trace seq");
+    }
+    return loaded;
+}
+
+} // namespace xfd::trace

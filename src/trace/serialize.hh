@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Trace serialization.
+ *
+ * §5.5 of the paper stresses that the backend is decoupled from the
+ * frontend and can consume traces from other instrumentation (Pin,
+ * WHISPER-style software tracing, PMTest hooks). This module gives
+ * the decoupling a concrete wire format: traces round-trip through a
+ * compact binary stream with interned source-location strings, so a
+ * trace captured in one process can be replayed by the detector in
+ * another.
+ */
+
+#ifndef XFD_TRACE_SERIALIZE_HH
+#define XFD_TRACE_SERIALIZE_HH
+
+#include <deque>
+#include <iosfwd>
+#include <string>
+
+#include "trace/buffer.hh"
+
+namespace xfd::trace
+{
+
+/** Serialization format version. */
+constexpr std::uint32_t traceFormatVersion = 1;
+
+/** Write @p buf to @p out in the binary trace format. */
+void writeTrace(const TraceBuffer &buf, std::ostream &out);
+
+/**
+ * A deserialized trace. Owns the storage behind every SrcLoc/label
+ * string in `buffer`, so keep it alive while the buffer is used.
+ */
+class LoadedTrace
+{
+  public:
+    LoadedTrace() = default;
+    LoadedTrace(LoadedTrace &&) = default;
+    LoadedTrace &operator=(LoadedTrace &&) = default;
+    LoadedTrace(const LoadedTrace &) = delete;
+    LoadedTrace &operator=(const LoadedTrace &) = delete;
+
+    const TraceBuffer &buffer() const { return buf; }
+
+  private:
+    friend LoadedTrace readTrace(std::istream &in);
+
+    TraceBuffer buf;
+    /** Interned strings; deque keeps pointers stable. */
+    std::deque<std::string> strings;
+};
+
+/**
+ * Read a trace written by writeTrace().
+ * @throw std::runtime_error on a malformed stream.
+ */
+LoadedTrace readTrace(std::istream &in);
+
+} // namespace xfd::trace
+
+#endif // XFD_TRACE_SERIALIZE_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Transactional persistent B-Tree (PMDK example "btree" equivalent).
+ *
+ * Degree-4 B-tree (up to 3 keys per node) with preemptive splitting;
+ * every mutation runs inside an undo-log transaction with TX_ADD of
+ * each touched node. The Table 5 bug suite perturbs individual TX_ADD
+ * / initialization sites (see btree.cc for the flag list).
+ */
+
+#ifndef XFD_WORKLOADS_BTREE_HH
+#define XFD_WORKLOADS_BTREE_HH
+
+#include "workloads/workload.hh"
+
+namespace xfd::workloads
+{
+
+/** The B-Tree workload of Table 4. */
+class BTree : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "B-Tree"; }
+    void pre(trace::PmRuntime &rt) override;
+    void post(trace::PmRuntime &rt) override;
+    std::string verify(trace::PmRuntime &rt) override;
+};
+
+} // namespace xfd::workloads
+
+#endif // XFD_WORKLOADS_BTREE_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Transactional persistent crit-bit tree (PMDK example "ctree"
+ * equivalent): internal nodes discriminate on the highest differing
+ * key bit, leaves hold the key/value pairs. Every mutation runs in an
+ * undo-log transaction.
+ */
+
+#ifndef XFD_WORKLOADS_CTREE_HH
+#define XFD_WORKLOADS_CTREE_HH
+
+#include "workloads/workload.hh"
+
+namespace xfd::workloads
+{
+
+/** The C-Tree workload of Table 4. */
+class CTree : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "C-Tree"; }
+    void pre(trace::PmRuntime &rt) override;
+    void post(trace::PmRuntime &rt) override;
+    std::string verify(trace::PmRuntime &rt) override;
+};
+
+} // namespace xfd::workloads
+
+#endif // XFD_WORKLOADS_CTREE_HH

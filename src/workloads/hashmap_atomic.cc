@@ -1,0 +1,467 @@
+#include "workloads/hashmap_atomic.hh"
+
+#include <list>
+#include <map>
+#include <optional>
+
+#include "common/logging.hh"
+#include "pmlib/atomic.hh"
+#include "pmlib/objpool.hh"
+#include "workloads/kv_actions.hh"
+
+namespace xfd::workloads
+{
+
+namespace
+{
+
+constexpr std::uint64_t nBuckets = 16;
+
+struct AEntry
+{
+    std::uint64_t key;
+    std::uint64_t val;
+    pm::PPtr<AEntry> next;
+};
+
+/** The hashmap object, heap-allocated (PMDK POBJ_ZNEW idiom). */
+struct AMap
+{
+    std::uint64_t count;
+    std::uint32_t countDirty; ///< commit variable versioning `count`
+    std::uint32_t pad;
+    std::uint64_t seed;
+    std::uint64_t hashFunA; ///< §6.3.2 bug 1: may never be persisted
+    std::uint64_t hashFunB;
+    std::uint64_t nbuckets;
+    pm::PPtr<AEntry> bucket[nBuckets];
+};
+
+/** Pool root: just the pointer to the heap-allocated map. */
+struct ARoot
+{
+    pm::PPtr<AMap> map;
+};
+
+class Impl
+{
+  public:
+    Impl(trace::PmRuntime &rt, pmlib::ObjPool &op, const BugMask &bugs)
+        : rt(rt), op(op), bugs(bugs)
+    {
+    }
+
+    /** create_hashmap() of Fig. 14a. */
+    void
+    createMap(std::uint64_t seed)
+    {
+        ARoot *r = op.root<ARoot>();
+        bool shipped_meta = bug("hashmap_atomic.shipped.meta_no_persist");
+        bool shipped_count = bug("hashmap_atomic.shipped.count_uninit");
+        bool no_buckets = bug("hashmap_atomic.race.buckets_no_ctor");
+
+        // The fixed idiom initializes everything inside the allocation
+        // constructor, so it is persisted before the map is published.
+        bool ok = op.heap().allocAtomic(
+            r->map, sizeof(AMap), [&](trace::PmRuntime &rt, AMap *m) {
+                if (!shipped_meta)
+                    storeMeta(m, seed);
+                if (!shipped_count)
+                    rt.store(m->count, std::uint64_t{0});
+                rt.store(m->countDirty, std::uint32_t{0});
+                rt.store(m->nbuckets, nBuckets);
+                if (!no_buckets) {
+                    for (unsigned i = 0; i < nBuckets; i++)
+                        rt.store(m->bucket[i], pm::PPtr<AEntry>());
+                }
+            });
+        if (!ok)
+            panic("hashmap_atomic: pool exhausted");
+
+        if (shipped_meta) {
+            // As shipped (Fig. 14a lines 3-4): metadata assigned after
+            // allocation, never persisted.
+            storeMeta(map(), seed);
+        }
+        if (bug("hashmap_atomic.race.seed_no_persist")) {
+            // Variant: the seed alone is re-written without persist.
+            rt.store(map()->seed, (seed + 1) | 1);
+        }
+        annotate();
+
+        if (!shipped_count) {
+            // Commit the initial count through the dirty protocol so
+            // it carries a committed version from the start.
+            AMap *m = map();
+            setDirty(m, 1u);
+            rt.store(m->count, std::uint64_t{0});
+            rt.persistBarrier(&m->count, sizeof(m->count));
+            setDirty(m, 0u);
+        }
+    }
+
+    /** Register the commit variable (Table 2 annotation, 5 lines). */
+    void
+    annotate()
+    {
+        AMap *m = map();
+        rt.addCommitVar(m->countDirty);
+        rt.addCommitRange(m->countDirty, &m->count, sizeof(m->count));
+    }
+
+    void
+    insert(std::uint64_t k, std::uint64_t v)
+    {
+        AMap *m = map();
+        bool inverted = bug("hashmap_atomic.sem.dirty_inverted");
+
+        if (bug("hashmap_atomic.perf.flush_clean_count")) {
+            // The line holding count/count_dirty is clean here.
+            rt.persistBarrier(&m->count, sizeof(m->count));
+        }
+
+        // Allocate and fill the entry first (outside the dirty
+        // window, as with a two-phase alloc-then-list-insert).
+        Addr ea = op.heap().palloc(sizeof(AEntry));
+        if (!ea)
+            panic("hashmap_atomic: pool exhausted");
+        AEntry *e = static_cast<AEntry *>(rt.pool().toHost(ea));
+        std::uint64_t h = hashOf(k);
+        pm::PPtr<AEntry> *slot = &m->bucket[h];
+        rt.store(e->key, k);
+        rt.store(e->val, v);
+        if (!bug("hashmap_atomic.race.next_write_after_persist"))
+            rt.store(e->next, rt.load(*slot));
+
+        if (bug("hashmap_atomic.race.entry_no_persist")) {
+            // no persist of the entry contents at all
+        } else if (bug("hashmap_atomic.race.entry_partial_persist")) {
+            rt.persistBarrier(&e->key, sizeof(e->key));
+        } else if (bug("hashmap_atomic.race.entry_clwb_no_fence")) {
+            rt.clwb(e, sizeof(AEntry));
+        } else {
+            rt.persistBarrier(e, sizeof(AEntry));
+            if (bug("hashmap_atomic.perf.double_persist_entry"))
+                rt.persistBarrier(e, sizeof(AEntry));
+        }
+        if (bug("hashmap_atomic.race.next_write_after_persist"))
+            rt.store(e->next, rt.load(*slot));
+
+        // Open the count window: count_dirty = 1 (Fig. 14b). The
+        // publish and the count update happen inside it.
+        setDirty(m, inverted ? 0u : 1u);
+
+        // Publish into the bucket chain.
+        if (bug("hashmap_atomic.race.slot_plain_store")) {
+            rt.store(*slot, pm::PPtr<AEntry>(ea));
+        } else if (bug("hashmap_atomic.race.slot_clwb_no_fence") ||
+                   bug("hashmap_atomic.race.entry_clwb_no_fence")) {
+            // Without a fence of its own, the publish leaves both the
+            // entry and the link writeback-pending.
+            rt.store(*slot, pm::PPtr<AEntry>(ea));
+            rt.clwb(slot, sizeof(*slot));
+        } else {
+            pmlib::atomicStore(rt, *slot, pm::PPtr<AEntry>(ea));
+        }
+
+        // Bump count inside the dirty window (Fig. 14b lines 12-14).
+        if (!bug("hashmap_atomic.sem.count_outside_window"))
+            bumpCount(m, 1);
+
+        // Close the window: count_dirty = 0.
+        setDirty(m, inverted ? 1u : 0u);
+
+        if (bug("hashmap_atomic.sem.count_outside_window"))
+            bumpCount(m, 1);
+    }
+
+    void
+    remove(std::uint64_t k)
+    {
+        AMap *m = map();
+        std::uint64_t h = hashOf(k);
+        pm::PPtr<AEntry> *link = &m->bucket[h];
+        pm::PPtr<AEntry> cur_p = rt.load(*link);
+        while (!cur_p.null()) {
+            AEntry *cur = entry(cur_p);
+            if (rt.load(cur->key) == k)
+                break;
+            link = &cur->next;
+            cur_p = rt.load(*link);
+        }
+        if (cur_p.null())
+            return;
+
+        bool no_dirty = bug("hashmap_atomic.sem.remove_no_dirty");
+        if (!no_dirty)
+            setDirty(m, 1u);
+        AEntry *cur = entry(cur_p);
+        pm::PPtr<AEntry> next = rt.load(cur->next);
+        if (bug("hashmap_atomic.race.remove_slot_plain_store"))
+            rt.store(*link, next);
+        else
+            pmlib::atomicStore(rt, *link, next);
+        bumpCount(m, -1,
+                  bug("hashmap_atomic.race.remove_count_no_persist"));
+        if (!no_dirty)
+            setDirty(m, 0u);
+        op.heap().pfree(cur_p.addr());
+    }
+
+    std::optional<std::uint64_t>
+    get(std::uint64_t k)
+    {
+        AMap *m = map();
+        pm::PPtr<AEntry> cur_p = rt.load(m->bucket[hashOf(k)]);
+        while (!cur_p.null()) {
+            AEntry *cur = entry(cur_p);
+            if (rt.load(cur->key) == k)
+                return rt.load(cur->val);
+            cur_p = rt.load(cur->next);
+        }
+        return std::nullopt;
+    }
+
+    std::uint64_t count() { return rt.load(map()->count); }
+
+    /** @return whether the map object exists (create may have failed). */
+    bool
+    mapExists()
+    {
+        ARoot *r = op.root<ARoot>();
+        return !rt.load(r->map).null();
+    }
+
+    /** Recovery entry point: recreate a missing map, else recount. */
+    void
+    recoverOrCreate(std::uint64_t seed)
+    {
+        if (!mapExists()) {
+            // The failure hit before the map was ever published;
+            // initialization simply runs again.
+            createMap(seed);
+            return;
+        }
+        recover();
+        // Startup reports the restored entry count (this read is what
+        // exposes §6.3.2 bug 2 when count was never initialized).
+        (void)rt.load(map()->count);
+    }
+
+    /** hm_atomic recovery: recount the buckets when dirty. */
+    void
+    recover()
+    {
+        AMap *m = map();
+        annotate();
+        // Reading the commit variable is the benign cross-failure race.
+        if (rt.load(m->countDirty) == 0)
+            return;
+        if (bug("hashmap_atomic.sem.no_recount")) {
+            // Buggy recovery trusts the dirty count.
+            rt.store(m->countDirty, std::uint32_t{0});
+            rt.persistBarrier(&m->countDirty, sizeof(m->countDirty));
+            return;
+        }
+        std::uint64_t n = 0;
+        for (unsigned i = 0; i < nBuckets; i++) {
+            pm::PPtr<AEntry> cur_p = rt.load(m->bucket[i]);
+            while (!cur_p.null()) {
+                n++;
+                cur_p = rt.load(entry(cur_p)->next);
+            }
+        }
+        rt.store(m->count, n);
+        rt.persistBarrier(&m->count, sizeof(m->count));
+        rt.store(m->countDirty, std::uint32_t{0});
+        rt.persistBarrier(&m->countDirty, sizeof(m->countDirty));
+    }
+
+    /** Full walk reading every key/value (recovery warm-up). */
+    void
+    scan()
+    {
+        AMap *m = map();
+        for (unsigned i = 0; i < nBuckets; i++) {
+            pm::PPtr<AEntry> cur_p = rt.load(m->bucket[i]);
+            while (!cur_p.null()) {
+                AEntry *cur = entry(cur_p);
+                (void)rt.load(cur->key);
+                (void)rt.load(cur->val);
+                cur_p = rt.load(cur->next);
+            }
+        }
+    }
+
+  private:
+    bool bug(const char *id) const { return bugs.has(id); }
+
+    /** Metadata assignment of Fig. 14a lines 3-4. */
+    void
+    storeMeta(AMap *m, std::uint64_t seed)
+    {
+        rt.store(m->seed, seed | 1);
+        rt.store(m->hashFunA, static_cast<std::uint64_t>(
+                                  (seed * 0x9e3779b97f4a7c15ull) | 1));
+        rt.store(m->hashFunB, seed ^ 0x5bd1e995u);
+    }
+
+    AMap *
+    map()
+    {
+        ARoot *r = op.root<ARoot>();
+        return rt.load(r->map).get(rt.pool());
+    }
+
+    AEntry *entry(pm::PPtr<AEntry> p) { return p.get(rt.pool()); }
+
+    std::uint64_t
+    hashOf(std::uint64_t k)
+    {
+        AMap *m = map();
+        // The hash mixes the metadata of Fig. 14a: reading it
+        // post-failure is §6.3.2 bug 1 when it never persisted.
+        std::uint64_t a = rt.load(m->hashFunA);
+        std::uint64_t b = rt.load(m->hashFunB);
+        std::uint64_t s = rt.load(m->seed);
+        std::uint64_t x = (k * a + b) ^ s;
+        x ^= x >> 29;
+        std::uint64_t nb = rt.load(m->nbuckets);
+        if (nb == 0)
+            throw pm::BadPmAccess{0, 0};
+        return x % nb;
+    }
+
+    void
+    setDirty(AMap *m, std::uint32_t v)
+    {
+        rt.store(m->countDirty, v);
+        rt.persistBarrier(&m->countDirty, sizeof(m->countDirty));
+    }
+
+    void
+    bumpCount(AMap *m, int delta, bool skip_persist = false)
+    {
+        if (bug("hashmap_atomic.race.count_no_persist"))
+            skip_persist = true;
+        rt.store(m->count,
+                 rt.load(m->count) + static_cast<std::uint64_t>(delta));
+        if (!skip_persist)
+            rt.persistBarrier(&m->count, sizeof(m->count));
+    }
+
+    trace::PmRuntime &rt;
+    pmlib::ObjPool &op;
+    const BugMask &bugs;
+};
+
+/**
+ * Reference model with PMDK hashmap_atomic list semantics: duplicate
+ * keys prepend, remove drops the newest match, get sees the newest.
+ */
+struct ListModel
+{
+    std::map<std::uint64_t, std::list<std::uint64_t>> vals;
+    std::size_t entries = 0;
+
+    void
+    apply(const KvAction &a)
+    {
+        switch (a.op) {
+          case KvOp::Insert:
+            vals[a.key].push_front(a.val);
+            entries++;
+            break;
+          case KvOp::Remove: {
+            auto it = vals.find(a.key);
+            if (it != vals.end() && !it->second.empty()) {
+                it->second.pop_front();
+                entries--;
+                if (it->second.empty())
+                    vals.erase(it);
+            }
+            break;
+          }
+          case KvOp::Get:
+            break;
+        }
+    }
+};
+
+void
+apply(Impl &impl, const KvAction &a)
+{
+    switch (a.op) {
+      case KvOp::Insert:
+        impl.insert(a.key, a.val);
+        break;
+      case KvOp::Remove:
+        impl.remove(a.key);
+        break;
+      case KvOp::Get:
+        (void)impl.get(a.key);
+        break;
+    }
+}
+
+} // namespace
+
+void
+HashmapAtomic::pre(trace::PmRuntime &rt)
+{
+    if (cfg.roiFromStart)
+        rt.roiBegin();
+    pmlib::ObjPool op =
+        pmlib::ObjPool::create(rt, "hashmap_atomic", sizeof(ARoot));
+    Impl impl(rt, op, cfg.bugs);
+    impl.createMap(cfg.seed);
+    auto actions = kvActions(cfg, cfg.initOps + cfg.testOps);
+    for (unsigned i = 0; i < cfg.initOps; i++)
+        apply(impl, actions[i]);
+    if (!cfg.roiFromStart)
+        rt.roiBegin();
+    for (unsigned i = cfg.initOps; i < cfg.initOps + cfg.testOps; i++)
+        apply(impl, actions[i]);
+    rt.roiEnd();
+}
+
+void
+HashmapAtomic::post(trace::PmRuntime &rt)
+{
+    pmlib::ObjPool op = pmlib::ObjPool::openOrCreate(rt, "hashmap_atomic", sizeof(ARoot));
+    Impl impl(rt, op, cfg.bugs);
+    trace::RoiScope roi(rt);
+    impl.recoverOrCreate(cfg.seed);
+    (void)impl.count();
+    impl.scan();
+    unsigned done = cfg.initOps + cfg.testOps;
+    auto actions = kvActions(cfg, done + cfg.postOps);
+    for (unsigned i = done; i < done + cfg.postOps; i++)
+        apply(impl, actions[i]);
+}
+
+std::string
+HashmapAtomic::verify(trace::PmRuntime &rt)
+{
+    pmlib::ObjPool op = pmlib::ObjPool::open(rt, "hashmap_atomic");
+    Impl impl(rt, op, cfg.bugs);
+    ListModel model;
+    for (const auto &a : kvActions(cfg, cfg.initOps + cfg.testOps))
+        model.apply(a);
+    for (const auto &[k, vs] : model.vals) {
+        auto got = impl.get(k);
+        if (!got)
+            return strprintf("key %llu missing",
+                             static_cast<unsigned long long>(k));
+        if (*got != vs.front())
+            return strprintf("key %llu has wrong value",
+                             static_cast<unsigned long long>(k));
+    }
+    if (impl.count() != model.entries)
+        return strprintf("count %llu != expected %zu",
+                         static_cast<unsigned long long>(impl.count()),
+                         model.entries);
+    return "";
+}
+
+} // namespace xfd::workloads

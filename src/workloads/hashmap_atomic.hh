@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Low-level persistent chained hashmap (PMDK example "hashmap_atomic"
+ * equivalent). No transactions: crash consistency comes from ordering
+ * persists by hand plus the `count_dirty` commit variable that
+ * versions `count` (recovery recounts the buckets when dirty).
+ *
+ * This is the workload the paper's §6.3.2 bugs 1 and 2 live in: the
+ * as-shipped creation path leaves the hash-function metadata
+ * unpersisted and relies on the allocator's implicit zeroing of
+ * `count`. Both are reproduced behind the `hashmap_atomic.shipped.*`
+ * flags, alongside the synthetic Table 5 suite.
+ */
+
+#ifndef XFD_WORKLOADS_HASHMAP_ATOMIC_HH
+#define XFD_WORKLOADS_HASHMAP_ATOMIC_HH
+
+#include "workloads/workload.hh"
+
+namespace xfd::workloads
+{
+
+/** The Hashmap-Atomic workload of Table 4. */
+class HashmapAtomic : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "Hashmap-Atomic"; }
+    void pre(trace::PmRuntime &rt) override;
+    void post(trace::PmRuntime &rt) override;
+    std::string verify(trace::PmRuntime &rt) override;
+};
+
+} // namespace xfd::workloads
+
+#endif // XFD_WORKLOADS_HASHMAP_ATOMIC_HH

@@ -1,0 +1,369 @@
+#include "workloads/hashmap_tx.hh"
+
+#include <optional>
+#include <vector>
+
+#include "common/logging.hh"
+#include "pmlib/objpool.hh"
+#include "pmlib/tx.hh"
+#include "workloads/kv_actions.hh"
+
+namespace xfd::workloads
+{
+
+namespace
+{
+
+constexpr std::uint64_t initialBuckets = 8;
+
+struct HEntry
+{
+    std::uint64_t key;
+    std::uint64_t val;
+    pm::PPtr<HEntry> next;
+};
+
+/** Bucket array; slots follow the header contiguously. */
+struct HBuckets
+{
+    std::uint64_t nbuckets;
+};
+
+struct HRoot
+{
+    pm::PPtr<HBuckets> buckets;
+    std::uint64_t count;
+    std::uint64_t seed;
+};
+
+class Impl
+{
+  public:
+    Impl(trace::PmRuntime &rt, pmlib::ObjPool &op, const BugMask &bugs)
+        : rt(rt), op(op), bugs(bugs)
+    {
+    }
+
+    /**
+     * Recovery guard: a failure inside createMap rolls its
+     * transaction back, leaving the map unallocated; initialization
+     * then simply runs again.
+     */
+    void
+    ensureMap(std::uint64_t seed)
+    {
+        HRoot *r = op.root<HRoot>();
+        if (rt.load(r->buckets).null())
+            createMap(seed);
+    }
+
+    /** First-time initialization: allocate the bucket array. */
+    void
+    createMap(std::uint64_t seed)
+    {
+        HRoot *r = op.root<HRoot>();
+        pmlib::Tx tx(op);
+        tx.add(r->seed);
+        rt.store(r->seed, seed | 1);
+        tx.add(r->buckets);
+        rt.store(r->buckets, allocBuckets(tx, initialBuckets, false));
+        tx.commit();
+    }
+
+    void
+    insert(std::uint64_t k, std::uint64_t v)
+    {
+        HRoot *r = op.root<HRoot>();
+        pmlib::Tx tx(op);
+
+        pm::PPtr<HBuckets> bk_p = rt.load(r->buckets);
+        HBuckets *bk = resolve(bk_p);
+        std::uint64_t nb = rt.load(bk->nbuckets);
+        std::uint64_t h = hashOf(k, nb);
+
+        // Search the chain for an existing key.
+        pm::PPtr<HEntry> *slot = slotHost(bk, h);
+        pm::PPtr<HEntry> cur_p = rt.load(*slot);
+        while (!cur_p.null()) {
+            HEntry *cur = entry(cur_p);
+            if (rt.load(cur->key) == k) {
+                if (!bug("hashmap_tx.race.update_no_add"))
+                    tx.add(cur->val);
+                rt.store(cur->val, v);
+                tx.commit();
+                return;
+            }
+            cur_p = rt.load(cur->next);
+        }
+
+        // Prepend a fresh entry.
+        Addr ea = op.heap().palloc(sizeof(HEntry));
+        if (!ea)
+            panic("hashmap_tx: pool exhausted");
+        HEntry *e = static_cast<HEntry *>(rt.pool().toHost(ea));
+        if (!bug("hashmap_tx.race.newentry_no_init"))
+            tx.addRange(e, sizeof(HEntry));
+        rt.setPm(e, 0, sizeof(HEntry));
+        rt.store(e->key, k);
+        rt.store(e->val, v);
+        rt.store(e->next, rt.load(*slot));
+        if (!bug("hashmap_tx.race.slot_no_add"))
+            tx.add(*slot);
+        if (bug("hashmap_tx.perf.double_add"))
+            tx.addUnchecked(*slot);
+        rt.store(*slot, pm::PPtr<HEntry>(ea));
+
+        if (!bug("hashmap_tx.race.count_no_add"))
+            tx.add(r->count);
+        std::uint64_t count = rt.load(r->count) + 1;
+        rt.store(r->count, count);
+
+        if (count > nb)
+            rebuild(tx, nb * 2);
+        tx.commit();
+    }
+
+    void
+    remove(std::uint64_t k)
+    {
+        HRoot *r = op.root<HRoot>();
+        pmlib::Tx tx(op);
+        HBuckets *bk = resolve(rt.load(r->buckets));
+        std::uint64_t nb = rt.load(bk->nbuckets);
+        pm::PPtr<HEntry> *link = slotHost(bk, hashOf(k, nb));
+        pm::PPtr<HEntry> cur_p = rt.load(*link);
+        while (!cur_p.null()) {
+            HEntry *cur = entry(cur_p);
+            if (rt.load(cur->key) == k) {
+                if (!bug("hashmap_tx.race.remove_no_add"))
+                    tx.add(*link);
+                rt.store(*link, rt.load(cur->next));
+                if (!bug("hashmap_tx.race.remove_count_no_add"))
+                    tx.add(r->count);
+                rt.store(r->count, rt.load(r->count) - 1);
+                tx.commit();
+                op.heap().pfree(cur_p.addr());
+                return;
+            }
+            link = &cur->next;
+            cur_p = rt.load(*link);
+        }
+        tx.commit();
+    }
+
+    std::optional<std::uint64_t>
+    get(std::uint64_t k)
+    {
+        HRoot *r = op.root<HRoot>();
+        HBuckets *bk = resolve(rt.load(r->buckets));
+        std::uint64_t nb = rt.load(bk->nbuckets);
+        pm::PPtr<HEntry> cur_p = rt.load(*slotHost(bk, hashOf(k, nb)));
+        while (!cur_p.null()) {
+            HEntry *cur = entry(cur_p);
+            if (rt.load(cur->key) == k)
+                return rt.load(cur->val);
+            cur_p = rt.load(cur->next);
+        }
+        return std::nullopt;
+    }
+
+    std::uint64_t count() { return rt.load(op.root<HRoot>()->count); }
+
+    std::uint64_t
+    nbuckets()
+    {
+        return rt.load(resolve(rt.load(op.root<HRoot>()->buckets))
+                           ->nbuckets);
+    }
+
+    /** Full walk reading every key/value (recovery warm-up). */
+    void
+    scan()
+    {
+        HRoot *r = op.root<HRoot>();
+        HBuckets *bk = resolve(rt.load(r->buckets));
+        std::uint64_t nb = rt.load(bk->nbuckets);
+        for (std::uint64_t i = 0; i < nb; i++) {
+            pm::PPtr<HEntry> cur_p = rt.load(*slotHost(bk, i));
+            while (!cur_p.null()) {
+                HEntry *cur = entry(cur_p);
+                (void)rt.load(cur->key);
+                (void)rt.load(cur->val);
+                cur_p = rt.load(cur->next);
+            }
+        }
+    }
+
+  private:
+    bool bug(const char *id) const { return bugs.has(id); }
+
+    HBuckets *resolve(pm::PPtr<HBuckets> p) { return p.get(rt.pool()); }
+    HEntry *entry(pm::PPtr<HEntry> p) { return p.get(rt.pool()); }
+
+    std::uint64_t
+    hashOf(std::uint64_t k, std::uint64_t nb)
+    {
+        if (nb == 0) {
+            // Corrupted bucket metadata after a failure: treat like a
+            // wild access so the driver records the crash.
+            throw pm::BadPmAccess{0, 0};
+        }
+        HRoot *r = op.root<HRoot>();
+        std::uint64_t seed = rt.load(r->seed);
+        std::uint64_t x = k * seed;
+        x ^= x >> 33;
+        return x % nb;
+    }
+
+    /** Host pointer to bucket slot @p i (slots follow the header). */
+    pm::PPtr<HEntry> *
+    slotHost(HBuckets *bk, std::uint64_t i)
+    {
+        auto *base = reinterpret_cast<pm::PPtr<HEntry> *>(bk + 1);
+        return base + i;
+    }
+
+    pm::PPtr<HBuckets>
+    allocBuckets(pmlib::Tx &tx, std::uint64_t nb, bool skip_init)
+    {
+        std::size_t bytes =
+            sizeof(HBuckets) + nb * sizeof(pm::PPtr<HEntry>);
+        Addr a = op.heap().palloc(bytes);
+        if (!a)
+            panic("hashmap_tx: pool exhausted");
+        auto *bk = static_cast<HBuckets *>(rt.pool().toHost(a));
+        if (!skip_init)
+            tx.addRange(bk, bytes);
+        rt.setPm(bk, 0, bytes);
+        rt.store(bk->nbuckets, nb);
+        return pm::PPtr<HBuckets>(a);
+    }
+
+    /** Grow the bucket array and rehash every entry (inside tx). */
+    void
+    rebuild(pmlib::Tx &tx, std::uint64_t new_nb)
+    {
+        HRoot *r = op.root<HRoot>();
+        pm::PPtr<HBuckets> old_p = rt.load(r->buckets);
+        HBuckets *old_bk = resolve(old_p);
+        std::uint64_t old_nb = rt.load(old_bk->nbuckets);
+
+        pm::PPtr<HBuckets> new_p = allocBuckets(
+            tx, new_nb, bug("hashmap_tx.race.rebuild_newbuckets_no_init"));
+        HBuckets *new_bk = resolve(new_p);
+
+        for (std::uint64_t i = 0; i < old_nb; i++) {
+            pm::PPtr<HEntry> cur_p = rt.load(*slotHost(old_bk, i));
+            while (!cur_p.null()) {
+                HEntry *cur = entry(cur_p);
+                pm::PPtr<HEntry> next_p = rt.load(cur->next);
+                std::uint64_t h = hashOf(rt.load(cur->key), new_nb);
+                pm::PPtr<HEntry> *slot = slotHost(new_bk, h);
+                if (!bug("hashmap_tx.race.rebuild_entry_no_add"))
+                    tx.add(cur->next);
+                rt.store(cur->next, rt.load(*slot));
+                // New bucket array is already fully logged.
+                rt.store(*slot, cur_p);
+                cur_p = next_p;
+            }
+        }
+        if (!bug("hashmap_tx.race.rebuild_bucketsptr_no_add"))
+            tx.add(r->buckets);
+        rt.store(r->buckets, new_p);
+        pendingFree = old_p.addr();
+    }
+
+  public:
+    /** Deferred free of the replaced bucket array (post-commit). */
+    void
+    reclaim()
+    {
+        if (pendingFree) {
+            op.heap().pfree(pendingFree);
+            pendingFree = 0;
+        }
+    }
+
+  private:
+    trace::PmRuntime &rt;
+    pmlib::ObjPool &op;
+    const BugMask &bugs;
+    Addr pendingFree = 0;
+};
+
+void
+apply(Impl &impl, const KvAction &a)
+{
+    switch (a.op) {
+      case KvOp::Insert:
+        impl.insert(a.key, a.val);
+        impl.reclaim();
+        break;
+      case KvOp::Remove:
+        impl.remove(a.key);
+        break;
+      case KvOp::Get:
+        (void)impl.get(a.key);
+        break;
+    }
+}
+
+} // namespace
+
+void
+HashmapTx::pre(trace::PmRuntime &rt)
+{
+    if (cfg.roiFromStart)
+        rt.roiBegin();
+    pmlib::ObjPool op =
+        pmlib::ObjPool::create(rt, "hashmap_tx", sizeof(HRoot));
+    Impl impl(rt, op, cfg.bugs);
+    impl.createMap(cfg.seed);
+    auto actions = kvActions(cfg, cfg.initOps + cfg.testOps);
+    for (unsigned i = 0; i < cfg.initOps; i++)
+        apply(impl, actions[i]);
+    if (!cfg.roiFromStart)
+        rt.roiBegin();
+    for (unsigned i = cfg.initOps; i < cfg.initOps + cfg.testOps; i++)
+        apply(impl, actions[i]);
+    rt.roiEnd();
+}
+
+void
+HashmapTx::post(trace::PmRuntime &rt)
+{
+    pmlib::ObjPool op = pmlib::ObjPool::openOrCreate(rt, "hashmap_tx", sizeof(HRoot));
+    Impl impl(rt, op, cfg.bugs);
+    trace::RoiScope roi(rt);
+    impl.ensureMap(cfg.seed);
+    (void)impl.count();
+    impl.scan();
+    unsigned done = cfg.initOps + cfg.testOps;
+    auto actions = kvActions(cfg, done + cfg.postOps);
+    for (unsigned i = done; i < done + cfg.postOps; i++)
+        apply(impl, actions[i]);
+}
+
+std::string
+HashmapTx::verify(trace::PmRuntime &rt)
+{
+    pmlib::ObjPool op = pmlib::ObjPool::open(rt, "hashmap_tx");
+    Impl impl(rt, op, cfg.bugs);
+    auto expected = kvExpected(cfg, cfg.initOps + cfg.testOps);
+    for (const auto &[k, v] : expected) {
+        auto got = impl.get(k);
+        if (!got)
+            return strprintf("key %llu missing",
+                             static_cast<unsigned long long>(k));
+        if (*got != v)
+            return strprintf("key %llu has wrong value",
+                             static_cast<unsigned long long>(k));
+    }
+    if (impl.count() != expected.size())
+        return strprintf("count %llu != expected %zu",
+                         static_cast<unsigned long long>(impl.count()),
+                         expected.size());
+    return "";
+}
+
+} // namespace xfd::workloads

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Transactional persistent chained hashmap (PMDK example "hashmap_tx"
+ * equivalent), including the load-factor-triggered rebuild that
+ * reallocates the bucket array and rehashes every entry inside one
+ * transaction.
+ */
+
+#ifndef XFD_WORKLOADS_HASHMAP_TX_HH
+#define XFD_WORKLOADS_HASHMAP_TX_HH
+
+#include "workloads/workload.hh"
+
+namespace xfd::workloads
+{
+
+/** The Hashmap-TX workload of Table 4. */
+class HashmapTx : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "Hashmap-TX"; }
+    void pre(trace::PmRuntime &rt) override;
+    void post(trace::PmRuntime &rt) override;
+    std::string verify(trace::PmRuntime &rt) override;
+};
+
+} // namespace xfd::workloads
+
+#endif // XFD_WORKLOADS_HASHMAP_TX_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Deterministic key/value operation sequences shared by the map-like
+ * workloads, plus the volatile reference model their functional tests
+ * compare against.
+ */
+
+#ifndef XFD_WORKLOADS_KV_ACTIONS_HH
+#define XFD_WORKLOADS_KV_ACTIONS_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace xfd::workloads
+{
+
+/** Operation kinds in a generated sequence. */
+enum class KvOp : std::uint8_t { Insert, Remove, Get };
+
+/** One generated operation. */
+struct KvAction
+{
+    KvOp op;
+    std::uint64_t key;
+    std::uint64_t val;
+};
+
+/**
+ * Generate the first @p total operations for @p cfg. The first
+ * cfg.initOps operations are always insertions (pool initialization);
+ * later ones mix inserts (60%), removes of previously inserted keys
+ * (20%) and gets (20%). Fully deterministic in cfg.seed.
+ */
+std::vector<KvAction> kvActions(const WorkloadConfig &cfg,
+                                unsigned total);
+
+/** Expected map contents after the first @p total operations. */
+std::map<std::uint64_t, std::uint64_t>
+kvExpected(const WorkloadConfig &cfg, unsigned total);
+
+} // namespace xfd::workloads
+
+#endif // XFD_WORKLOADS_KV_ACTIONS_HH

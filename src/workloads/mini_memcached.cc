@@ -1,0 +1,352 @@
+#include "workloads/mini_memcached.hh"
+
+#include <cstring>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "pmlib/atomic.hh"
+#include "pmlib/objpool.hh"
+#include "workloads/kv_actions.hh"
+
+namespace xfd::workloads
+{
+
+namespace
+{
+
+constexpr std::uint64_t mcBuckets = 64;
+constexpr std::size_t mcValBytes = 32;
+
+struct McItem
+{
+    std::uint64_t key;
+    std::uint32_t nbytes;
+    std::uint32_t flags;
+    char data[mcValBytes];
+    pm::PPtr<McItem> next;
+};
+
+struct McRoot
+{
+    std::uint64_t nbuckets;
+    std::uint64_t itemCount; ///< recomputed from buckets on restart
+    /** Validity flag, persisted last during creation (commit var). */
+    std::uint64_t initialized;
+    pm::PPtr<McItem> bucket[mcBuckets];
+};
+
+void
+renderVal(std::uint64_t v, char out[mcValBytes])
+{
+    std::memset(out, 0, mcValBytes);
+    std::snprintf(out, mcValBytes, "item-%016llx",
+                  static_cast<unsigned long long>(v));
+}
+
+class Impl
+{
+  public:
+    Impl(trace::PmRuntime &rt, pmlib::ObjPool &op, const BugMask &bugs,
+         std::uint64_t capacity)
+        : rt(rt), op(op), bugs(bugs), capacity(capacity)
+    {
+    }
+
+    void
+    createCache()
+    {
+        McRoot *r = op.root<McRoot>();
+        rt.store(r->nbuckets, mcBuckets);
+        rt.store(r->itemCount, std::uint64_t{0});
+        for (unsigned i = 0; i < mcBuckets; i++)
+            rt.store(r->bucket[i], pm::PPtr<McItem>());
+        rt.persistBarrier(r, sizeof(McRoot));
+        // The validity flag commits initialization; the atomic store
+        // guarantees restart sees either 0 or a persisted 1.
+        pmlib::atomicStore(rt, r->initialized, std::uint64_t{1});
+    }
+
+    /** Restart path: recount items and rebuild the volatile LRU. */
+    void
+    rebuildIndex()
+    {
+        McRoot *r = op.root<McRoot>();
+        if (rt.load(r->initialized) == 0) {
+            // The failure preempted initialization: start fresh.
+            createCache();
+            return;
+        }
+        lru.clear();
+        std::uint64_t n = 0;
+        for (unsigned i = 0; i < mcBuckets; i++) {
+            pm::PPtr<McItem> cur_p = rt.load(r->bucket[i]);
+            while (!cur_p.null()) {
+                lru.push_back(cur_p.addr());
+                n++;
+                cur_p = rt.load(item(cur_p)->next);
+            }
+        }
+        rt.store(r->itemCount, n);
+        rt.persistBarrier(&r->itemCount, sizeof(r->itemCount));
+    }
+
+    void
+    set(std::uint64_t k, std::uint64_t v)
+    {
+        McRoot *r = op.root<McRoot>();
+        char buf[mcValBytes];
+        renderVal(v, buf);
+
+        // Build the new item out of place.
+        Addr ia = op.heap().palloc(sizeof(McItem));
+        if (!ia)
+            panic("memcached: pool exhausted");
+        McItem *it = static_cast<McItem *>(rt.pool().toHost(ia));
+        rt.store(it->key, k);
+        rt.store(it->nbytes,
+                 static_cast<std::uint32_t>(std::strlen(buf)));
+        rt.store(it->flags, std::uint32_t{0});
+        rt.copyToPm(it->data, buf, mcValBytes);
+
+        // Find an existing item to replace.
+        pm::PPtr<McItem> *link = &r->bucket[hashOf(k)];
+        pm::PPtr<McItem> old_p = rt.load(*link);
+        while (!old_p.null() && rt.load(item(old_p)->key) != k) {
+            link = &item(old_p)->next;
+            old_p = rt.load(*link);
+        }
+        pm::PPtr<McItem> chain =
+            old_p.null() ? rt.load(*link) : rt.load(item(old_p)->next);
+        rt.store(it->next, chain);
+        if (!bug("memcached.race.item_no_persist"))
+            rt.persistBarrier(it, sizeof(McItem));
+
+        // Publish (replaces the old item when present).
+        if (bug("memcached.race.link_plain_store"))
+            rt.store(*link, pm::PPtr<McItem>(ia));
+        else
+            pmlib::atomicStore(rt, *link, pm::PPtr<McItem>(ia));
+
+        if (!old_p.null()) {
+            lruErase(old_p.addr());
+            op.heap().pfree(old_p.addr());
+        } else {
+            bumpCount(r, 1);
+        }
+        lru.push_back(ia);
+        maybeEvict();
+    }
+
+    std::optional<std::uint64_t>
+    get(std::uint64_t k, char out[mcValBytes])
+    {
+        McRoot *r = op.root<McRoot>();
+        pm::PPtr<McItem> cur_p = rt.load(r->bucket[hashOf(k)]);
+        while (!cur_p.null()) {
+            McItem *cur = item(cur_p);
+            if (rt.load(cur->key) == k) {
+                rt.readPm(out, cur->data, mcValBytes);
+                lruErase(cur_p.addr());
+                lru.push_back(cur_p.addr());
+                return 1;
+            }
+            cur_p = rt.load(cur->next);
+        }
+        return std::nullopt;
+    }
+
+    bool
+    del(std::uint64_t k)
+    {
+        McRoot *r = op.root<McRoot>();
+        pm::PPtr<McItem> *link = &r->bucket[hashOf(k)];
+        pm::PPtr<McItem> cur_p = rt.load(*link);
+        while (!cur_p.null()) {
+            McItem *cur = item(cur_p);
+            if (rt.load(cur->key) == k) {
+                pmlib::atomicStore(rt, *link, rt.load(cur->next));
+                lruErase(cur_p.addr());
+                op.heap().pfree(cur_p.addr());
+                bumpCount(r, -1);
+                return true;
+            }
+            link = &cur->next;
+            cur_p = rt.load(*link);
+        }
+        return false;
+    }
+
+    std::uint64_t
+    itemCount()
+    {
+        return rt.load(op.root<McRoot>()->itemCount);
+    }
+
+    std::size_t lruSize() const { return lru.size(); }
+
+    /** Full walk reading every item (startup warm-up). */
+    void
+    scan()
+    {
+        McRoot *r = op.root<McRoot>();
+        char buf[mcValBytes];
+        for (unsigned i = 0; i < mcBuckets; i++) {
+            pm::PPtr<McItem> cur_p = rt.load(r->bucket[i]);
+            while (!cur_p.null()) {
+                McItem *cur = item(cur_p);
+                (void)rt.load(cur->key);
+                rt.readPm(buf, cur->data, mcValBytes);
+                cur_p = rt.load(cur->next);
+            }
+        }
+    }
+
+  private:
+    bool bug(const char *id) const { return bugs.has(id); }
+
+    McItem *item(pm::PPtr<McItem> p) { return p.get(rt.pool()); }
+
+    std::uint64_t
+    hashOf(std::uint64_t k) const
+    {
+        std::uint64_t x = k * 0xc6a4a7935bd1e995ull;
+        x ^= x >> 31;
+        return x % mcBuckets;
+    }
+
+    void
+    bumpCount(McRoot *r, int delta)
+    {
+        rt.store(r->itemCount, rt.load(r->itemCount) +
+                                   static_cast<std::uint64_t>(delta));
+        rt.persistBarrier(&r->itemCount, sizeof(r->itemCount));
+    }
+
+    void
+    lruErase(Addr a)
+    {
+        for (auto it = lru.begin(); it != lru.end(); ++it) {
+            if (*it == a) {
+                lru.erase(it);
+                return;
+            }
+        }
+    }
+
+    void
+    maybeEvict()
+    {
+        McRoot *r = op.root<McRoot>();
+        while (lru.size() > capacity) {
+            Addr victim = lru.front();
+            lru.pop_front();
+            McItem *vi = static_cast<McItem *>(rt.pool().toHost(victim));
+            std::uint64_t vk = rt.load(vi->key);
+            pm::PPtr<McItem> *link = &r->bucket[hashOf(vk)];
+            pm::PPtr<McItem> cur_p = rt.load(*link);
+            while (!cur_p.null() && cur_p.addr() != victim) {
+                link = &item(cur_p)->next;
+                cur_p = rt.load(*link);
+            }
+            if (cur_p.null())
+                continue;
+            if (bug("memcached.race.evict_plain_store"))
+                rt.store(*link, rt.load(vi->next));
+            else
+                pmlib::atomicStore(rt, *link, rt.load(vi->next));
+            op.heap().pfree(victim);
+            bumpCount(r, -1);
+        }
+    }
+
+    trace::PmRuntime &rt;
+    pmlib::ObjPool &op;
+    const BugMask &bugs;
+    std::uint64_t capacity;
+    /** Volatile LRU: front = coldest. */
+    std::list<Addr> lru;
+};
+
+void
+apply(Impl &impl, const KvAction &a)
+{
+    char buf[mcValBytes];
+    switch (a.op) {
+      case KvOp::Insert:
+        impl.set(a.key, a.val);
+        break;
+      case KvOp::Remove:
+        impl.del(a.key);
+        break;
+      case KvOp::Get:
+        (void)impl.get(a.key, buf);
+        break;
+    }
+}
+
+} // namespace
+
+void
+MiniMemcached::pre(trace::PmRuntime &rt)
+{
+    if (cfg.roiFromStart)
+        rt.roiBegin();
+    pmlib::ObjPool op =
+        pmlib::ObjPool::create(rt, "mini_memcached", sizeof(McRoot));
+    Impl impl(rt, op, cfg.bugs, cfg.memcachedCapacity);
+    impl.createCache();
+    auto actions = kvActions(cfg, cfg.initOps + cfg.testOps);
+    for (unsigned i = 0; i < cfg.initOps; i++)
+        apply(impl, actions[i]);
+    if (!cfg.roiFromStart)
+        rt.roiBegin();
+    for (unsigned i = cfg.initOps; i < cfg.initOps + cfg.testOps; i++)
+        apply(impl, actions[i]);
+    rt.roiEnd();
+}
+
+void
+MiniMemcached::post(trace::PmRuntime &rt)
+{
+    pmlib::ObjPool op = pmlib::ObjPool::openOrCreate(rt, "mini_memcached", sizeof(McRoot));
+    Impl impl(rt, op, cfg.bugs, cfg.memcachedCapacity);
+    trace::RoiScope roi(rt);
+    impl.rebuildIndex();
+    (void)impl.itemCount();
+    impl.scan();
+    unsigned done = cfg.initOps + cfg.testOps;
+    auto actions = kvActions(cfg, done + cfg.postOps);
+    for (unsigned i = done; i < done + cfg.postOps; i++)
+        apply(impl, actions[i]);
+}
+
+std::string
+MiniMemcached::verify(trace::PmRuntime &rt)
+{
+    pmlib::ObjPool op = pmlib::ObjPool::open(rt, "mini_memcached");
+    Impl impl(rt, op, cfg.bugs, cfg.memcachedCapacity);
+    auto expected = kvExpected(cfg, cfg.initOps + cfg.testOps);
+    if (expected.size() > cfg.memcachedCapacity)
+        return ""; // eviction makes exact contents LRU-dependent
+    for (const auto &[k, v] : expected) {
+        char got[mcValBytes];
+        if (!impl.get(k, got))
+            return strprintf("key %llu missing",
+                             static_cast<unsigned long long>(k));
+        char want[mcValBytes];
+        renderVal(v, want);
+        if (std::memcmp(got, want, mcValBytes) != 0)
+            return strprintf("key %llu has wrong value",
+                             static_cast<unsigned long long>(k));
+    }
+    if (impl.itemCount() != expected.size())
+        return strprintf("itemCount %llu != expected %zu",
+                         static_cast<unsigned long long>(
+                             impl.itemCount()),
+                         expected.size());
+    return "";
+}
+
+} // namespace xfd::workloads

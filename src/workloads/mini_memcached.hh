@@ -1,0 +1,32 @@
+/**
+ * @file
+ * PM-backed Memcached engine (Lenovo memcached-pmem equivalent,
+ * scoped to its storage engine). Items live in persistent bucket
+ * chains and are published with failure-atomic link updates; the LRU
+ * index is volatile and rebuilt from the buckets on restart, and
+ * recovery recomputes the item count the same way.
+ */
+
+#ifndef XFD_WORKLOADS_MINI_MEMCACHED_HH
+#define XFD_WORKLOADS_MINI_MEMCACHED_HH
+
+#include "workloads/workload.hh"
+
+namespace xfd::workloads
+{
+
+/** The Memcached workload of Table 4. */
+class MiniMemcached : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "Memcached"; }
+    void pre(trace::PmRuntime &rt) override;
+    void post(trace::PmRuntime &rt) override;
+    std::string verify(trace::PmRuntime &rt) override;
+};
+
+} // namespace xfd::workloads
+
+#endif // XFD_WORKLOADS_MINI_MEMCACHED_HH

@@ -1,0 +1,312 @@
+#include "workloads/mini_redis.hh"
+
+#include <cstring>
+#include <optional>
+
+#include "common/logging.hh"
+#include "pmlib/objpool.hh"
+#include "pmlib/tx.hh"
+#include "workloads/kv_actions.hh"
+
+namespace xfd::workloads
+{
+
+namespace
+{
+
+constexpr std::uint64_t dictBuckets = 32;
+constexpr std::size_t valBytes = 16;
+
+struct RDictEntry
+{
+    std::uint64_t key;
+    char val[valBytes];
+    pm::PPtr<RDictEntry> next;
+};
+
+struct RDict
+{
+    std::uint64_t nbuckets;
+};
+
+struct RRoot
+{
+    std::uint64_t numDictEntries; ///< §6.3.2 bug 3 target
+    /** Own cache line: neighbours' flushes must not mask the bug. */
+    std::uint8_t pad[56];
+    std::uint64_t initialized;
+    pm::PPtr<RDict> dict;
+};
+
+/** Render the canonical value string for a raw 64-bit value. */
+void
+renderVal(std::uint64_t v, char out[valBytes])
+{
+    std::memset(out, 0, valBytes);
+    std::snprintf(out, valBytes, "v:%012llx",
+                  static_cast<unsigned long long>(v & 0xffffffffffffull));
+}
+
+class Impl
+{
+  public:
+    Impl(trace::PmRuntime &rt, pmlib::ObjPool &op, const BugMask &bugs)
+        : rt(rt), op(op), bugs(bugs)
+    {
+    }
+
+    /** initPersistentMemory() of Fig. 14c. */
+    void
+    initServer()
+    {
+        RRoot *r = op.root<RRoot>();
+        if (rt.load(r->initialized))
+            return;
+        if (bug("redis.shipped.init_no_tx")) {
+            // As shipped: plain store, no transaction, no persist.
+            rt.store(r->numDictEntries, std::uint64_t{0});
+        } else {
+            pmlib::Tx tx(op);
+            tx.add(r->numDictEntries);
+            rt.store(r->numDictEntries, std::uint64_t{0});
+            tx.commit();
+        }
+        pmlib::Tx tx(op);
+        tx.add(r->dict);
+        rt.store(r->dict, allocDict(tx));
+        tx.add(r->initialized);
+        rt.store(r->initialized, std::uint64_t{1});
+        tx.commit();
+    }
+
+    void
+    set(std::uint64_t k, std::uint64_t v)
+    {
+        RRoot *r = op.root<RRoot>();
+        pmlib::Tx tx(op);
+        char buf[valBytes];
+        renderVal(v, buf);
+
+        pm::PPtr<RDictEntry> *slot = slotOf(k);
+        pm::PPtr<RDictEntry> cur_p = rt.load(*slot);
+        while (!cur_p.null()) {
+            RDictEntry *cur = entry(cur_p);
+            if (rt.load(cur->key) == k) {
+                if (!bug("redis.race.update_no_add"))
+                    tx.addRange(cur->val, valBytes);
+                rt.copyToPm(cur->val, buf, valBytes);
+                tx.commit();
+                return;
+            }
+            cur_p = rt.load(cur->next);
+        }
+
+        Addr ea = op.heap().palloc(sizeof(RDictEntry));
+        if (!ea)
+            panic("redis: pool exhausted");
+        RDictEntry *e = static_cast<RDictEntry *>(rt.pool().toHost(ea));
+        if (!bug("redis.race.entry_no_init"))
+            tx.addRange(e, sizeof(RDictEntry));
+        rt.setPm(e, 0, sizeof(RDictEntry));
+        rt.store(e->key, k);
+        rt.copyToPm(e->val, buf, valBytes);
+        rt.store(e->next, rt.load(*slot));
+        if (!bug("redis.race.slot_no_add"))
+            tx.add(*slot);
+        if (bug("redis.perf.double_add"))
+            tx.addUnchecked(*slot);
+        rt.store(*slot, pm::PPtr<RDictEntry>(ea));
+        if (!bug("redis.race.set_no_add_count"))
+            tx.add(r->numDictEntries);
+        rt.store(r->numDictEntries, rt.load(r->numDictEntries) + 1);
+        tx.commit();
+    }
+
+    std::optional<std::uint64_t> // returns raw value if parseable
+    get(std::uint64_t k, char out[valBytes])
+    {
+        pm::PPtr<RDictEntry> cur_p = rt.load(*slotOf(k));
+        while (!cur_p.null()) {
+            RDictEntry *cur = entry(cur_p);
+            if (rt.load(cur->key) == k) {
+                rt.readPm(out, cur->val, valBytes);
+                return 1;
+            }
+            cur_p = rt.load(cur->next);
+        }
+        return std::nullopt;
+    }
+
+    bool
+    del(std::uint64_t k)
+    {
+        RRoot *r = op.root<RRoot>();
+        pmlib::Tx tx(op);
+        pm::PPtr<RDictEntry> *link = slotOf(k);
+        pm::PPtr<RDictEntry> cur_p = rt.load(*link);
+        while (!cur_p.null()) {
+            RDictEntry *cur = entry(cur_p);
+            if (rt.load(cur->key) == k) {
+                if (!bug("redis.race.del_no_add"))
+                    tx.add(*link);
+                rt.store(*link, rt.load(cur->next));
+                tx.add(r->numDictEntries);
+                rt.store(r->numDictEntries,
+                         rt.load(r->numDictEntries) - 1);
+                tx.commit();
+                op.heap().pfree(cur_p.addr());
+                return true;
+            }
+            link = &cur->next;
+            cur_p = rt.load(*link);
+        }
+        tx.commit();
+        return false;
+    }
+
+    /** DBSIZE: the reader of the §6.3.2 bug-3 field. */
+    std::uint64_t
+    dbsize()
+    {
+        return rt.load(op.root<RRoot>()->numDictEntries);
+    }
+
+    /** Full dict walk reading every key/value (startup warm-up). */
+    void
+    scan()
+    {
+        RRoot *r = op.root<RRoot>();
+        RDict *d = rt.load(r->dict).get(rt.pool());
+        std::uint64_t nb = rt.load(d->nbuckets);
+        auto *base = reinterpret_cast<pm::PPtr<RDictEntry> *>(d + 1);
+        char buf[valBytes];
+        for (std::uint64_t i = 0; i < nb; i++) {
+            pm::PPtr<RDictEntry> cur_p = rt.load(base[i]);
+            while (!cur_p.null()) {
+                RDictEntry *cur = entry(cur_p);
+                (void)rt.load(cur->key);
+                rt.readPm(buf, cur->val, valBytes);
+                cur_p = rt.load(cur->next);
+            }
+        }
+    }
+
+  private:
+    bool bug(const char *id) const { return bugs.has(id); }
+
+    RDictEntry *entry(pm::PPtr<RDictEntry> p) { return p.get(rt.pool()); }
+
+    pm::PPtr<RDictEntry> *
+    slotOf(std::uint64_t k)
+    {
+        RRoot *r = op.root<RRoot>();
+        RDict *d = rt.load(r->dict).get(rt.pool());
+        std::uint64_t nb = rt.load(d->nbuckets);
+        if (nb == 0)
+            throw pm::BadPmAccess{0, 0};
+        std::uint64_t x = k * 0xff51afd7ed558ccdull;
+        x ^= x >> 33;
+        auto *base = reinterpret_cast<pm::PPtr<RDictEntry> *>(d + 1);
+        return base + (x % nb);
+    }
+
+    pm::PPtr<RDict>
+    allocDict(pmlib::Tx &tx)
+    {
+        std::size_t bytes =
+            sizeof(RDict) + dictBuckets * sizeof(pm::PPtr<RDictEntry>);
+        Addr a = op.heap().palloc(bytes);
+        if (!a)
+            panic("redis: pool exhausted");
+        auto *d = static_cast<RDict *>(rt.pool().toHost(a));
+        tx.addRange(d, bytes);
+        rt.setPm(d, 0, bytes);
+        rt.store(d->nbuckets, dictBuckets);
+        return pm::PPtr<RDict>(a);
+    }
+
+    trace::PmRuntime &rt;
+    pmlib::ObjPool &op;
+    const BugMask &bugs;
+};
+
+void
+apply(Impl &impl, const KvAction &a)
+{
+    char buf[valBytes];
+    switch (a.op) {
+      case KvOp::Insert:
+        impl.set(a.key, a.val);
+        break;
+      case KvOp::Remove:
+        impl.del(a.key);
+        break;
+      case KvOp::Get:
+        (void)impl.get(a.key, buf);
+        break;
+    }
+}
+
+} // namespace
+
+void
+MiniRedis::pre(trace::PmRuntime &rt)
+{
+    if (cfg.roiFromStart)
+        rt.roiBegin();
+    pmlib::ObjPool op =
+        pmlib::ObjPool::create(rt, "mini_redis", sizeof(RRoot));
+    Impl impl(rt, op, cfg.bugs);
+    impl.initServer();
+    auto actions = kvActions(cfg, cfg.initOps + cfg.testOps);
+    for (unsigned i = 0; i < cfg.initOps; i++)
+        apply(impl, actions[i]);
+    if (!cfg.roiFromStart)
+        rt.roiBegin();
+    for (unsigned i = cfg.initOps; i < cfg.initOps + cfg.testOps; i++)
+        apply(impl, actions[i]);
+    rt.roiEnd();
+}
+
+void
+MiniRedis::post(trace::PmRuntime &rt)
+{
+    pmlib::ObjPool op = pmlib::ObjPool::openOrCreate(rt, "mini_redis", sizeof(RRoot));
+    Impl impl(rt, op, cfg.bugs);
+    trace::RoiScope roi(rt);
+    // Server restart: finish initialization if the failure preempted
+    // it, then serve queries; DBSIZE reads the bug-3 field.
+    impl.initServer();
+    (void)impl.dbsize();
+    impl.scan();
+    unsigned done = cfg.initOps + cfg.testOps;
+    auto actions = kvActions(cfg, done + cfg.postOps);
+    for (unsigned i = done; i < done + cfg.postOps; i++)
+        apply(impl, actions[i]);
+}
+
+std::string
+MiniRedis::verify(trace::PmRuntime &rt)
+{
+    pmlib::ObjPool op = pmlib::ObjPool::open(rt, "mini_redis");
+    Impl impl(rt, op, cfg.bugs);
+    auto expected = kvExpected(cfg, cfg.initOps + cfg.testOps);
+    for (const auto &[k, v] : expected) {
+        char got[valBytes];
+        if (!impl.get(k, got))
+            return strprintf("key %llu missing",
+                             static_cast<unsigned long long>(k));
+        char want[valBytes];
+        renderVal(v, want);
+        if (std::memcmp(got, want, valBytes) != 0)
+            return strprintf("key %llu has wrong value",
+                             static_cast<unsigned long long>(k));
+    }
+    if (impl.dbsize() != expected.size())
+        return strprintf("dbsize %llu != expected %zu",
+                         static_cast<unsigned long long>(impl.dbsize()),
+                         expected.size());
+    return "";
+}
+
+} // namespace xfd::workloads

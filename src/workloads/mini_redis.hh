@@ -1,0 +1,36 @@
+/**
+ * @file
+ * PM-backed Redis engine (Intel pmem-Redis equivalent, scoped to its
+ * storage engine). A persistent chained dict holds the keyspace;
+ * SET/GET/DEL/DBSIZE commands arrive as in-process requests (the
+ * paper tests the engine's update and recovery paths, not sockets).
+ *
+ * Reproduces §6.3.2 bug 3: initPersistentMemory() writes
+ * root->num_dict_entries without transactional protection, so a
+ * failure during server initialization races with every post-failure
+ * read of the entry count.
+ */
+
+#ifndef XFD_WORKLOADS_MINI_REDIS_HH
+#define XFD_WORKLOADS_MINI_REDIS_HH
+
+#include "workloads/workload.hh"
+
+namespace xfd::workloads
+{
+
+/** The Redis workload of Table 4. */
+class MiniRedis : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "Redis"; }
+    void pre(trace::PmRuntime &rt) override;
+    void post(trace::PmRuntime &rt) override;
+    std::string verify(trace::PmRuntime &rt) override;
+};
+
+} // namespace xfd::workloads
+
+#endif // XFD_WORKLOADS_MINI_REDIS_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Transactional persistent red-black tree (PMDK example "rbtree"
+ * equivalent). Insertions perform the full CLRS recolor/rotation
+ * fixup inside one undo-log transaction; removals splice BST-style
+ * (color fixup elided — a documented simplification that preserves
+ * lookup correctness, which is all the crash-consistency campaigns
+ * exercise).
+ */
+
+#ifndef XFD_WORKLOADS_RBTREE_HH
+#define XFD_WORKLOADS_RBTREE_HH
+
+#include "workloads/workload.hh"
+
+namespace xfd::workloads
+{
+
+/** The RB-Tree workload of Table 4. */
+class RBTree : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "RB-Tree"; }
+    void pre(trace::PmRuntime &rt) override;
+    void post(trace::PmRuntime &rt) override;
+    std::string verify(trace::PmRuntime &rt) override;
+};
+
+} // namespace xfd::workloads
+
+#endif // XFD_WORKLOADS_RBTREE_HH

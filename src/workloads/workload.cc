@@ -1,0 +1,95 @@
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+#include "workloads/btree.hh"
+#include "workloads/ctree.hh"
+#include "workloads/hashmap_atomic.hh"
+#include "workloads/hashmap_tx.hh"
+#include "workloads/kv_actions.hh"
+#include "workloads/mini_memcached.hh"
+#include "workloads/mini_redis.hh"
+#include "workloads/rbtree.hh"
+
+namespace xfd::workloads
+{
+
+std::vector<KvAction>
+kvActions(const WorkloadConfig &cfg, unsigned total)
+{
+    std::vector<KvAction> actions;
+    std::vector<std::uint64_t> inserted;
+    Rng rng(cfg.seed ^ 0xa5a5a5a5ull);
+    for (unsigned i = 0; i < total; i++) {
+        // A small key space makes duplicate-key (update) and
+        // remove-hit paths trigger deterministically in short runs.
+        std::uint64_t key = rng.next() % 64 + 1;
+        std::uint64_t val = rng.next();
+        if (i < cfg.initOps) {
+            actions.push_back({KvOp::Insert, key, val});
+            inserted.push_back(key);
+            continue;
+        }
+        std::uint64_t pick = rng.below(10);
+        if (pick < 6 || inserted.empty()) {
+            actions.push_back({KvOp::Insert, key, val});
+            inserted.push_back(key);
+        } else if (pick < 8) {
+            std::uint64_t victim =
+                inserted[rng.below(inserted.size())];
+            actions.push_back({KvOp::Remove, victim, 0});
+        } else {
+            std::uint64_t probe =
+                inserted[rng.below(inserted.size())];
+            actions.push_back({KvOp::Get, probe, 0});
+        }
+    }
+    return actions;
+}
+
+std::map<std::uint64_t, std::uint64_t>
+kvExpected(const WorkloadConfig &cfg, unsigned total)
+{
+    std::map<std::uint64_t, std::uint64_t> model;
+    for (const auto &a : kvActions(cfg, total)) {
+        switch (a.op) {
+          case KvOp::Insert:
+            model[a.key] = a.val;
+            break;
+          case KvOp::Remove:
+            model.erase(a.key);
+            break;
+          case KvOp::Get:
+            break;
+        }
+    }
+    return model;
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"btree",  "ctree", "rbtree",    "hashmap_tx",
+            "hashmap_atomic", "redis", "memcached"};
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, WorkloadConfig cfg)
+{
+    if (name == "btree")
+        return std::make_unique<BTree>(std::move(cfg));
+    if (name == "ctree")
+        return std::make_unique<CTree>(std::move(cfg));
+    if (name == "rbtree")
+        return std::make_unique<RBTree>(std::move(cfg));
+    if (name == "hashmap_tx")
+        return std::make_unique<HashmapTx>(std::move(cfg));
+    if (name == "hashmap_atomic")
+        return std::make_unique<HashmapAtomic>(std::move(cfg));
+    if (name == "redis")
+        return std::make_unique<MiniRedis>(std::move(cfg));
+    if (name == "memcached")
+        return std::make_unique<MiniMemcached>(std::move(cfg));
+    fatal("unknown workload: %s", name.c_str());
+}
+
+} // namespace xfd::workloads

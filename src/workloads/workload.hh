@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Common interface for the paper's evaluated PM programs (Table 4).
+ *
+ * A workload provides the two stages the detection driver needs:
+ * pre() creates/initializes its pool and runs `testOps` operations
+ * inside the region-of-interest; post() reopens the pool (recovery)
+ * and runs `postOps` resumption operations. Both stages must be
+ * deterministic (seeded RNG, no wall clock).
+ *
+ * Synthetic bugs (the Table 5 validation suite and the §6.3.2 new
+ * bugs) are injected with string-keyed flags checked at the exact
+ * code site they perturb.
+ */
+
+#ifndef XFD_WORKLOADS_WORKLOAD_HH
+#define XFD_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "trace/runtime.hh"
+
+namespace xfd::workloads
+{
+
+/** Set of injected synthetic-bug identifiers. */
+class BugMask
+{
+  public:
+    BugMask() = default;
+
+    BugMask(std::initializer_list<std::string> l) : ids(l) {}
+
+    void enable(const std::string &id) { ids.insert(id); }
+
+    bool has(const char *id) const { return ids.count(id) != 0; }
+
+    bool empty() const { return ids.empty(); }
+
+  private:
+    std::set<std::string> ids;
+};
+
+/** Parameters of one workload run. */
+struct WorkloadConfig
+{
+    /** Insertions performed before the RoI (the scripts' INITSIZE). */
+    unsigned initOps = 5;
+    /** Operations performed inside the RoI (the scripts' TESTSIZE). */
+    unsigned testOps = 1;
+    /** Resumption operations after recovery in the post stage. */
+    unsigned postOps = 1;
+    /**
+     * Begin the RoI before pool creation instead of after the init
+     * insertions. The paper marks "the entire program" as RoI for the
+     * micro benchmarks; the creation-time bugs (§6.3.2 bugs 1-3) only
+     * surface when failure points cover initialization.
+     */
+    bool roiFromStart = false;
+    std::uint64_t seed = 42;
+    /** Item capacity of the Memcached workload before LRU eviction. */
+    std::uint64_t memcachedCapacity = 4096;
+    BugMask bugs;
+};
+
+/** One evaluated PM program. */
+class Workload
+{
+  public:
+    explicit Workload(WorkloadConfig cfg) : cfg(std::move(cfg)) {}
+    virtual ~Workload() = default;
+
+    /** Short name matching Table 4 ("B-Tree", "Redis", ...). */
+    virtual const char *name() const = 0;
+
+    /** Pre-failure stage: setup, then RoI operations. */
+    virtual void pre(trace::PmRuntime &rt) = 0;
+
+    /** Post-failure stage: recovery, then RoI resumption. */
+    virtual void post(trace::PmRuntime &rt) = 0;
+
+    /**
+     * Functional self-check on the final pre-failure state; returns
+     * an empty string on success, else a description of the mismatch.
+     * Used by the workload unit tests, not by detection campaigns.
+     */
+    virtual std::string verify(trace::PmRuntime &rt) = 0;
+
+    const WorkloadConfig &config() const { return cfg; }
+
+  protected:
+    bool bug(const char *id) const { return cfg.bugs.has(id); }
+
+    /** Deterministic key for the i-th operation. */
+    std::uint64_t
+    keyAt(unsigned i) const
+    {
+        Rng rng(cfg.seed + i * 0x9e3779b9u);
+        return rng.next() % 100000 + 1; // keys are nonzero
+    }
+
+    /** Deterministic value for the i-th operation. */
+    std::uint64_t
+    valAt(unsigned i) const
+    {
+        Rng rng(cfg.seed * 31 + i);
+        return rng.next();
+    }
+
+    WorkloadConfig cfg;
+};
+
+/** Names accepted by makeWorkload(). */
+std::vector<std::string> workloadNames();
+
+/** Factory over all seven evaluated programs. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       WorkloadConfig cfg);
+
+} // namespace xfd::workloads
+
+#endif // XFD_WORKLOADS_WORKLOAD_HH

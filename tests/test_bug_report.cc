@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for bug reporting: deduplication keys, occurrence
+ * accumulation, cross-sink merging (parallel detection), counting,
+ * and report rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/bug_report.hh"
+
+namespace
+{
+
+using namespace xfd;
+using core::BugReport;
+using core::BugSink;
+using core::BugType;
+
+BugReport
+mk(BugType t, unsigned reader_line, unsigned writer_line,
+   const char *note = "", Addr addr = 0x100)
+{
+    BugReport r;
+    r.type = t;
+    r.addr = addr;
+    r.size = 8;
+    r.reader = {"reader.cc", reader_line, "f"};
+    r.writer = {"writer.cc", writer_line, "g"};
+    r.note = note;
+    return r;
+}
+
+TEST(BugSinkTest, DistinctLinePairsAreDistinctFindings)
+{
+    BugSink sink;
+    sink.report(mk(BugType::CrossFailureRace, 1, 2));
+    sink.report(mk(BugType::CrossFailureRace, 1, 3));
+    sink.report(mk(BugType::CrossFailureRace, 4, 2));
+    EXPECT_EQ(sink.size(), 3u);
+}
+
+TEST(BugSinkTest, SameSiteAccumulatesOccurrences)
+{
+    BugSink sink;
+    for (int i = 0; i < 5; i++)
+        sink.report(mk(BugType::CrossFailureRace, 1, 2));
+    ASSERT_EQ(sink.size(), 1u);
+    EXPECT_EQ(sink.bugs()[0].occurrences, 5u);
+}
+
+TEST(BugSinkTest, TypeDistinguishesFindings)
+{
+    BugSink sink;
+    sink.report(mk(BugType::CrossFailureRace, 1, 2));
+    sink.report(mk(BugType::CrossFailureSemantic, 1, 2));
+    EXPECT_EQ(sink.size(), 2u);
+    EXPECT_EQ(sink.count(BugType::CrossFailureRace), 1u);
+    EXPECT_EQ(sink.count(BugType::CrossFailureSemantic), 1u);
+}
+
+TEST(BugSinkTest, NoteDistinguishesFindings)
+{
+    BugSink sink;
+    sink.report(mk(BugType::CrossFailureSemantic, 1, 2, "stale"));
+    sink.report(mk(BugType::CrossFailureSemantic, 1, 2, "uncommitted"));
+    EXPECT_EQ(sink.size(), 2u);
+}
+
+TEST(BugSinkTest, RecoveryFailureKeyedByReaderOnly)
+{
+    BugSink sink;
+    // Different "writers" (failure points) must still collapse.
+    sink.report(mk(BugType::RecoveryFailure, 1, 10, "open failed"));
+    sink.report(mk(BugType::RecoveryFailure, 1, 20, "open failed"));
+    ASSERT_EQ(sink.size(), 1u);
+    EXPECT_EQ(sink.bugs()[0].occurrences, 2u);
+}
+
+TEST(BugSinkTest, MergeAccumulatesAcrossSinks)
+{
+    BugSink a, b;
+    a.report(mk(BugType::CrossFailureRace, 1, 2));
+    a.report(mk(BugType::CrossFailureRace, 1, 2));
+    b.report(mk(BugType::CrossFailureRace, 1, 2));
+    b.report(mk(BugType::Performance, 3, 0));
+    a.merge(b);
+    ASSERT_EQ(a.size(), 2u);
+    EXPECT_EQ(a.bugs()[0].occurrences, 3u);
+    EXPECT_EQ(a.count(BugType::Performance), 1u);
+}
+
+TEST(BugSinkTest, ClearEmpties)
+{
+    BugSink sink;
+    sink.report(mk(BugType::CrossFailureRace, 1, 2));
+    sink.clear();
+    EXPECT_TRUE(sink.empty());
+    sink.report(mk(BugType::CrossFailureRace, 1, 2));
+    EXPECT_EQ(sink.size(), 1u);
+}
+
+TEST(BugReportStr, ContainsTypeAndSites)
+{
+    BugReport r = mk(BugType::CrossFailureRace, 12, 34, "a note");
+    std::string s = r.str();
+    EXPECT_NE(s.find("CROSS-FAILURE RACE"), std::string::npos);
+    EXPECT_NE(s.find("reader.cc:12"), std::string::npos);
+    EXPECT_NE(s.find("writer.cc:34"), std::string::npos);
+    EXPECT_NE(s.find("a note"), std::string::npos);
+}
+
+TEST(BugTypeNames, AllDistinct)
+{
+    std::set<std::string> names;
+    names.insert(core::bugTypeName(BugType::CrossFailureRace));
+    names.insert(core::bugTypeName(BugType::CrossFailureSemantic));
+    names.insert(core::bugTypeName(BugType::Performance));
+    names.insert(core::bugTypeName(BugType::RecoveryFailure));
+    EXPECT_EQ(names.size(), 4u);
+}
+
+} // namespace

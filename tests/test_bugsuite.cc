@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Table 5 validation: every registered synthetic bug must be detected
+ * with its expected finding class, and no case may trip the detector
+ * when its flag is off (covered by the workload no-false-positive
+ * tests). Parameterized over the whole registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bugsuite/registry.hh"
+
+namespace
+{
+
+using namespace xfd;
+using bugsuite::allBugCases;
+using bugsuite::BugCase;
+using bugsuite::detected;
+using bugsuite::Expected;
+using bugsuite::Origin;
+using bugsuite::runBugCase;
+
+class BugSuiteTest : public ::testing::TestWithParam<BugCase>
+{
+};
+
+TEST_P(BugSuiteTest, DetectedWithExpectedClass)
+{
+    const BugCase &c = GetParam();
+    auto res = runBugCase(c);
+    EXPECT_TRUE(detected(c, res))
+        << c.id << " (" << c.description << ") expected "
+        << bugsuite::expectedName(c.expected) << "\n"
+        << res.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table5, BugSuiteTest, ::testing::ValuesIn(allBugCases()),
+    [](const ::testing::TestParamInfo<BugCase> &info) {
+        std::string n = info.param.id.empty() ? info.param.workload
+                                              : info.param.id;
+        for (auto &ch : n) {
+            if (!std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        }
+        return n;
+    });
+
+TEST(BugSuiteRegistry, MatchesTable5Counts)
+{
+    // Table 5 row sums (R: PMTest suite + additional, S, P).
+    struct Row
+    {
+        const char *workload;
+        std::size_t races;
+        std::size_t semantics;
+        std::size_t perfs;
+    };
+    const Row rows[] = {
+        {"btree", 8 + 4, 0, 2},   {"ctree", 5 + 1, 0, 1},
+        {"rbtree", 7 + 1, 0, 1},  {"hashmap_tx", 6 + 3, 0, 1},
+        {"hashmap_atomic", 10 + 3, 4, 2},
+    };
+    for (const auto &row : rows) {
+        std::size_t r = 0, s = 0, p = 0;
+        for (const auto &c : bugsuite::bugCasesFor(row.workload)) {
+            if (c.origin == Origin::Extra)
+                continue;
+            if (c.origin == Origin::NewBug &&
+                std::string(row.workload) != "hashmap_atomic") {
+                continue;
+            }
+            switch (c.expected) {
+              case Expected::Race: r++; break;
+              case Expected::Semantic: s++; break;
+              case Expected::Performance: p++; break;
+              default: break;
+            }
+        }
+        EXPECT_EQ(r, row.races) << row.workload;
+        EXPECT_EQ(s, row.semantics) << row.workload;
+        EXPECT_EQ(p, row.perfs) << row.workload;
+    }
+}
+
+TEST(BugSuiteRegistry, HasAllFourNewBugs)
+{
+    std::size_t new_bugs = 0;
+    for (const auto &c : allBugCases()) {
+        if (c.origin == Origin::NewBug)
+            new_bugs++;
+    }
+    EXPECT_EQ(new_bugs, 4u);
+}
+
+} // namespace

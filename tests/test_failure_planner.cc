@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Failure-planner tests: ordering-point enumeration, the empty-interval
+ * elision optimization, RoI/skip gating, explicit failure points.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/failure_planner.hh"
+#include "pm/pool.hh"
+#include "trace/runtime.hh"
+
+namespace
+{
+
+using namespace xfd;
+using core::DetectorConfig;
+using core::FailurePlan;
+using core::planFailurePoints;
+using trace::PmRuntime;
+using trace::Stage;
+using trace::TraceBuffer;
+
+struct PlannerTest : ::testing::Test
+{
+    PlannerTest() : pool(1 << 20), rt(pool, buf, Stage::PreFailure) {}
+
+    FailurePlan
+    plan(const DetectorConfig &cfg = {})
+    {
+        return planFailurePoints(buf, cfg);
+    }
+
+    pm::PmPool pool;
+    TraceBuffer buf;
+    PmRuntime rt;
+};
+
+TEST_F(PlannerTest, NoFencesNoPoints)
+{
+    rt.roiBegin();
+    rt.store(*pool.at<int>(0), 1);
+    rt.roiEnd();
+    EXPECT_TRUE(plan().points.empty());
+}
+
+TEST_F(PlannerTest, FailurePointBeforeEachOrderingPoint)
+{
+    rt.roiBegin();
+    rt.store(*pool.at<int>(0), 1);
+    rt.persistBarrier(pool.at<int>(0), 4);
+    rt.store(*pool.at<int>(64), 2);
+    rt.persistBarrier(pool.at<int>(64), 4);
+    rt.roiEnd();
+    FailurePlan p = plan();
+    ASSERT_EQ(p.points.size(), 2u);
+    // Each point is the seq of the fence itself (failure hits before).
+    EXPECT_EQ(buf[p.points[0]].op, trace::Op::Sfence);
+    EXPECT_EQ(buf[p.points[1]].op, trace::Op::Sfence);
+}
+
+TEST_F(PlannerTest, OutsideRoiNotEligible)
+{
+    rt.store(*pool.at<int>(0), 1);
+    rt.persistBarrier(pool.at<int>(0), 4);
+    EXPECT_TRUE(plan().points.empty());
+}
+
+TEST_F(PlannerTest, ElidesFenceWithNoPmOpsBetween)
+{
+    rt.roiBegin();
+    rt.store(*pool.at<int>(0), 1);
+    rt.persistBarrier(pool.at<int>(0), 4);
+    rt.sfence(); // nothing between: elided
+    rt.roiEnd();
+    FailurePlan p = plan();
+    EXPECT_EQ(p.points.size(), 1u);
+    EXPECT_EQ(p.elided, 1u);
+    EXPECT_EQ(p.candidates, 2u);
+}
+
+TEST_F(PlannerTest, ElisionCanBeDisabled)
+{
+    rt.roiBegin();
+    rt.store(*pool.at<int>(0), 1);
+    rt.persistBarrier(pool.at<int>(0), 4);
+    rt.sfence();
+    rt.roiEnd();
+    DetectorConfig cfg;
+    cfg.elideEmptyFailurePoints = false;
+    EXPECT_EQ(plan(cfg).points.size(), 2u);
+}
+
+TEST_F(PlannerTest, SkipFailureRegionExcluded)
+{
+    rt.roiBegin();
+    rt.store(*pool.at<int>(0), 1);
+    rt.skipFailureBegin();
+    rt.persistBarrier(pool.at<int>(0), 4);
+    rt.skipFailureEnd();
+    rt.store(*pool.at<int>(64), 2);
+    rt.persistBarrier(pool.at<int>(64), 4);
+    rt.roiEnd();
+    FailurePlan p = plan();
+    ASSERT_EQ(p.points.size(), 1u);
+    EXPECT_FALSE(buf[p.points[0]].has(trace::flagSkipFailure));
+}
+
+TEST_F(PlannerTest, ExplicitFailurePointAlwaysKept)
+{
+    rt.roiBegin();
+    rt.addFailurePoint();
+    rt.roiEnd();
+    FailurePlan p = plan();
+    ASSERT_EQ(p.points.size(), 1u);
+    EXPECT_EQ(buf[p.points[0]].op, trace::Op::FailurePoint);
+}
+
+TEST_F(PlannerTest, InternalFencesControlledByConfig)
+{
+    rt.roiBegin();
+    {
+        trace::LibScope lib(rt, "libfn");
+        rt.store(*pool.at<int>(0), 1);
+        rt.persistBarrier(pool.at<int>(0), 4);
+    }
+    rt.roiEnd();
+    EXPECT_EQ(plan().points.size(), 1u);
+
+    DetectorConfig cfg;
+    cfg.failureAtInternalFences = false;
+    EXPECT_TRUE(plan(cfg).points.empty());
+}
+
+TEST_F(PlannerTest, MaxFailurePointsCaps)
+{
+    rt.roiBegin();
+    for (int i = 0; i < 10; i++) {
+        rt.store(*pool.at<int>(static_cast<std::size_t>(i) * 64), i);
+        rt.persistBarrier(pool.at<int>(static_cast<std::size_t>(i) * 64),
+                          4);
+    }
+    rt.roiEnd();
+    DetectorConfig cfg;
+    cfg.maxFailurePoints = 3;
+    EXPECT_EQ(plan(cfg).points.size(), 3u);
+}
+
+TEST_F(PlannerTest, ImageOnlyWritesDoNotCountAsPmOps)
+{
+    rt.roiBegin();
+    rt.store(*pool.at<int>(0), 1);
+    rt.persistBarrier(pool.at<int>(0), 4);
+    rt.zeroFill(pool.at<int>(64), 4); // image-only: no state change
+    rt.sfence();
+    rt.roiEnd();
+    EXPECT_EQ(plan().points.size(), 1u);
+}
+
+TEST_F(PlannerTest, FlushAloneEnablesAFailurePoint)
+{
+    rt.roiBegin();
+    rt.store(*pool.at<int>(0), 1);
+    rt.persistBarrier(pool.at<int>(0), 4);
+    rt.clwb(pool.at<int>(0), 4); // a flush is a PM op
+    rt.sfence();
+    rt.roiEnd();
+    EXPECT_EQ(plan().points.size(), 2u);
+}
+
+TEST_F(PlannerTest, PointsAreMonotonic)
+{
+    rt.roiBegin();
+    for (int i = 0; i < 5; i++) {
+        rt.store(*pool.at<int>(static_cast<std::size_t>(i) * 64), i);
+        rt.persistBarrier(pool.at<int>(static_cast<std::size_t>(i) * 64),
+                          4);
+    }
+    rt.roiEnd();
+    FailurePlan p = plan();
+    for (std::size_t i = 1; i < p.points.size(); i++)
+        EXPECT_LT(p.points[i - 1], p.points[i]);
+}
+
+} // namespace

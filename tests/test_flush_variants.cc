@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Flush/fence instruction variants: CLFLUSHOPT, CLFLUSH, MFENCE and
+ * non-temporal stores must all drive the persistence FSM (the paper's
+ * footnote: "XFDetector also handles non-temporal writes and other
+ * types of fence"), end to end through the driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/driver.hh"
+#include "pm/pool.hh"
+#include "trace/runtime.hh"
+
+namespace
+{
+
+using namespace xfd;
+using core::BugType;
+using trace::PmRuntime;
+
+/**
+ * Campaign skeleton: write v, persist it with @p persist, then commit
+ * by setting the flag w (a registered commit variable). The post
+ * stage reads v only once w says the protocol finished, so the only
+ * way to race is for @p persist to have left v unpersisted.
+ */
+core::CampaignResult
+runWith(const std::function<void(PmRuntime &, std::uint64_t *)> &persist)
+{
+    pm::PmPool pool(1 << 20);
+    core::Driver driver(pool, {});
+    return driver.run(
+        [&](PmRuntime &rt) {
+            auto *v = rt.pool().at<std::uint64_t>(0);
+            auto *w = rt.pool().at<std::uint64_t>(64);
+            trace::RoiScope roi(rt);
+            rt.addCommitVar(*w);
+            rt.addCommitRange(*w, v, 8);
+            rt.store(*v, std::uint64_t{1});
+            persist(rt, v);
+            rt.store(*w, std::uint64_t{2});
+            rt.clwb(w, 8);
+            rt.sfence();
+        },
+        [&](PmRuntime &rt) {
+            auto *v = rt.pool().at<std::uint64_t>(0);
+            auto *w = rt.pool().at<std::uint64_t>(64);
+            trace::RoiScope roi(rt);
+            rt.addCommitVar(*w);
+            rt.addCommitRange(*w, v, 8);
+            if (rt.load(*w) == 2) // benign commit-variable read
+                (void)rt.load(*v);
+        });
+}
+
+TEST(FlushVariants, ClwbSfencePersists)
+{
+    auto res = runWith([](PmRuntime &rt, std::uint64_t *v) {
+        rt.clwb(v, 8);
+        rt.sfence();
+    });
+    EXPECT_EQ(res.count(BugType::CrossFailureRace), 0u)
+        << res.summary();
+}
+
+TEST(FlushVariants, ClflushOptSfencePersists)
+{
+    auto res = runWith([](PmRuntime &rt, std::uint64_t *v) {
+        rt.clflushopt(v, 8);
+        rt.sfence();
+    });
+    EXPECT_EQ(res.count(BugType::CrossFailureRace), 0u)
+        << res.summary();
+}
+
+TEST(FlushVariants, ClflushSfencePersists)
+{
+    auto res = runWith([](PmRuntime &rt, std::uint64_t *v) {
+        rt.clflush(v, 8);
+        rt.sfence();
+    });
+    EXPECT_EQ(res.count(BugType::CrossFailureRace), 0u)
+        << res.summary();
+}
+
+TEST(FlushVariants, MfenceCompletesWritebacks)
+{
+    auto res = runWith([](PmRuntime &rt, std::uint64_t *v) {
+        rt.clwb(v, 8);
+        rt.mfence();
+    });
+    EXPECT_EQ(res.count(BugType::CrossFailureRace), 0u)
+        << res.summary();
+}
+
+TEST(FlushVariants, NtStorePersistsAtFence)
+{
+    auto res = runWith([](PmRuntime &rt, std::uint64_t *v) {
+        // Re-publish v with a non-temporal store; the fence persists
+        // it without any explicit flush.
+        rt.ntstore(*v, std::uint64_t{1});
+        rt.sfence();
+    });
+    EXPECT_EQ(res.count(BugType::CrossFailureRace), 0u)
+        << res.summary();
+}
+
+TEST(FlushVariants, UnfencedFlushStillRaces)
+{
+    // A flush alone does not guarantee persistence: at the failure
+    // point *before* the commit's fence, v is writeback-pending and
+    // the commit flag is already in the image — the recovery read
+    // races. Skipping the flush entirely races the same way.
+    for (int variant = 0; variant < 3; variant++) {
+        auto res = runWith([variant](PmRuntime &rt, std::uint64_t *v) {
+            if (variant == 0)
+                rt.clwb(v, 8);
+            else if (variant == 1)
+                rt.clflushopt(v, 8);
+            // variant 2: no flush at all
+        });
+        EXPECT_GE(res.count(BugType::CrossFailureRace), 1u)
+            << "variant " << variant << "\n"
+            << res.summary();
+    }
+}
+
+TEST(FlushVariants, NtCopyToPmBulk)
+{
+    pm::PmPool pool(1 << 20);
+    trace::TraceBuffer buf;
+    PmRuntime rt(pool, buf, trace::Stage::PreFailure);
+    char payload[100];
+    std::memset(payload, 0x3c, sizeof(payload));
+    rt.ntCopyToPm(pool.at<char>(0), payload, sizeof(payload));
+    EXPECT_EQ(static_cast<unsigned char>(*pool.at<char>(99)), 0x3cu);
+    ASSERT_EQ(buf.size(), 1u);
+    EXPECT_EQ(buf[0].op, trace::Op::NtWrite);
+    EXPECT_EQ(buf[0].data.size(), 100u);
+}
+
+} // namespace

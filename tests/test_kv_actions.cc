@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the shared operation-sequence generator and its reference
+ * model — the ground truth every workload's verify() compares against.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/kv_actions.hh"
+
+namespace
+{
+
+using namespace xfd;
+using workloads::kvActions;
+using workloads::KvAction;
+using workloads::kvExpected;
+using workloads::KvOp;
+using workloads::WorkloadConfig;
+
+TEST(KvActions, DeterministicForSameConfig)
+{
+    WorkloadConfig cfg;
+    cfg.seed = 7;
+    auto a = kvActions(cfg, 50);
+    auto b = kvActions(cfg, 50);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i++) {
+        EXPECT_EQ(a[i].op, b[i].op);
+        EXPECT_EQ(a[i].key, b[i].key);
+        EXPECT_EQ(a[i].val, b[i].val);
+    }
+}
+
+TEST(KvActions, PrefixStability)
+{
+    // Extending the sequence must not change the prefix — workloads
+    // rely on this to resume the stream in the post-failure stage.
+    WorkloadConfig cfg;
+    auto short_seq = kvActions(cfg, 20);
+    auto long_seq = kvActions(cfg, 40);
+    for (std::size_t i = 0; i < short_seq.size(); i++) {
+        EXPECT_EQ(short_seq[i].op, long_seq[i].op);
+        EXPECT_EQ(short_seq[i].key, long_seq[i].key);
+    }
+}
+
+TEST(KvActions, InitPhaseIsAllInserts)
+{
+    WorkloadConfig cfg;
+    cfg.initOps = 15;
+    auto actions = kvActions(cfg, 15);
+    for (const auto &a : actions)
+        EXPECT_EQ(a.op, KvOp::Insert);
+}
+
+TEST(KvActions, TestPhaseMixesOperations)
+{
+    WorkloadConfig cfg;
+    cfg.initOps = 5;
+    auto actions = kvActions(cfg, 120);
+    std::size_t inserts = 0, removes = 0, gets = 0;
+    for (std::size_t i = cfg.initOps; i < actions.size(); i++) {
+        switch (actions[i].op) {
+          case KvOp::Insert: inserts++; break;
+          case KvOp::Remove: removes++; break;
+          case KvOp::Get: gets++; break;
+        }
+    }
+    EXPECT_GT(inserts, 40u); // ~60%
+    EXPECT_GT(removes, 5u);  // ~20%
+    EXPECT_GT(gets, 5u);     // ~20%
+}
+
+TEST(KvActions, KeysAreNonZeroAndBounded)
+{
+    WorkloadConfig cfg;
+    for (const auto &a : kvActions(cfg, 200)) {
+        EXPECT_GE(a.key, 1u);
+        EXPECT_LE(a.key, 64u);
+    }
+}
+
+TEST(KvActions, RemovesTargetInsertedKeys)
+{
+    WorkloadConfig cfg;
+    cfg.initOps = 10;
+    auto actions = kvActions(cfg, 100);
+    std::set<std::uint64_t> inserted;
+    for (const auto &a : actions) {
+        if (a.op == KvOp::Insert) {
+            inserted.insert(a.key);
+        } else if (a.op == KvOp::Remove) {
+            EXPECT_TRUE(inserted.count(a.key)) << a.key;
+        }
+    }
+}
+
+TEST(KvActions, DifferentSeedsGiveDifferentStreams)
+{
+    WorkloadConfig a, b;
+    a.seed = 1;
+    b.seed = 2;
+    auto sa = kvActions(a, 30);
+    auto sb = kvActions(b, 30);
+    unsigned same = 0;
+    for (std::size_t i = 0; i < sa.size(); i++) {
+        if (sa[i].key == sb[i].key)
+            same++;
+    }
+    EXPECT_LT(same, 10u);
+}
+
+TEST(KvExpected, ModelTracksInsertRemoveUpdate)
+{
+    WorkloadConfig cfg;
+    cfg.initOps = 10;
+    auto model = kvExpected(cfg, 60);
+    auto actions = kvActions(cfg, 60);
+    // Independent replay must agree with kvExpected.
+    std::map<std::uint64_t, std::uint64_t> replay;
+    for (const auto &a : actions) {
+        if (a.op == KvOp::Insert)
+            replay[a.key] = a.val;
+        else if (a.op == KvOp::Remove)
+            replay.erase(a.key);
+    }
+    EXPECT_EQ(model, replay);
+}
+
+TEST(KvExpected, EmptyForZeroOps)
+{
+    WorkloadConfig cfg;
+    EXPECT_TRUE(kvExpected(cfg, 0).empty());
+}
+
+} // namespace

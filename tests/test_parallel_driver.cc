@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Parallel detection tests — the paper's named future work ("the
+ * post-failure executions are independent... and therefore, can be
+ * parallelized", §6.2.1). The parallel driver must produce exactly
+ * the findings of the serial run, for clean and buggy programs alike.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bugsuite/registry.hh"
+#include "core/driver.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace xfd;
+using core::BugType;
+using core::CampaignResult;
+using core::Driver;
+using trace::PmRuntime;
+using workloads::makeWorkload;
+using workloads::WorkloadConfig;
+
+/** Findings as a sorted multiset of (type, reader line, writer line). */
+std::vector<std::tuple<int, unsigned, unsigned, std::string>>
+fingerprint(const CampaignResult &res)
+{
+    std::vector<std::tuple<int, unsigned, unsigned, std::string>> out;
+    for (const auto &b : res.bugs) {
+        out.emplace_back(static_cast<int>(b.type), b.reader.line,
+                         b.writer.line, b.note);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+CampaignResult
+runWorkload(const std::string &name, WorkloadConfig cfg,
+            unsigned threads)
+{
+    auto w = makeWorkload(name, cfg);
+    pm::PmPool pool(1 << 22);
+    Driver driver(pool, {});
+    return driver.runParallel(
+        [&](PmRuntime &rt) { w->pre(rt); },
+        [&](PmRuntime &rt) { w->post(rt); }, threads);
+}
+
+class ParallelEquivalence
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ParallelEquivalence, CleanWorkloadSameFindings)
+{
+    WorkloadConfig cfg;
+    cfg.initOps = 5;
+    cfg.testOps = 6;
+    cfg.postOps = 3;
+    auto serial = runWorkload(GetParam(), cfg, 1);
+    auto par = runWorkload(GetParam(), cfg, 4);
+    EXPECT_EQ(fingerprint(serial), fingerprint(par));
+    EXPECT_EQ(serial.stats.failurePoints, par.stats.failurePoints);
+    EXPECT_EQ(serial.stats.postExecutions, par.stats.postExecutions);
+    EXPECT_EQ(par.stats.threads, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Micro, ParallelEquivalence,
+                         ::testing::Values("btree", "hashmap_tx",
+                                           "hashmap_atomic"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (auto &c : n) {
+                                 if (c == '_')
+                                     c = 'X';
+                             }
+                             return n;
+                         });
+
+TEST(ParallelDriver, BuggyCampaignsMatchSerial)
+{
+    const char *const ids[] = {
+        "btree.race.leaf_no_add",
+        "hashmap_atomic.sem.no_recount",
+        "hashmap_tx.race.slot_no_add",
+    };
+    for (const char *id : ids) {
+        for (const auto &c : bugsuite::allBugCases()) {
+            if (c.id != id)
+                continue;
+            SCOPED_TRACE(id);
+            auto serial = bugsuite::runBugCase(c);
+
+            // Re-run the same campaign through the parallel path.
+            workloads::WorkloadConfig wcfg;
+            wcfg.initOps = c.initOps;
+            wcfg.testOps = c.testOps;
+            wcfg.postOps = c.postOps;
+            wcfg.roiFromStart = c.roiFromStart;
+            wcfg.bugs.enable(c.id);
+            auto w = makeWorkload(c.workload, std::move(wcfg));
+            pm::PmPool pool(1 << 22);
+            Driver driver(pool, {});
+            auto par = driver.runParallel(
+                [&](PmRuntime &rt) { w->pre(rt); },
+                [&](PmRuntime &rt) { w->post(rt); }, 3);
+            EXPECT_EQ(fingerprint(serial), fingerprint(par));
+            EXPECT_TRUE(bugsuite::detected(c, par));
+        }
+    }
+}
+
+TEST(ParallelDriver, MoreThreadsThanPointsIsFine)
+{
+    WorkloadConfig cfg;
+    cfg.initOps = 0;
+    cfg.testOps = 1;
+    auto res = runWorkload("btree", cfg, 64);
+    EXPECT_EQ(res.stats.postExecutions, res.stats.failurePoints);
+}
+
+TEST(ParallelDriver, ZeroThreadsMeansSerial)
+{
+    WorkloadConfig cfg;
+    cfg.initOps = 2;
+    cfg.testOps = 2;
+    auto w = makeWorkload("ctree", cfg);
+    pm::PmPool pool(1 << 22);
+    Driver driver(pool, {});
+    auto res = driver.runParallel(
+        [&](PmRuntime &rt) { w->pre(rt); },
+        [&](PmRuntime &rt) { w->post(rt); }, 0);
+    EXPECT_EQ(res.stats.threads, 1u);
+    EXPECT_GT(res.stats.postExecutions, 0u);
+}
+
+TEST(ParallelDriver, PoolHoldsFinalStateAfterParallelRun)
+{
+    WorkloadConfig cfg;
+    cfg.initOps = 4;
+    cfg.testOps = 4;
+    auto w = makeWorkload("rbtree", cfg);
+    pm::PmPool pool(1 << 22);
+    Driver driver(pool, {});
+    (void)driver.runParallel([&](PmRuntime &rt) { w->pre(rt); },
+                             [&](PmRuntime &rt) { w->post(rt); }, 4);
+    // The pool must hold the final pre-failure contents: verify()
+    // checks the structure against the reference model.
+    trace::TraceBuffer buf;
+    PmRuntime rt(pool, buf, trace::Stage::PreFailure);
+    EXPECT_EQ(w->verify(rt), "");
+}
+
+} // namespace

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Undo-log transaction tests: commit/abort/rollback mechanics, log
+ * chunking, nesting, recovery on open, and detector integration — the
+ * essence of the paper's Figure 1 (a field updated inside a
+ * transaction without TX_ADD races with the post-failure resumption).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/driver.hh"
+#include "pmlib/objpool.hh"
+#include "pmlib/tx.hh"
+
+namespace
+{
+
+using namespace xfd;
+using core::BugType;
+using pmlib::ObjPool;
+using pmlib::Tx;
+using trace::PmRuntime;
+using trace::Stage;
+
+/** Root object used throughout: two counters. */
+struct CounterRoot
+{
+    std::uint64_t value;
+    std::uint64_t length;
+};
+
+struct TxTest : ::testing::Test
+{
+    TxTest() : pool(1 << 21), rt(pool, buf, Stage::PreFailure) {}
+
+    ObjPool
+    makePool()
+    {
+        return ObjPool::create(rt, "txtest", sizeof(CounterRoot));
+    }
+
+    pm::PmPool pool;
+    trace::TraceBuffer buf;
+    PmRuntime rt;
+};
+
+TEST_F(TxTest, CommitKeepsNewValues)
+{
+    ObjPool op = makePool();
+    auto *r = op.root<CounterRoot>();
+    {
+        Tx tx(op);
+        tx.add(r->value);
+        rt.store(r->value, std::uint64_t{7});
+        tx.commit();
+    }
+    EXPECT_EQ(r->value, 7u);
+    EXPECT_EQ(op.txLog()->active, 0u);
+}
+
+TEST_F(TxTest, AbortRollsBack)
+{
+    ObjPool op = makePool();
+    auto *r = op.root<CounterRoot>();
+    rt.store(r->value, std::uint64_t{3});
+    rt.persistBarrier(&r->value, 8);
+    {
+        Tx tx(op);
+        tx.add(r->value);
+        rt.store(r->value, std::uint64_t{9});
+        tx.abort();
+    }
+    EXPECT_EQ(r->value, 3u);
+}
+
+TEST_F(TxTest, DestructorAbortsOpenTransaction)
+{
+    ObjPool op = makePool();
+    auto *r = op.root<CounterRoot>();
+    {
+        Tx tx(op);
+        tx.add(r->value);
+        rt.store(r->value, std::uint64_t{9});
+        // no commit: destructor must roll back
+    }
+    EXPECT_EQ(r->value, 0u);
+    EXPECT_EQ(pmlib::txDepth(), 0u);
+}
+
+TEST_F(TxTest, NestedTransactionsFlatten)
+{
+    ObjPool op = makePool();
+    auto *r = op.root<CounterRoot>();
+    {
+        Tx outer(op);
+        outer.add(r->value);
+        rt.store(r->value, std::uint64_t{1});
+        {
+            Tx inner(op);
+            inner.add(r->length);
+            rt.store(r->length, std::uint64_t{2});
+            inner.commit(); // no-op: outer still open
+        }
+        EXPECT_EQ(op.txLog()->active, 1u);
+        outer.commit();
+    }
+    EXPECT_EQ(op.txLog()->active, 0u);
+    EXPECT_EQ(r->value, 1u);
+    EXPECT_EQ(r->length, 2u);
+}
+
+TEST_F(TxTest, LargeRangeChunksAcrossLogEntries)
+{
+    ObjPool op = makePool();
+    Addr big = op.heap().palloc(2048);
+    auto *p = static_cast<std::uint8_t *>(pool.toHost(big));
+    {
+        Tx tx(op);
+        tx.addRange(p, 2048);
+        EXPECT_EQ(op.txLog()->numEntries, 4u); // 2048 / 512
+        rt.setPm(p, 0xee, 2048);
+        tx.abort();
+    }
+    for (int i = 0; i < 2048; i += 511)
+        EXPECT_EQ(p[i], 0u); // rollback restored zeros
+}
+
+TEST_F(TxTest, RecoveryOnOpenRollsBackActiveTx)
+{
+    ObjPool op = makePool();
+    auto *r = op.root<CounterRoot>();
+    rt.store(r->value, std::uint64_t{5});
+    rt.persistBarrier(&r->value, 8);
+
+    // Simulate a crash mid-transaction: leave the log active.
+    {
+        Tx tx(op);
+        tx.add(r->value);
+        rt.store(r->value, std::uint64_t{100});
+        // pretend the process died here
+        EXPECT_EQ(op.txLog()->active, 1u);
+        // Re-open: recovery must roll the update back.
+        ObjPool reopened = ObjPool::open(rt, "txtest");
+        EXPECT_EQ(reopened.txLog()->active, 0u);
+        EXPECT_EQ(r->value, 5u);
+        tx.commit(); // retired log: commit is now harmless
+    }
+}
+
+TEST_F(TxTest, RunTxSugarCommits)
+{
+    ObjPool op = makePool();
+    auto *r = op.root<CounterRoot>();
+    pmlib::runTx(op, [&](Tx &tx) {
+        tx.add(r->value);
+        rt.store(r->value, std::uint64_t{11});
+    });
+    EXPECT_EQ(r->value, 11u);
+    EXPECT_EQ(op.txLog()->active, 0u);
+}
+
+// ------------------------------------------------------------------
+// Detector integration: the Figure 1 scenario.
+// ------------------------------------------------------------------
+
+struct Fig1Campaign
+{
+    /** When false, `length` is updated without TX_ADD (the bug). */
+    bool addLength;
+    /** When true, recovery recomputes length (the recover_alt fix). */
+    bool recoverAlt = false;
+
+    void
+    pre(PmRuntime &rt) const
+    {
+        ObjPool op = ObjPool::create(rt, "fig1", sizeof(CounterRoot));
+        trace::RoiScope roi(rt);
+        auto *r = op.root<CounterRoot>();
+        Tx tx(op);
+        tx.add(r->value);
+        rt.store(r->value, rt.load(r->value) + 1);
+        if (addLength)
+            tx.add(r->length);
+        rt.store(r->length, rt.load(r->length) + 1);
+        tx.commit();
+    }
+
+    void
+    post(PmRuntime &rt) const
+    {
+        ObjPool op = ObjPool::open(rt, "fig1"); // applies undo logs
+        trace::RoiScope roi(rt);
+        auto *r = op.root<CounterRoot>();
+        if (recoverAlt) {
+            // recover_alt(): overwrite length with a recomputed value.
+            rt.store(r->length, rt.load(r->value));
+            rt.persistBarrier(&r->length, 8);
+        }
+        // Resumption (pop() in the paper): reads both fields.
+        (void)rt.load(r->value);
+        (void)rt.load(r->length);
+    }
+};
+
+core::CampaignResult
+runFig1(const Fig1Campaign &prog)
+{
+    pm::PmPool pool(1 << 21);
+    core::Driver driver(pool, {});
+    return driver.run([&](PmRuntime &rt) { prog.pre(rt); },
+                      [&](PmRuntime &rt) { prog.post(rt); });
+}
+
+TEST(TxDetector, MissingTxAddIsARace)
+{
+    auto res = runFig1({false});
+    EXPECT_GE(res.count(BugType::CrossFailureRace), 1u) << res.summary();
+}
+
+TEST(TxDetector, FullyProtectedTxIsClean)
+{
+    auto res = runFig1({true});
+    EXPECT_EQ(res.count(BugType::CrossFailureRace), 0u) << res.summary();
+    EXPECT_EQ(res.count(BugType::CrossFailureSemantic), 0u)
+        << res.summary();
+}
+
+TEST(TxDetector, RecoverAltFixesThePostFailureStage)
+{
+    // The paper's Figure 1 fix: recovery overwrites the unlogged
+    // field, so the resumption no longer reads inconsistent data.
+    auto res = runFig1({false, true});
+    EXPECT_EQ(res.count(BugType::CrossFailureRace), 0u) << res.summary();
+}
+
+TEST(TxDetector, DuplicateTxAddIsPerformanceBug)
+{
+    pm::PmPool pool(1 << 21);
+    core::Driver driver(pool, {});
+    auto res = driver.run(
+        [&](PmRuntime &rt) {
+            ObjPool op = ObjPool::create(rt, "dup", sizeof(CounterRoot));
+            trace::RoiScope roi(rt);
+            auto *r = op.root<CounterRoot>();
+            Tx tx(op);
+            tx.add(r->value);
+            // A second snapshot of the same object: add() itself
+            // dedupes (PMDK semantics), so the waste is injected with
+            // the unchecked variant the bug suite uses.
+            tx.addUnchecked(r->value);
+            rt.store(r->value, std::uint64_t{1});
+            tx.commit();
+        },
+        [](PmRuntime &) {});
+    EXPECT_GE(res.count(BugType::Performance), 1u) << res.summary();
+}
+
+TEST(TxDetector, TxAddAfterCommitBoundaryIsNotDuplicate)
+{
+    pm::PmPool pool(1 << 21);
+    core::Driver driver(pool, {});
+    auto res = driver.run(
+        [&](PmRuntime &rt) {
+            ObjPool op = ObjPool::create(rt, "dup2", sizeof(CounterRoot));
+            trace::RoiScope roi(rt);
+            auto *r = op.root<CounterRoot>();
+            for (int i = 0; i < 2; i++) {
+                Tx tx(op);
+                tx.add(r->value);
+                rt.store(r->value, static_cast<std::uint64_t>(i));
+                tx.commit();
+            }
+        },
+        [](PmRuntime &) {});
+    EXPECT_EQ(res.count(BugType::Performance), 0u) << res.summary();
+}
+
+} // namespace

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Baseline (pre-failure-only) checker tests, including the paper's
+ * two headline comparisons (§2, Fig. 3):
+ *  - the baseline false-positives on the Figure 1 program fixed by
+ *    recover_alt(), because it cannot see the post-failure overwrite;
+ *  - the baseline misses the Figure 2 inverted-valid bug, which only
+ *    manifests across the failure; XFDetector catches it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/driver.hh"
+#include "core/prefailure_checker.hh"
+#include "pmlib/objpool.hh"
+#include "pmlib/tx.hh"
+
+namespace
+{
+
+using namespace xfd;
+using core::PreFailureChecker;
+using core::PreFailureFinding;
+using Kind = core::PreFailureFinding::Kind;
+using trace::PmRuntime;
+using trace::Stage;
+
+struct BaselineTest : ::testing::Test
+{
+    BaselineTest() : pool(1 << 21), rt(pool, buf, Stage::PreFailure) {}
+
+    std::vector<PreFailureFinding>
+    check()
+    {
+        PreFailureChecker checker(pool.range());
+        return checker.check(buf);
+    }
+
+    std::size_t
+    countKind(const std::vector<PreFailureFinding> &fs, Kind k)
+    {
+        std::size_t n = 0;
+        for (const auto &f : fs) {
+            if (f.kind == k)
+                n++;
+        }
+        return n;
+    }
+
+    pm::PmPool pool;
+    trace::TraceBuffer buf;
+    PmRuntime rt;
+};
+
+TEST_F(BaselineTest, CleanProgramHasNoFindings)
+{
+    auto *v = pool.at<std::uint64_t>(0);
+    rt.roiBegin();
+    rt.store(*v, std::uint64_t{1});
+    rt.persistBarrier(v, 8);
+    rt.roiEnd();
+    EXPECT_TRUE(check().empty());
+}
+
+TEST_F(BaselineTest, UnpersistedStoreAtEndReported)
+{
+    auto *v = pool.at<std::uint64_t>(0);
+    rt.roiBegin();
+    rt.store(*v, std::uint64_t{1});
+    rt.roiEnd();
+    auto fs = check();
+    EXPECT_EQ(countKind(fs, Kind::UnpersistedAtEnd), 1u);
+}
+
+TEST_F(BaselineTest, FlushWithoutFenceStillReported)
+{
+    auto *v = pool.at<std::uint64_t>(0);
+    rt.roiBegin();
+    rt.store(*v, std::uint64_t{1});
+    rt.clwb(v, 8);
+    rt.roiEnd();
+    auto fs = check();
+    EXPECT_EQ(countKind(fs, Kind::UnpersistedAtEnd), 1u);
+}
+
+TEST_F(BaselineTest, NonRoiStoresExempt)
+{
+    auto *v = pool.at<std::uint64_t>(0);
+    rt.store(*v, std::uint64_t{1}); // outside RoI: setup
+    rt.roiBegin();
+    rt.roiEnd();
+    EXPECT_TRUE(check().empty());
+}
+
+TEST_F(BaselineTest, RedundantFlushReported)
+{
+    auto *v = pool.at<std::uint64_t>(0);
+    rt.roiBegin();
+    rt.store(*v, std::uint64_t{1});
+    rt.persistBarrier(v, 8);
+    rt.clwb(v, 8);
+    rt.sfence();
+    rt.roiEnd();
+    auto fs = check();
+    EXPECT_EQ(countKind(fs, Kind::RedundantFlush), 1u);
+}
+
+TEST_F(BaselineTest, UnloggedTxWriteReported)
+{
+    pmlib::ObjPool op = pmlib::ObjPool::create(rt, "base", 64);
+    auto *root = op.root<std::uint64_t[2]>();
+    rt.roiBegin();
+    {
+        pmlib::Tx tx(op);
+        tx.add((*root)[0]);
+        rt.store((*root)[0], std::uint64_t{1});
+        rt.store((*root)[1], std::uint64_t{2}); // never TX_ADDed
+        tx.commit();
+    }
+    rt.roiEnd();
+    auto fs = check();
+    EXPECT_EQ(countKind(fs, Kind::UnloggedTxWrite), 1u);
+}
+
+TEST_F(BaselineTest, LoggedTxWriteClean)
+{
+    pmlib::ObjPool op = pmlib::ObjPool::create(rt, "base2", 64);
+    auto *root = op.root<std::uint64_t[2]>();
+    rt.roiBegin();
+    {
+        pmlib::Tx tx(op);
+        tx.add((*root)[0]);
+        rt.store((*root)[0], std::uint64_t{1});
+        tx.commit();
+    }
+    rt.roiEnd();
+    EXPECT_TRUE(check().empty());
+}
+
+// ------------------------------------------------------------------
+// The paper's capability comparison (§2 / Fig. 3).
+// ------------------------------------------------------------------
+
+struct ListRoot
+{
+    std::uint64_t value;
+    std::uint64_t length;
+};
+
+/** Figure 1: length updated in tx without TX_ADD. */
+void
+fig1Pre(PmRuntime &rt)
+{
+    pmlib::ObjPool op =
+        pmlib::ObjPool::create(rt, "fig1cmp", sizeof(ListRoot));
+    trace::RoiScope roi(rt);
+    auto *r = op.root<ListRoot>();
+    pmlib::Tx tx(op);
+    tx.add(r->value);
+    rt.store(r->value, rt.load(r->value) + 1);
+    rt.store(r->length, rt.load(r->length) + 1); // unlogged
+    tx.commit();
+}
+
+/** recover_alt(): recompute length, then resume. */
+void
+fig1PostAlt(PmRuntime &rt)
+{
+    pmlib::ObjPool op = pmlib::ObjPool::openOrCreate(
+        rt, "fig1cmp", sizeof(ListRoot));
+    trace::RoiScope roi(rt);
+    auto *r = op.root<ListRoot>();
+    rt.store(r->length, rt.load(r->value));
+    rt.persistBarrier(&r->length, 8);
+    (void)rt.load(r->length);
+}
+
+TEST(BaselineComparison, BaselineFalsePositivesOnRecoverAlt)
+{
+    // End-to-end, the program is correct (XFDetector: clean). The
+    // pre-failure-only baseline still flags `length` — the paper's
+    // "existing works can report a false positive" claim.
+    pm::PmPool pool(1 << 21);
+    trace::TraceBuffer pre;
+    {
+        PmRuntime rt(pool, pre, Stage::PreFailure);
+        fig1Pre(rt);
+    }
+    PreFailureChecker baseline(pool.range());
+    auto base_findings = baseline.check(pre);
+    EXPECT_FALSE(base_findings.empty());
+
+    pm::PmPool pool2(1 << 21);
+    core::Driver driver(pool2, {});
+    auto xfd_res = driver.run(fig1Pre, fig1PostAlt);
+    EXPECT_EQ(xfd_res.count(core::BugType::CrossFailureRace), 0u)
+        << xfd_res.summary();
+}
+
+struct ArrRoot
+{
+    std::int64_t backupIdx;
+    std::int64_t backupVal;
+    std::uint8_t valid;
+    std::uint8_t pad[47];
+    std::int64_t arr[8];
+};
+
+/** Figure 2 as printed: valid set to inverted values. */
+void
+fig2Pre(PmRuntime &rt)
+{
+    auto *r = static_cast<ArrRoot *>(rt.pool().toHost(rt.pool().base()));
+    trace::RoiScope roi(rt);
+    rt.addCommitVar(r->valid);
+    rt.addCommitRange(r->valid, &r->backupIdx, 16);
+    rt.addCommitRange(r->valid, r->arr, sizeof(r->arr));
+    rt.store(r->backupIdx, std::int64_t{5});
+    rt.store(r->backupVal, r->arr[5]);
+    rt.persistBarrier(&r->backupIdx, 16);
+    rt.store(r->valid, std::uint8_t{0}); // should be 1
+    rt.persistBarrier(&r->valid, 1);
+    rt.store(r->arr[5], std::int64_t{42});
+    rt.persistBarrier(&r->arr[5], 8);
+    rt.store(r->valid, std::uint8_t{1}); // should be 0
+    rt.persistBarrier(&r->valid, 1);
+}
+
+void
+fig2Post(PmRuntime &rt)
+{
+    auto *r = static_cast<ArrRoot *>(rt.pool().toHost(rt.pool().base()));
+    trace::RoiScope roi(rt);
+    rt.addCommitVar(r->valid);
+    rt.addCommitRange(r->valid, &r->backupIdx, 16);
+    rt.addCommitRange(r->valid, r->arr, sizeof(r->arr));
+    if (rt.load(r->valid)) {
+        std::int64_t idx = rt.load(r->backupIdx);
+        rt.store(r->arr[idx], rt.load(r->backupVal));
+        rt.persistBarrier(&r->arr[idx], 8);
+    }
+    (void)rt.load(r->arr[5]);
+}
+
+TEST(BaselineComparison, BaselineMissesCrossFailureSemanticBug)
+{
+    // Every store is flushed and fenced, so the pre-failure-only
+    // baseline sees nothing; the bug only exists across the failure.
+    pm::PmPool pool(1 << 21);
+    trace::TraceBuffer pre;
+    {
+        PmRuntime rt(pool, pre, Stage::PreFailure);
+        fig2Pre(rt);
+    }
+    PreFailureChecker baseline(pool.range());
+    EXPECT_TRUE(baseline.check(pre).empty());
+
+    pm::PmPool pool2(1 << 21);
+    core::Driver driver(pool2, {});
+    auto xfd_res = driver.run(fig2Pre, fig2Post);
+    EXPECT_GE(xfd_res.count(core::BugType::CrossFailureSemantic) +
+                  xfd_res.count(core::BugType::CrossFailureRace),
+              1u)
+        << xfd_res.summary();
+}
+
+TEST(BaselineComparison, BothCatchPlainMissingPersist)
+{
+    pm::PmPool pool(1 << 21);
+    auto pre = [](PmRuntime &rt) {
+        auto *v = static_cast<std::uint64_t *>(
+            rt.pool().toHost(rt.pool().base()));
+        trace::RoiScope roi(rt);
+        rt.store(*v, std::uint64_t{1}); // never persisted
+        rt.store(*(v + 8), std::uint64_t{2});
+        rt.persistBarrier(v + 8, 8);
+    };
+    trace::TraceBuffer pre_trace;
+    {
+        PmRuntime rt(pool, pre_trace, Stage::PreFailure);
+        pre(rt);
+    }
+    PreFailureChecker baseline(pool.range());
+    EXPECT_FALSE(baseline.check(pre_trace).empty());
+
+    pm::PmPool pool2(1 << 21);
+    core::Driver driver(pool2, {});
+    auto res = driver.run(pre, [](PmRuntime &rt) {
+        auto *v = static_cast<std::uint64_t *>(
+            rt.pool().toHost(rt.pool().base()));
+        trace::RoiScope roi(rt);
+        (void)rt.load(*v);
+    });
+    EXPECT_GE(res.count(core::BugType::CrossFailureRace), 1u);
+}
+
+} // namespace

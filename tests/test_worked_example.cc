@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The paper's worked example (Fig. 11), reproduced step by step.
+ *
+ * Layout (as in the figure):
+ *   0x100-0x10F  backup        (16 B)
+ *   0x110-0x113  valid         (commit variable, same cache line)
+ *   0x200-0x20F  arr[idx]      (the in-place update)
+ *
+ * Pre-failure trace:
+ *   WRITE 0x100 16 ; WRITE 0x110 4 ; CLWB 0x100 64 ; SFENCE ;
+ *   WRITE 0x200 16
+ * Post-failure trace (both failure points):
+ *   READ 0x110 1 ; READ 0x100 16
+ *
+ * Expected (paper §5.4): at F1 (before the CLWB/SFENCE) reading
+ * backup is a cross-failure RACE (persistence state modified); at F2
+ * (after the barrier, before the in-place update is committed)
+ * reading backup is a cross-failure SEMANTIC bug, "due to backup not
+ * being updated before the last update to the commit variable".
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/shadow_pm.hh"
+
+namespace
+{
+
+using namespace xfd;
+using core::DetectorConfig;
+using core::PersistState;
+using core::ReadCheck;
+using core::ShadowPM;
+
+struct Fig11Test : ::testing::Test
+{
+    static constexpr Addr base = defaultPoolBase;
+    static constexpr Addr backup = base + 0x100;
+    static constexpr Addr valid = base + 0x110;
+    static constexpr Addr arr = base + 0x200;
+
+    Fig11Test() : shadow({base, base + 0x1000}, cfg)
+    {
+        shadow.registerCommitVar(valid, 4);
+        shadow.registerCommitRange(valid, backup, 16);
+        shadow.registerCommitRange(valid, arr, 16);
+    }
+
+    DetectorConfig cfg;
+    ShadowPM shadow;
+};
+
+TEST_F(Fig11Test, StepByStep)
+{
+    // Line 1: WRITE 0x100 16 (backup) -> modified, Tlast = 0.
+    shadow.preWrite(backup, 16, 1, false);
+    EXPECT_EQ(shadow.persistStateOf(backup), PersistState::Modified);
+    EXPECT_EQ(shadow.tlastOf(backup), 0);
+
+    // Line 2: WRITE 0x110 4 (valid, the commit write) -> modified.
+    shadow.preWrite(valid, 4, 2, false);
+    EXPECT_EQ(shadow.persistStateOf(valid), PersistState::Modified);
+
+    // F1: the first failure triggers post-failure execution.
+    shadow.beginPostReplay();
+    {
+        // Line 6 (F1): READ 0x110 1 — the commit variable: benign.
+        auto r_valid = shadow.checkPostRead(valid, 1);
+        EXPECT_EQ(r_valid.verdict, ReadCheck::Benign);
+
+        // Line 7 (F1): READ 0x100 16 — backup is modified:
+        // cross-failure RACE (paper: "XFDetector reports a
+        // cross-failure race").
+        auto r_backup = shadow.checkPostRead(backup, 16);
+        EXPECT_EQ(r_backup.verdict, ReadCheck::Race);
+        EXPECT_EQ(r_backup.writerSeq, 1u);
+    }
+    shadow.endPostReplay();
+
+    // Line 3: CLWB 0x100 64 — covers both backup and valid.
+    EXPECT_FALSE(shadow.preFlush(backup, 3));
+    EXPECT_EQ(shadow.persistStateOf(backup),
+              PersistState::WritebackPending);
+    EXPECT_EQ(shadow.persistStateOf(valid),
+              PersistState::WritebackPending);
+
+    // Line 4: SFENCE — both persisted; global timestamp increments.
+    shadow.preFence();
+    EXPECT_EQ(shadow.persistStateOf(backup), PersistState::Persisted);
+    EXPECT_EQ(shadow.persistStateOf(valid), PersistState::Persisted);
+    EXPECT_EQ(shadow.timestamp(), 1);
+
+    // Line 5: WRITE 0x200 16 (arr) in place -> modified, Tlast = 1.
+    shadow.preWrite(arr, 16, 5, false);
+    EXPECT_EQ(shadow.persistStateOf(arr), PersistState::Modified);
+    EXPECT_EQ(shadow.tlastOf(arr), 1);
+
+    // F2: the second failure triggers post-failure execution.
+    shadow.beginPostReplay();
+    {
+        // Line 6 (F2): READ 0x110 — still benign.
+        EXPECT_EQ(shadow.checkPostRead(valid, 1).verdict,
+                  ReadCheck::Benign);
+
+        // Line 7 (F2): READ 0x100 — backup persisted, but modified in
+        // the same epoch as the last commit write, not between the
+        // last two: cross-failure SEMANTIC bug.
+        auto r_backup = shadow.checkPostRead(backup, 16);
+        EXPECT_EQ(r_backup.verdict, ReadCheck::SemanticBug);
+        EXPECT_EQ(r_backup.writerSeq, 1u);
+    }
+    shadow.endPostReplay();
+}
+
+TEST_F(Fig11Test, ArrReadAtF2WouldRace)
+{
+    // Not shown in the figure, but implied: the in-place update at
+    // 0x200 is unpersisted at F2, so reading it races.
+    shadow.preWrite(backup, 16, 1, false);
+    shadow.preWrite(valid, 4, 2, false);
+    shadow.preFlush(backup, 3);
+    shadow.preFence();
+    shadow.preWrite(arr, 16, 5, false);
+    shadow.beginPostReplay();
+    EXPECT_EQ(shadow.checkPostRead(arr, 16).verdict, ReadCheck::Race);
+}
+
+TEST_F(Fig11Test, CorrectedProtocolIsCleanAtBothPoints)
+{
+    // The green-box fix (valid = 1 after the backup persists, 0 at
+    // the end) makes both reads clean; see test_detector_e2e for the
+    // full-program version.
+    shadow.preWrite(backup, 16, 1, false);
+    shadow.preFlush(backup, 2);
+    shadow.preFence(); // ts 1
+    shadow.preWrite(valid, 4, 3, false); // commit: backup now covered
+    shadow.preFlush(valid, 4);
+    shadow.preFence(); // ts 2
+
+    shadow.beginPostReplay();
+    EXPECT_EQ(shadow.checkPostRead(valid, 1).verdict,
+              ReadCheck::Benign);
+    EXPECT_EQ(shadow.checkPostRead(backup, 16).verdict, ReadCheck::Ok);
+}
+
+} // namespace

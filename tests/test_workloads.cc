@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Workload tests: functional correctness against the volatile
+ * reference model, determinism, crash-recovery round trips, and —
+ * most importantly — the no-false-positive gauntlet: a full detection
+ * campaign over every bug-free workload must report no cross-failure
+ * findings (the paper's tool reports only real bugs on these
+ * programs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/driver.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace xfd;
+using core::BugType;
+using core::Driver;
+using trace::PmRuntime;
+using workloads::makeWorkload;
+using workloads::Workload;
+using workloads::WorkloadConfig;
+
+constexpr std::size_t poolSize = 1 << 22;
+
+class WorkloadParamTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadParamTest, FunctionalAgainstReferenceModel)
+{
+    WorkloadConfig cfg;
+    cfg.initOps = 12;
+    cfg.testOps = 12;
+    auto w = makeWorkload(GetParam(), cfg);
+
+    pm::PmPool pool(poolSize);
+    trace::TraceBuffer buf;
+    PmRuntime rt(pool, buf, trace::Stage::PreFailure);
+    w->pre(rt);
+    EXPECT_EQ(w->verify(rt), "");
+}
+
+TEST_P(WorkloadParamTest, DeterministicTrace)
+{
+    WorkloadConfig cfg;
+    cfg.initOps = 6;
+    cfg.testOps = 6;
+    std::size_t sizes[2];
+    for (int round = 0; round < 2; round++) {
+        auto w = makeWorkload(GetParam(), cfg);
+        pm::PmPool pool(poolSize);
+        trace::TraceBuffer buf;
+        PmRuntime rt(pool, buf, trace::Stage::PreFailure);
+        w->pre(rt);
+        sizes[round] = buf.size();
+    }
+    EXPECT_EQ(sizes[0], sizes[1]);
+}
+
+TEST_P(WorkloadParamTest, PostStageRunsAfterPre)
+{
+    WorkloadConfig cfg;
+    cfg.initOps = 6;
+    cfg.testOps = 4;
+    cfg.postOps = 3;
+    auto w = makeWorkload(GetParam(), cfg);
+
+    pm::PmPool pool(poolSize);
+    trace::TraceBuffer pre_buf, post_buf;
+    {
+        PmRuntime rt(pool, pre_buf, trace::Stage::PreFailure);
+        w->pre(rt);
+    }
+    {
+        PmRuntime rt(pool, post_buf, trace::Stage::PostFailure);
+        w->post(rt); // recovery on a cleanly finished image
+    }
+    EXPECT_GT(post_buf.size(), 0u);
+}
+
+TEST_P(WorkloadParamTest, NoFalsePositives)
+{
+    // Large enough that splits, rebuilds and remove paths all run.
+    WorkloadConfig cfg;
+    cfg.initOps = 8;
+    cfg.testOps = 10;
+    cfg.postOps = 4;
+    auto w = makeWorkload(GetParam(), cfg);
+
+    pm::PmPool pool(poolSize);
+    Driver driver(pool, {});
+    auto res = driver.run([&](PmRuntime &rt) { w->pre(rt); },
+                          [&](PmRuntime &rt) { w->post(rt); });
+    EXPECT_EQ(res.count(BugType::CrossFailureRace), 0u) << res.summary();
+    EXPECT_EQ(res.count(BugType::CrossFailureSemantic), 0u)
+        << res.summary();
+    EXPECT_EQ(res.count(BugType::RecoveryFailure), 0u) << res.summary();
+    EXPECT_EQ(res.count(BugType::Performance), 0u) << res.summary();
+    EXPECT_GT(res.stats.failurePoints, 0u);
+}
+
+TEST_P(WorkloadParamTest, NoFalsePositivesWithRoiFromStart)
+{
+    WorkloadConfig cfg;
+    cfg.initOps = 2;
+    cfg.testOps = 2;
+    cfg.postOps = 2;
+    cfg.roiFromStart = true;
+    auto w = makeWorkload(GetParam(), cfg);
+
+    pm::PmPool pool(poolSize);
+    Driver driver(pool, {});
+    auto res = driver.run([&](PmRuntime &rt) { w->pre(rt); },
+                          [&](PmRuntime &rt) { w->post(rt); });
+    EXPECT_EQ(res.count(BugType::CrossFailureRace), 0u) << res.summary();
+    EXPECT_EQ(res.count(BugType::CrossFailureSemantic), 0u)
+        << res.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadParamTest,
+                         ::testing::ValuesIn(workloads::workloadNames()),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (auto &c : n) {
+                                 if (c == '-' || c == '_')
+                                     c = 'X';
+                             }
+                             return n;
+                         });
+
+TEST(WorkloadFactory, RejectsUnknownNamesListsSeven)
+{
+    EXPECT_EQ(workloads::workloadNames().size(), 7u);
+}
+
+TEST(WorkloadScaling, MoreOpsMoreTraceEntries)
+{
+    std::size_t last = 0;
+    for (unsigned ops : {1u, 5u, 10u}) {
+        WorkloadConfig cfg;
+        cfg.initOps = 3;
+        cfg.testOps = ops;
+        auto w = makeWorkload("btree", cfg);
+        pm::PmPool pool(poolSize);
+        trace::TraceBuffer buf;
+        PmRuntime rt(pool, buf, trace::Stage::PreFailure);
+        w->pre(rt);
+        EXPECT_GT(buf.size(), last);
+        last = buf.size();
+    }
+}
+
+TEST(MemcachedEviction, CapacityEnforced)
+{
+    WorkloadConfig cfg;
+    cfg.initOps = 20;
+    cfg.testOps = 10;
+    cfg.memcachedCapacity = 8;
+    auto w = makeWorkload("memcached", cfg);
+    pm::PmPool pool(poolSize);
+    trace::TraceBuffer buf;
+    PmRuntime rt(pool, buf, trace::Stage::PreFailure);
+    w->pre(rt);
+    // verify() skips content checks beyond capacity but must not
+    // report errors either.
+    EXPECT_EQ(w->verify(rt), "");
+}
+
+TEST(HashmapTxRebuild, GrowsBuckets)
+{
+    // 20 inserts cross the load factor threshold (8 buckets).
+    WorkloadConfig cfg;
+    cfg.initOps = 20;
+    cfg.testOps = 5;
+    auto w = makeWorkload("hashmap_tx", cfg);
+    pm::PmPool pool(poolSize);
+    trace::TraceBuffer buf;
+    PmRuntime rt(pool, buf, trace::Stage::PreFailure);
+    w->pre(rt);
+    EXPECT_EQ(w->verify(rt), "");
+}
+
+} // namespace

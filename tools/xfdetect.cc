@@ -1,0 +1,282 @@
+/**
+ * @file
+ * xfdetect — command-line front door, the equivalent of the paper
+ * artifact's run.sh / runRedis.sh / runMemcached.sh scripts:
+ *
+ *   ./run.sh <WORKLOAD> <INITSIZE> <TESTSIZE> <PATCH>
+ *
+ * becomes
+ *
+ *   xfdetect --workload <name> --init N --test N [--bug <id>]...
+ *
+ * Examples:
+ *   xfdetect --list-workloads
+ *   xfdetect --list-bugs btree
+ *   xfdetect --workload btree --init 5 --test 5 \
+ *            --bug btree.race.leaf_no_add
+ *   xfdetect --workload redis --roi-from-start \
+ *            --bug redis.shipped.init_no_tx
+ *   xfdetect --workload hashmap_tx --baseline     # pre-failure only
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <fstream>
+#include <map>
+
+#include "bugsuite/registry.hh"
+#include "core/driver.hh"
+#include "core/prefailure_checker.hh"
+#include "trace/serialize.hh"
+#include "workloads/workload.hh"
+
+using namespace xfd;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage: xfdetect [options]\n"
+        "  --workload <name>      workload to test (see "
+        "--list-workloads)\n"
+        "  --init <n>             insertions before the RoI "
+        "(default 5)\n"
+        "  --test <n>             operations inside the RoI "
+        "(default 5)\n"
+        "  --post <n>             resumption operations (default 2)\n"
+        "  --seed <n>             workload RNG seed (default 42)\n"
+        "  --bug <id>             inject a synthetic bug "
+        "(repeatable; see --list-bugs)\n"
+        "  --roi-from-start       include pool creation in the RoI\n"
+        "  --baseline             run the pre-failure-only baseline "
+        "checker instead\n"
+        "  --threads <n>          parallel post-failure execution "
+        "(default 1)\n"
+        "  --dump-pre-trace <f>   run the pre-failure stage and write "
+        "its trace to <f>\n"
+        "  --analyze-trace <f>    load a dumped trace: op histogram, "
+        "failure plan,\n"
+        "                         baseline findings (no workload "
+        "needed)\n"
+        "  --granularity <1|2|4|8> shadow-PM cell size (default 1)\n"
+        "  --no-elision           disable empty-interval failure-point "
+        "elision\n"
+        "  --no-first-read        disable first-read-only checking\n"
+        "  --strict-persist       enable the strict persist extension\n"
+        "  --crash-image          post-failure stage sees a realistic "
+        "crash image\n"
+        "                         (unpersisted writes dropped) instead "
+        "of the paper's\n                         keep-everything "
+        "copy\n"
+        "  --max-failpoints <n>   cap injected failure points\n"
+        "  --quiet                suppress info output\n"
+        "  --list-workloads       print workload names and exit\n"
+        "  --list-bugs [wl]       print bug ids (optionally for one "
+        "workload) and exit\n");
+}
+
+int
+listBugs(const char *workload)
+{
+    for (const auto &c : bugsuite::allBugCases()) {
+        if (workload && c.workload != workload)
+            continue;
+        if (c.id.empty())
+            continue;
+        std::printf("%-48s [%s, expect %s]\n    %s\n", c.id.c_str(),
+                    bugsuite::originName(c.origin),
+                    bugsuite::expectedName(c.expected),
+                    c.description.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload;
+    workloads::WorkloadConfig cfg;
+    cfg.initOps = 5;
+    cfg.testOps = 5;
+    cfg.postOps = 2;
+    core::DetectorConfig dcfg;
+    bool baseline = false;
+    unsigned threads = 1;
+    std::string dump_trace_path;
+    std::string analyze_trace_path;
+
+    auto need_value = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; i++) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) {
+            usage();
+            return 0;
+        } else if (!std::strcmp(a, "--list-workloads")) {
+            for (const auto &n : workloads::workloadNames())
+                std::printf("%s\n", n.c_str());
+            return 0;
+        } else if (!std::strcmp(a, "--list-bugs")) {
+            const char *wl =
+                (i + 1 < argc && argv[i + 1][0] != '-') ? argv[++i]
+                                                        : nullptr;
+            return listBugs(wl);
+        } else if (!std::strcmp(a, "--workload")) {
+            workload = need_value(i);
+        } else if (!std::strcmp(a, "--init")) {
+            cfg.initOps = static_cast<unsigned>(
+                std::strtoul(need_value(i), nullptr, 10));
+        } else if (!std::strcmp(a, "--test")) {
+            cfg.testOps = static_cast<unsigned>(
+                std::strtoul(need_value(i), nullptr, 10));
+        } else if (!std::strcmp(a, "--post")) {
+            cfg.postOps = static_cast<unsigned>(
+                std::strtoul(need_value(i), nullptr, 10));
+        } else if (!std::strcmp(a, "--seed")) {
+            cfg.seed = std::strtoull(need_value(i), nullptr, 10);
+        } else if (!std::strcmp(a, "--bug")) {
+            cfg.bugs.enable(need_value(i));
+        } else if (!std::strcmp(a, "--roi-from-start")) {
+            cfg.roiFromStart = true;
+        } else if (!std::strcmp(a, "--baseline")) {
+            baseline = true;
+        } else if (!std::strcmp(a, "--threads")) {
+            threads = static_cast<unsigned>(
+                std::strtoul(need_value(i), nullptr, 10));
+        } else if (!std::strcmp(a, "--dump-pre-trace")) {
+            dump_trace_path = need_value(i);
+        } else if (!std::strcmp(a, "--analyze-trace")) {
+            analyze_trace_path = need_value(i);
+        } else if (!std::strcmp(a, "--granularity")) {
+            dcfg.granularity = static_cast<unsigned>(
+                std::strtoul(need_value(i), nullptr, 10));
+        } else if (!std::strcmp(a, "--no-elision")) {
+            dcfg.elideEmptyFailurePoints = false;
+        } else if (!std::strcmp(a, "--no-first-read")) {
+            dcfg.firstReadOnly = false;
+        } else if (!std::strcmp(a, "--strict-persist")) {
+            dcfg.strictPersistCheck = true;
+        } else if (!std::strcmp(a, "--crash-image")) {
+            dcfg.crashImageMode = true;
+        } else if (!std::strcmp(a, "--max-failpoints")) {
+            dcfg.maxFailurePoints =
+                std::strtoul(need_value(i), nullptr, 10);
+        } else if (!std::strcmp(a, "--quiet")) {
+            setVerbose(false);
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", a);
+            usage();
+            return 2;
+        }
+    }
+
+    if (!analyze_trace_path.empty()) {
+        // Offline analysis of a dumped trace: the decoupled-backend
+        // path of §5.5 — no workload binary required.
+        std::ifstream in(analyze_trace_path, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         analyze_trace_path.c_str());
+            return 2;
+        }
+        trace::LoadedTrace loaded = trace::readTrace(in);
+        const trace::TraceBuffer &buf = loaded.buffer();
+        std::map<std::string, std::size_t> histogram;
+        Addr lo = ~static_cast<Addr>(0), hi = 0;
+        for (const auto &e : buf) {
+            histogram[trace::opName(e.op)]++;
+            if (e.isWrite() || e.op == trace::Op::Read) {
+                lo = std::min(lo, e.addr);
+                hi = std::max(hi, e.addr + e.size);
+            }
+        }
+        std::printf("trace: %zu entries, %zu bytes of write payload\n",
+                    buf.size(), buf.payloadBytes());
+        for (const auto &[name, n] : histogram)
+            std::printf("  %-14s %8zu\n", name.c_str(), n);
+        if (hi > lo) {
+            std::printf("touched PM range: [%#llx, %#llx)\n",
+                        static_cast<unsigned long long>(lo),
+                        static_cast<unsigned long long>(hi));
+            auto plan = core::planFailurePoints(buf, dcfg);
+            std::printf("failure plan: %zu points (%zu candidates, "
+                        "%zu elided)\n",
+                        plan.points.size(), plan.candidates,
+                        plan.elided);
+            core::PreFailureChecker checker(
+                {lineBase(lo) & ~static_cast<Addr>(4095),
+                 hi + 4096});
+            auto findings = checker.check(buf);
+            std::printf("baseline findings: %zu\n", findings.size());
+            for (const auto &f : findings)
+                std::printf("%s\n", f.str().c_str());
+        }
+        return 0;
+    }
+
+    if (workload.empty()) {
+        usage();
+        return 2;
+    }
+
+    auto w = workloads::makeWorkload(workload, cfg);
+    pm::PmPool pool(1 << 23);
+
+    if (!dump_trace_path.empty()) {
+        trace::TraceBuffer pre;
+        trace::PmRuntime rt(pool, pre, trace::Stage::PreFailure);
+        try {
+            w->pre(rt);
+        } catch (const trace::StageComplete &) {
+        }
+        std::ofstream out(dump_trace_path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         dump_trace_path.c_str());
+            return 2;
+        }
+        trace::writeTrace(pre, out);
+        std::printf("wrote %zu trace entries to %s\n", pre.size(),
+                    dump_trace_path.c_str());
+        return 0;
+    }
+
+    if (baseline) {
+        trace::TraceBuffer pre;
+        trace::PmRuntime rt(pool, pre, trace::Stage::PreFailure);
+        try {
+            w->pre(rt);
+        } catch (const trace::StageComplete &) {
+        }
+        core::PreFailureChecker checker(pool.range());
+        auto findings = checker.check(pre);
+        std::printf("baseline (pre-failure-only) checker: %zu "
+                    "finding(s)\n",
+                    findings.size());
+        for (const auto &f : findings)
+            std::printf("%s\n", f.str().c_str());
+        return findings.empty() ? 0 : 1;
+    }
+
+    core::Driver driver(pool, dcfg);
+    auto res = driver.runParallel(
+        [&](trace::PmRuntime &rt) { w->pre(rt); },
+        [&](trace::PmRuntime &rt) { w->post(rt); }, threads);
+    std::printf("%s", res.summary().c_str());
+    return res.hasBugs() ? 1 : 0;
+}
