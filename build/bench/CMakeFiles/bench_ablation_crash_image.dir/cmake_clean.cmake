@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_crash_image.dir/bench_ablation_crash_image.cc.o"
+  "CMakeFiles/bench_ablation_crash_image.dir/bench_ablation_crash_image.cc.o.d"
+  "bench_ablation_crash_image"
+  "bench_ablation_crash_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_crash_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

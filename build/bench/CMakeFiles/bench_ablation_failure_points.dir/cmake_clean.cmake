@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_failure_points.dir/bench_ablation_failure_points.cc.o"
+  "CMakeFiles/bench_ablation_failure_points.dir/bench_ablation_failure_points.cc.o.d"
+  "bench_ablation_failure_points"
+  "bench_ablation_failure_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_failure_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_capability.dir/bench_fig3_capability.cc.o"
+  "CMakeFiles/bench_fig3_capability.dir/bench_fig3_capability.cc.o.d"
+  "bench_fig3_capability"
+  "bench_fig3_capability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_capability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

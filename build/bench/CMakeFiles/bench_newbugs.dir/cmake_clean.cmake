@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_newbugs.dir/bench_newbugs.cc.o"
+  "CMakeFiles/bench_newbugs.dir/bench_newbugs.cc.o.d"
+  "bench_newbugs"
+  "bench_newbugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_newbugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

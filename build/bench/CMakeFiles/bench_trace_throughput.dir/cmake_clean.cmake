@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_throughput.dir/bench_trace_throughput.cc.o"
+  "CMakeFiles/bench_trace_throughput.dir/bench_trace_throughput.cc.o.d"
+  "bench_trace_throughput"
+  "bench_trace_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

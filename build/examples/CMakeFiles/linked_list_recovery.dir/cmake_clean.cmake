@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linked_list_recovery.dir/linked_list_recovery.cpp.o"
+  "CMakeFiles/linked_list_recovery.dir/linked_list_recovery.cpp.o.d"
+  "linked_list_recovery"
+  "linked_list_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linked_list_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/low_level_annotation.dir/low_level_annotation.cpp.o"
+  "CMakeFiles/low_level_annotation.dir/low_level_annotation.cpp.o.d"
+  "low_level_annotation"
+  "low_level_annotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/low_level_annotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mechanisms_tour.dir/mechanisms_tour.cpp.o"
+  "CMakeFiles/mechanisms_tour.dir/mechanisms_tour.cpp.o.d"
+  "mechanisms_tour"
+  "mechanisms_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mechanisms_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfd_bugsuite.dir/registry.cc.o"
+  "CMakeFiles/xfd_bugsuite.dir/registry.cc.o.d"
+  "libxfd_bugsuite.a"
+  "libxfd_bugsuite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfd_bugsuite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

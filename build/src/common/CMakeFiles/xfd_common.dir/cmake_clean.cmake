@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfd_common.dir/logging.cc.o"
+  "CMakeFiles/xfd_common.dir/logging.cc.o.d"
+  "libxfd_common.a"
+  "libxfd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

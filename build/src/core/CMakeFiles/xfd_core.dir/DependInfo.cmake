@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bug_report.cc" "src/core/CMakeFiles/xfd_core.dir/bug_report.cc.o" "gcc" "src/core/CMakeFiles/xfd_core.dir/bug_report.cc.o.d"
+  "/root/repo/src/core/driver.cc" "src/core/CMakeFiles/xfd_core.dir/driver.cc.o" "gcc" "src/core/CMakeFiles/xfd_core.dir/driver.cc.o.d"
+  "/root/repo/src/core/failure_planner.cc" "src/core/CMakeFiles/xfd_core.dir/failure_planner.cc.o" "gcc" "src/core/CMakeFiles/xfd_core.dir/failure_planner.cc.o.d"
+  "/root/repo/src/core/prefailure_checker.cc" "src/core/CMakeFiles/xfd_core.dir/prefailure_checker.cc.o" "gcc" "src/core/CMakeFiles/xfd_core.dir/prefailure_checker.cc.o.d"
+  "/root/repo/src/core/shadow_pm.cc" "src/core/CMakeFiles/xfd_core.dir/shadow_pm.cc.o" "gcc" "src/core/CMakeFiles/xfd_core.dir/shadow_pm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/xfd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/xfd_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xfd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfd_core.dir/bug_report.cc.o"
+  "CMakeFiles/xfd_core.dir/bug_report.cc.o.d"
+  "CMakeFiles/xfd_core.dir/driver.cc.o"
+  "CMakeFiles/xfd_core.dir/driver.cc.o.d"
+  "CMakeFiles/xfd_core.dir/failure_planner.cc.o"
+  "CMakeFiles/xfd_core.dir/failure_planner.cc.o.d"
+  "CMakeFiles/xfd_core.dir/prefailure_checker.cc.o"
+  "CMakeFiles/xfd_core.dir/prefailure_checker.cc.o.d"
+  "CMakeFiles/xfd_core.dir/shadow_pm.cc.o"
+  "CMakeFiles/xfd_core.dir/shadow_pm.cc.o.d"
+  "libxfd_core.a"
+  "libxfd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfd_pm.dir/image.cc.o"
+  "CMakeFiles/xfd_pm.dir/image.cc.o.d"
+  "CMakeFiles/xfd_pm.dir/pool.cc.o"
+  "CMakeFiles/xfd_pm.dir/pool.cc.o.d"
+  "libxfd_pm.a"
+  "libxfd_pm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfd_pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmlib/alloc.cc" "src/pmlib/CMakeFiles/xfd_pmlib.dir/alloc.cc.o" "gcc" "src/pmlib/CMakeFiles/xfd_pmlib.dir/alloc.cc.o.d"
+  "/root/repo/src/pmlib/checkpoint.cc" "src/pmlib/CMakeFiles/xfd_pmlib.dir/checkpoint.cc.o" "gcc" "src/pmlib/CMakeFiles/xfd_pmlib.dir/checkpoint.cc.o.d"
+  "/root/repo/src/pmlib/objpool.cc" "src/pmlib/CMakeFiles/xfd_pmlib.dir/objpool.cc.o" "gcc" "src/pmlib/CMakeFiles/xfd_pmlib.dir/objpool.cc.o.d"
+  "/root/repo/src/pmlib/oplog.cc" "src/pmlib/CMakeFiles/xfd_pmlib.dir/oplog.cc.o" "gcc" "src/pmlib/CMakeFiles/xfd_pmlib.dir/oplog.cc.o.d"
+  "/root/repo/src/pmlib/redo.cc" "src/pmlib/CMakeFiles/xfd_pmlib.dir/redo.cc.o" "gcc" "src/pmlib/CMakeFiles/xfd_pmlib.dir/redo.cc.o.d"
+  "/root/repo/src/pmlib/tx.cc" "src/pmlib/CMakeFiles/xfd_pmlib.dir/tx.cc.o" "gcc" "src/pmlib/CMakeFiles/xfd_pmlib.dir/tx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/xfd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/xfd_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xfd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

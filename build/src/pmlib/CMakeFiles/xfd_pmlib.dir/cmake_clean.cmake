@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfd_pmlib.dir/alloc.cc.o"
+  "CMakeFiles/xfd_pmlib.dir/alloc.cc.o.d"
+  "CMakeFiles/xfd_pmlib.dir/checkpoint.cc.o"
+  "CMakeFiles/xfd_pmlib.dir/checkpoint.cc.o.d"
+  "CMakeFiles/xfd_pmlib.dir/objpool.cc.o"
+  "CMakeFiles/xfd_pmlib.dir/objpool.cc.o.d"
+  "CMakeFiles/xfd_pmlib.dir/oplog.cc.o"
+  "CMakeFiles/xfd_pmlib.dir/oplog.cc.o.d"
+  "CMakeFiles/xfd_pmlib.dir/redo.cc.o"
+  "CMakeFiles/xfd_pmlib.dir/redo.cc.o.d"
+  "CMakeFiles/xfd_pmlib.dir/tx.cc.o"
+  "CMakeFiles/xfd_pmlib.dir/tx.cc.o.d"
+  "libxfd_pmlib.a"
+  "libxfd_pmlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfd_pmlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/buffer.cc" "src/trace/CMakeFiles/xfd_trace.dir/buffer.cc.o" "gcc" "src/trace/CMakeFiles/xfd_trace.dir/buffer.cc.o.d"
+  "/root/repo/src/trace/runtime.cc" "src/trace/CMakeFiles/xfd_trace.dir/runtime.cc.o" "gcc" "src/trace/CMakeFiles/xfd_trace.dir/runtime.cc.o.d"
+  "/root/repo/src/trace/serialize.cc" "src/trace/CMakeFiles/xfd_trace.dir/serialize.cc.o" "gcc" "src/trace/CMakeFiles/xfd_trace.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pm/CMakeFiles/xfd_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xfd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfd_trace.dir/buffer.cc.o"
+  "CMakeFiles/xfd_trace.dir/buffer.cc.o.d"
+  "CMakeFiles/xfd_trace.dir/runtime.cc.o"
+  "CMakeFiles/xfd_trace.dir/runtime.cc.o.d"
+  "CMakeFiles/xfd_trace.dir/serialize.cc.o"
+  "CMakeFiles/xfd_trace.dir/serialize.cc.o.d"
+  "libxfd_trace.a"
+  "libxfd_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfd_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxfd_trace.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/btree.cc" "src/workloads/CMakeFiles/xfd_workloads.dir/btree.cc.o" "gcc" "src/workloads/CMakeFiles/xfd_workloads.dir/btree.cc.o.d"
+  "/root/repo/src/workloads/ctree.cc" "src/workloads/CMakeFiles/xfd_workloads.dir/ctree.cc.o" "gcc" "src/workloads/CMakeFiles/xfd_workloads.dir/ctree.cc.o.d"
+  "/root/repo/src/workloads/hashmap_atomic.cc" "src/workloads/CMakeFiles/xfd_workloads.dir/hashmap_atomic.cc.o" "gcc" "src/workloads/CMakeFiles/xfd_workloads.dir/hashmap_atomic.cc.o.d"
+  "/root/repo/src/workloads/hashmap_tx.cc" "src/workloads/CMakeFiles/xfd_workloads.dir/hashmap_tx.cc.o" "gcc" "src/workloads/CMakeFiles/xfd_workloads.dir/hashmap_tx.cc.o.d"
+  "/root/repo/src/workloads/mini_memcached.cc" "src/workloads/CMakeFiles/xfd_workloads.dir/mini_memcached.cc.o" "gcc" "src/workloads/CMakeFiles/xfd_workloads.dir/mini_memcached.cc.o.d"
+  "/root/repo/src/workloads/mini_redis.cc" "src/workloads/CMakeFiles/xfd_workloads.dir/mini_redis.cc.o" "gcc" "src/workloads/CMakeFiles/xfd_workloads.dir/mini_redis.cc.o.d"
+  "/root/repo/src/workloads/rbtree.cc" "src/workloads/CMakeFiles/xfd_workloads.dir/rbtree.cc.o" "gcc" "src/workloads/CMakeFiles/xfd_workloads.dir/rbtree.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/xfd_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/xfd_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmlib/CMakeFiles/xfd_pmlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/xfd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/xfd_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xfd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

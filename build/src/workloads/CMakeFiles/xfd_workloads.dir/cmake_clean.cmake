@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfd_workloads.dir/btree.cc.o"
+  "CMakeFiles/xfd_workloads.dir/btree.cc.o.d"
+  "CMakeFiles/xfd_workloads.dir/ctree.cc.o"
+  "CMakeFiles/xfd_workloads.dir/ctree.cc.o.d"
+  "CMakeFiles/xfd_workloads.dir/hashmap_atomic.cc.o"
+  "CMakeFiles/xfd_workloads.dir/hashmap_atomic.cc.o.d"
+  "CMakeFiles/xfd_workloads.dir/hashmap_tx.cc.o"
+  "CMakeFiles/xfd_workloads.dir/hashmap_tx.cc.o.d"
+  "CMakeFiles/xfd_workloads.dir/mini_memcached.cc.o"
+  "CMakeFiles/xfd_workloads.dir/mini_memcached.cc.o.d"
+  "CMakeFiles/xfd_workloads.dir/mini_redis.cc.o"
+  "CMakeFiles/xfd_workloads.dir/mini_redis.cc.o.d"
+  "CMakeFiles/xfd_workloads.dir/rbtree.cc.o"
+  "CMakeFiles/xfd_workloads.dir/rbtree.cc.o.d"
+  "CMakeFiles/xfd_workloads.dir/workload.cc.o"
+  "CMakeFiles/xfd_workloads.dir/workload.cc.o.d"
+  "libxfd_workloads.a"
+  "libxfd_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfd_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

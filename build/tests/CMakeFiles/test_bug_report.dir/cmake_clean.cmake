@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bug_report.dir/test_bug_report.cc.o"
+  "CMakeFiles/test_bug_report.dir/test_bug_report.cc.o.d"
+  "test_bug_report"
+  "test_bug_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bug_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

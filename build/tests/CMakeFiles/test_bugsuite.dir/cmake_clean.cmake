@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bugsuite.dir/test_bugsuite.cc.o"
+  "CMakeFiles/test_bugsuite.dir/test_bugsuite.cc.o.d"
+  "test_bugsuite"
+  "test_bugsuite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bugsuite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

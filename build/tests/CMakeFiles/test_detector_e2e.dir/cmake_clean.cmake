@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detector_e2e.dir/test_detector_e2e.cc.o"
+  "CMakeFiles/test_detector_e2e.dir/test_detector_e2e.cc.o.d"
+  "test_detector_e2e"
+  "test_detector_e2e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detector_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_driver_image.dir/test_driver_image.cc.o"
+  "CMakeFiles/test_driver_image.dir/test_driver_image.cc.o.d"
+  "test_driver_image"
+  "test_driver_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_driver_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

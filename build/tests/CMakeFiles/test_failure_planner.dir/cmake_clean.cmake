@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_planner.dir/test_failure_planner.cc.o"
+  "CMakeFiles/test_failure_planner.dir/test_failure_planner.cc.o.d"
+  "test_failure_planner"
+  "test_failure_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flush_variants.dir/test_flush_variants.cc.o"
+  "CMakeFiles/test_flush_variants.dir/test_flush_variants.cc.o.d"
+  "test_flush_variants"
+  "test_flush_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flush_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

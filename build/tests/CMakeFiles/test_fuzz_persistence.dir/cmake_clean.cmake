@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_persistence.dir/test_fuzz_persistence.cc.o"
+  "CMakeFiles/test_fuzz_persistence.dir/test_fuzz_persistence.cc.o.d"
+  "test_fuzz_persistence"
+  "test_fuzz_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_semantics.dir/test_fuzz_semantics.cc.o"
+  "CMakeFiles/test_fuzz_semantics.dir/test_fuzz_semantics.cc.o.d"
+  "test_fuzz_semantics"
+  "test_fuzz_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

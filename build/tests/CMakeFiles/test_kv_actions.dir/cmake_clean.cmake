@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kv_actions.dir/test_kv_actions.cc.o"
+  "CMakeFiles/test_kv_actions.dir/test_kv_actions.cc.o.d"
+  "test_kv_actions"
+  "test_kv_actions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kv_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_newbugs.dir/test_newbugs.cc.o"
+  "CMakeFiles/test_newbugs.dir/test_newbugs.cc.o.d"
+  "test_newbugs"
+  "test_newbugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_newbugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_driver.dir/test_parallel_driver.cc.o"
+  "CMakeFiles/test_parallel_driver.dir/test_parallel_driver.cc.o.d"
+  "test_parallel_driver"
+  "test_parallel_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmlib_alloc.dir/test_pmlib_alloc.cc.o"
+  "CMakeFiles/test_pmlib_alloc.dir/test_pmlib_alloc.cc.o.d"
+  "test_pmlib_alloc"
+  "test_pmlib_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmlib_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmlib_mechanisms.dir/test_pmlib_mechanisms.cc.o"
+  "CMakeFiles/test_pmlib_mechanisms.dir/test_pmlib_mechanisms.cc.o.d"
+  "test_pmlib_mechanisms"
+  "test_pmlib_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmlib_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_pmlib_pool.cc" "tests/CMakeFiles/test_pmlib_pool.dir/test_pmlib_pool.cc.o" "gcc" "tests/CMakeFiles/test_pmlib_pool.dir/test_pmlib_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bugsuite/CMakeFiles/xfd_bugsuite.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/xfd_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xfd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmlib/CMakeFiles/xfd_pmlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/xfd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/xfd_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xfd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

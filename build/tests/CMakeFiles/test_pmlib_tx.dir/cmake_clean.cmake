@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmlib_tx.dir/test_pmlib_tx.cc.o"
+  "CMakeFiles/test_pmlib_tx.dir/test_pmlib_tx.cc.o.d"
+  "test_pmlib_tx"
+  "test_pmlib_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmlib_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefailure_baseline.dir/test_prefailure_baseline.cc.o"
+  "CMakeFiles/test_prefailure_baseline.dir/test_prefailure_baseline.cc.o.d"
+  "test_prefailure_baseline"
+  "test_prefailure_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefailure_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

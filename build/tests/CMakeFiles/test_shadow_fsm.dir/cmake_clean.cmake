@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadow_fsm.dir/test_shadow_fsm.cc.o"
+  "CMakeFiles/test_shadow_fsm.dir/test_shadow_fsm.cc.o.d"
+  "test_shadow_fsm"
+  "test_shadow_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadow_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_worked_example.dir/test_worked_example.cc.o"
+  "CMakeFiles/test_worked_example.dir/test_worked_example.cc.o.d"
+  "test_worked_example"
+  "test_worked_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_worked_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfdetect.dir/xfdetect.cc.o"
+  "CMakeFiles/xfdetect.dir/xfdetect.cc.o.d"
+  "xfdetect"
+  "xfdetect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfdetect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

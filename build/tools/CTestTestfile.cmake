@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_list_workloads "/root/repo/build/tools/xfdetect" "--list-workloads")
+set_tests_properties(cli_list_workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_list_bugs "/root/repo/build/tools/xfdetect" "--list-bugs" "btree")
+set_tests_properties(cli_list_bugs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_clean_run "/root/repo/build/tools/xfdetect" "--workload" "ctree" "--init" "3" "--test" "2" "--quiet")
+set_tests_properties(cli_clean_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_buggy_run "/root/repo/build/tools/xfdetect" "--workload" "ctree" "--init" "3" "--test" "2" "--quiet" "--bug" "ctree.race.link_no_add")
+set_tests_properties(cli_buggy_run PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_baseline "/root/repo/build/tools/xfdetect" "--workload" "btree" "--baseline" "--quiet" "--init" "3" "--test" "2")
+set_tests_properties(cli_baseline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
