@@ -102,6 +102,35 @@ printTables()
     std::printf("\npaper: detection is 12.3x over pure Pin and 400.8x "
                 "over the original\nprogram (geomean), with the "
                 "post-failure stage the dominant component.\n\n");
+
+    writeBenchJson("fig12", [&](obs::JsonWriter &w) {
+        w.key("workloads").beginArray();
+        for (const auto &row : rows) {
+            w.beginObject();
+            w.field("workload", row.name);
+            w.field("total_ms", row.t.meanTotalSeconds * 1e3);
+            w.field("pre_ms", row.t.meanPreSeconds * 1e3);
+            w.field("post_ms", row.t.meanPostSeconds * 1e3);
+            w.field("backend_ms", row.t.meanBackendSeconds * 1e3);
+            w.field("failure_points",
+                    static_cast<std::uint64_t>(
+                        row.t.last.stats.failurePoints));
+            w.field("trace_only_ms", row.traced * 1e3);
+            w.field("original_ms", row.original * 1e3);
+            w.field("slowdown_vs_trace",
+                    row.t.meanTotalSeconds /
+                        std::max(row.traced, 1e-9));
+            w.field("slowdown_vs_original",
+                    row.t.meanTotalSeconds /
+                        std::max(row.original, 1e-9));
+            w.endObject();
+        }
+        w.endArray();
+        w.field("geomean_slowdown_vs_trace",
+                std::pow(geo_trace, 1.0 / rows.size()));
+        w.field("geomean_slowdown_vs_original",
+                std::pow(geo_orig, 1.0 / rows.size()));
+    });
 }
 
 /** google-benchmark probe: full campaign on one representative. */

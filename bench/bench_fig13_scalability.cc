@@ -38,6 +38,14 @@ fig13Config(unsigned txns)
 void
 printTable()
 {
+    struct Point
+    {
+        unsigned txns;
+        double ms;
+        std::size_t failpoints;
+    };
+    std::vector<std::pair<std::string, std::vector<Point>>> series;
+
     std::printf("\n=== Figure 13: execution time vs. #pre-failure "
                 "transactions ===\n");
     for (const char *w : kMicro) {
@@ -45,23 +53,44 @@ printTable()
         std::printf("%s\n", w);
         std::printf("  %-8s %12s %14s %16s\n", "#txns", "time(ms)",
                     "#failpoints", "ms per failpoint");
-        double first_per_fp = 0;
+        std::vector<Point> points;
         for (unsigned txns : kTxns) {
             Timing t = timeCampaign(w, fig13Config(txns), {}, 1);
             double ms = t.meanTotalSeconds * 1e3;
             std::size_t fp = t.last.stats.failurePoints;
             double per = fp ? ms / fp : 0;
-            if (!first_per_fp)
-                first_per_fp = per;
             std::printf("  %-8u %12.2f %14zu %16.3f\n", txns, ms, fp,
                         per);
+            points.push_back({txns, ms, fp});
         }
-        (void)first_per_fp;
+        series.emplace_back(w, std::move(points));
     }
     rule();
     std::printf("\npaper: time increases linearly as the number of "
                 "failure points increases\n(the per-failure-point cost "
                 "column should stay roughly flat).\n\n");
+
+    writeBenchJson("fig13", [&](obs::JsonWriter &w) {
+        w.key("workloads").beginArray();
+        for (const auto &[name, points] : series) {
+            w.beginObject();
+            w.field("workload", name);
+            w.key("points").beginArray();
+            for (const auto &p : points) {
+                w.beginObject();
+                w.field("txns", p.txns);
+                w.field("time_ms", p.ms);
+                w.field("failure_points",
+                        static_cast<std::uint64_t>(p.failpoints));
+                w.field("ms_per_failpoint",
+                        p.failpoints ? p.ms / p.failpoints : 0.0);
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+    });
 }
 
 void

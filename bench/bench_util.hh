@@ -1,8 +1,9 @@
 /**
  * @file
  * Shared helpers for the benchmark binaries: campaign runners with
- * repetition, and fixed-width table printing that mirrors the paper's
- * tables/figures as console output.
+ * repetition, fixed-width table printing that mirrors the paper's
+ * tables/figures as console output, and machine-readable
+ * BENCH_<name>.json emission for regression tracking.
  */
 
 #ifndef XFD_BENCH_BENCH_UTIL_HH
@@ -10,11 +11,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <string>
 
 #include "common/logging.hh"
 #include "core/driver.hh"
+#include "obs/json.hh"
 #include "pm/pool.hh"
 #include "workloads/workload.hh"
 
@@ -84,6 +88,44 @@ rule(int width = 78)
     for (int i = 0; i < width; i++)
         std::putchar('-');
     std::putchar('\n');
+}
+
+/**
+ * Where BENCH_<name>.json lands: $XFD_BENCH_JSON_DIR when set, the
+ * current directory otherwise.
+ */
+inline std::string
+benchJsonPath(const std::string &name)
+{
+    const char *dir = std::getenv("XFD_BENCH_JSON_DIR");
+    std::string prefix =
+        dir && *dir ? std::string(dir) + "/" : std::string();
+    return prefix + "BENCH_" + name + ".json";
+}
+
+/**
+ * Write BENCH_<name>.json: a "xfd-bench-v1" envelope whose body
+ * (everything besides schema/bench) @p body emits into the open
+ * top-level object.
+ */
+inline void
+writeBenchJson(const std::string &name,
+               const std::function<void(obs::JsonWriter &)> &body)
+{
+    std::string path = benchJsonPath(name);
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write %s", path.c_str());
+        return;
+    }
+    obs::JsonWriter w(out);
+    w.beginObject();
+    w.field("schema", "xfd-bench-v1");
+    w.field("bench", name);
+    body(w);
+    w.endObject();
+    out << '\n';
+    std::printf("wrote %s\n", path.c_str());
 }
 
 } // namespace xfd::bench

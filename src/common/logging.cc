@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace xfd
@@ -11,6 +12,20 @@ namespace
 {
 
 bool verboseFlag = true;
+
+/**
+ * Serializes every message sink: warn()/inform() are called from
+ * runParallel worker threads, and without a lock their bytes
+ * interleave on stderr.
+ */
+std::mutex &
+sinkLock()
+{
+    static std::mutex m;
+    return m;
+}
+
+thread_local std::string logLabel;
 
 std::string
 vstrprintf(const char *fmt, va_list ap)
@@ -26,6 +41,19 @@ vstrprintf(const char *fmt, va_list ap)
     }
     va_end(ap2);
     return out;
+}
+
+/** One whole line, atomically, with the thread tag when set. */
+void
+emitLine(const char *prefix, const std::string &body)
+{
+    std::lock_guard<std::mutex> guard(sinkLock());
+    if (logLabel.empty()) {
+        std::fprintf(stderr, "%s: %s\n", prefix, body.c_str());
+    } else {
+        std::fprintf(stderr, "%s: [%s] %s\n", prefix,
+                     logLabel.c_str(), body.c_str());
+    }
 }
 
 } // namespace
@@ -47,7 +75,7 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     std::string s = vstrprintf(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "panic: %s\n", s.c_str());
+    emitLine("panic", s);
     std::abort();
 }
 
@@ -58,7 +86,7 @@ fatal(const char *fmt, ...)
     va_start(ap, fmt);
     std::string s = vstrprintf(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "fatal: %s\n", s.c_str());
+    emitLine("fatal", s);
     std::exit(1);
 }
 
@@ -69,7 +97,7 @@ warn(const char *fmt, ...)
     va_start(ap, fmt);
     std::string s = vstrprintf(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", s.c_str());
+    emitLine("warn", s);
 }
 
 void
@@ -81,7 +109,7 @@ inform(const char *fmt, ...)
     va_start(ap, fmt);
     std::string s = vstrprintf(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "info: %s\n", s.c_str());
+    emitLine("info", s);
 }
 
 void
@@ -94,6 +122,18 @@ bool
 verbose()
 {
     return verboseFlag;
+}
+
+void
+setThreadLogLabel(const std::string &label)
+{
+    logLabel = label;
+}
+
+const std::string &
+threadLogLabel()
+{
+    return logLabel;
 }
 
 } // namespace xfd

@@ -38,6 +38,17 @@ void setVerbose(bool verbose);
 /** @return whether inform() output is enabled. */
 bool verbose();
 
+/**
+ * Tag every warn()/inform() from the calling thread with @p label
+ * (e.g. "w3" for runParallel worker 3); empty clears the tag. All
+ * sinks share one mutex, so concurrent messages never interleave
+ * bytes on stderr.
+ */
+void setThreadLogLabel(const std::string &label);
+
+/** @return the calling thread's log label (empty when untagged). */
+const std::string &threadLogLabel();
+
 } // namespace xfd
 
 #endif // XFD_COMMON_LOGGING_HH

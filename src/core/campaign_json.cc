@@ -1,0 +1,126 @@
+#include "core/campaign_json.hh"
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace xfd::core
+{
+
+namespace
+{
+
+void
+writeSrcLoc(obs::JsonWriter &w, const trace::SrcLoc &loc)
+{
+    w.beginObject();
+    w.field("file", loc.file);
+    w.field("line", static_cast<std::uint64_t>(loc.line));
+    w.field("func", loc.func);
+    w.endObject();
+}
+
+void
+writeBug(obs::JsonWriter &w, const BugReport &b)
+{
+    w.beginObject();
+    w.field("type", bugTypeId(b.type));
+    w.field("addr", strprintf("%#llx",
+                              static_cast<unsigned long long>(b.addr)));
+    w.field("size", static_cast<std::uint64_t>(b.size));
+    w.key("reader");
+    writeSrcLoc(w, b.reader);
+    w.key("writer");
+    writeSrcLoc(w, b.writer);
+    w.field("failure_point", static_cast<std::uint64_t>(b.failurePoint));
+    w.field("occurrences", static_cast<std::uint64_t>(b.occurrences));
+    w.field("note", b.note);
+    w.endObject();
+}
+
+} // namespace
+
+const char *
+bugTypeId(BugType t)
+{
+    switch (t) {
+      case BugType::CrossFailureRace: return "cross_failure_race";
+      case BugType::CrossFailureSemantic: return "cross_failure_semantic";
+      case BugType::Performance: return "performance";
+      case BugType::RecoveryFailure: return "recovery_failure";
+    }
+    return "unknown";
+}
+
+void
+writeStatsJson(const CampaignResult &res,
+               const obs::StatsRegistry *stats, std::ostream &os)
+{
+    const CampaignStats &s = res.stats;
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "xfd-stats-v1");
+
+    // The same numbers summary() prints, machine-readable.
+    w.key("campaign").beginObject();
+    w.field("failure_points", static_cast<std::uint64_t>(s.failurePoints));
+    w.field("ordering_candidates",
+            static_cast<std::uint64_t>(s.orderingCandidates));
+    w.field("elided_points", static_cast<std::uint64_t>(s.elidedPoints));
+    w.field("post_executions",
+            static_cast<std::uint64_t>(s.postExecutions));
+    w.field("pre_trace_entries",
+            static_cast<std::uint64_t>(s.preTraceEntries));
+    w.field("post_trace_entries",
+            static_cast<std::uint64_t>(s.postTraceEntries));
+    w.field("checks_performed",
+            static_cast<std::uint64_t>(s.checksPerformed));
+    w.field("checks_skipped",
+            static_cast<std::uint64_t>(s.checksSkipped));
+    w.field("threads", s.threads);
+    w.field("pre_seconds", s.preSeconds);
+    w.field("post_seconds", s.postSeconds);
+    w.field("backend_seconds", s.backendSeconds);
+    w.field("total_seconds", s.totalSeconds());
+    w.endObject();
+
+    w.key("bugs").beginObject();
+    w.field("total", static_cast<std::uint64_t>(res.bugs.size()));
+    w.key("by_type").beginObject();
+    for (BugType t : {BugType::CrossFailureRace,
+                      BugType::CrossFailureSemantic, BugType::Performance,
+                      BugType::RecoveryFailure}) {
+        w.field(bugTypeId(t), static_cast<std::uint64_t>(res.count(t)));
+    }
+    w.endObject();
+    w.endObject();
+
+    if (stats) {
+        w.key("stats");
+        stats->writeJson(w);
+    }
+
+    w.endObject();
+    os << '\n';
+}
+
+void
+writeReportJson(const CampaignResult &res, std::ostream &os)
+{
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "xfd-report-v1");
+    w.field("findings_total",
+            static_cast<std::uint64_t>(res.bugs.size()));
+    w.field("checks_performed",
+            static_cast<std::uint64_t>(res.stats.checksPerformed));
+    w.field("checks_skipped",
+            static_cast<std::uint64_t>(res.stats.checksSkipped));
+    w.key("findings").beginArray();
+    for (const auto &b : res.bugs)
+        writeBug(w, b);
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+} // namespace xfd::core

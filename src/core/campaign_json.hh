@@ -1,0 +1,42 @@
+/**
+ * @file
+ * JSON export of campaign results — the machine-readable counterpart
+ * of CampaignResult::summary().
+ *
+ * Two documents:
+ *
+ *  - stats JSON  ("xfd-stats-v1"): the campaign timing/volume
+ *    breakdown (identical values to summary()), bug counts by type,
+ *    and the full stats registry when an observer collected one;
+ *  - report JSON ("xfd-report-v1"): the deduplicated findings with
+ *    source locations — diff-friendly, so serial and parallel
+ *    campaigns over the same program export byte-identical reports.
+ */
+
+#ifndef XFD_CORE_CAMPAIGN_JSON_HH
+#define XFD_CORE_CAMPAIGN_JSON_HH
+
+#include <ostream>
+
+#include "core/driver.hh"
+#include "obs/stats.hh"
+
+namespace xfd::core
+{
+
+/** Stable identifier of @p t for JSON keys ("cross_failure_race"). */
+const char *bugTypeId(BugType t);
+
+/**
+ * Write the stats document for @p res; @p stats (may be null) is the
+ * registry collected by the campaign's observer.
+ */
+void writeStatsJson(const CampaignResult &res,
+                    const obs::StatsRegistry *stats, std::ostream &os);
+
+/** Write the findings document for @p res. */
+void writeReportJson(const CampaignResult &res, std::ostream &os);
+
+} // namespace xfd::core
+
+#endif // XFD_CORE_CAMPAIGN_JSON_HH

@@ -72,6 +72,15 @@ struct DetectorConfig
 
     /** Upper bound on injected failure points (0 = unlimited). */
     std::size_t maxFailurePoints = 0;
+
+    /**
+     * Collect observability counters (shadow-FSM transition counts,
+     * per-op trace volumes, latency histograms). Increments are plain
+     * adds, but perf-sensitive callers can turn them off; defining
+     * XFD_STATS_NOOP (CMake option XFD_DISABLE_STATS) compiles them
+     * out entirely.
+     */
+    bool collectStats = true;
 };
 
 } // namespace xfd::core

@@ -1,11 +1,14 @@
 #include "core/driver.hh"
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <deque>
+#include <mutex>
 #include <thread>
 
 #include "common/logging.hh"
+#include "trace/buffer.hh"
 
 namespace xfd::core
 {
@@ -271,21 +274,32 @@ void
 Driver::handleFailurePoint(PreCursor &cur, pm::PmPool &exec_pool,
                            const trace::TraceBuffer &pre,
                            const ProgramFn &post, std::uint32_t fp,
-                           BugSink &sink, CampaignStats &stats)
+                           BugSink &sink, CampaignStats &stats,
+                           const WorkerObs &wobs)
 {
+    obs::Timeline *tl = wobs.timeline;
+    obs::SpanScope fp_span(tl, tl ? strprintf("fp#%u", fp)
+                                  : std::string(),
+                           "fp", wobs.track);
+
     auto tb0 = std::chrono::steady_clock::now();
-    // Performance bugs are collected by the dedicated full-trace
-    // advance, not here (workers would double-report them).
-    advanceShadow(cur, pre, fp, nullptr);
-    advanceImage(cur, pre, fp);
+    {
+        obs::SpanScope span(tl, "reconstruct", "backend", wobs.track);
+        // Performance bugs are collected by the dedicated full-trace
+        // advance, not here (workers would double-report them).
+        advanceShadow(cur, pre, fp, nullptr);
+        advanceImage(cur, pre, fp);
+
+        if (cfg.crashImageMode)
+            cur.durable.copyTo(exec_pool);
+        else
+            cur.image.copyTo(exec_pool);
+    }
     stats.backendSeconds += secondsSince(tb0);
 
-    if (cfg.crashImageMode)
-        cur.durable.copyTo(exec_pool);
-    else
-        cur.image.copyTo(exec_pool);
     trace::TraceBuffer post_trace;
     {
+        obs::SpanScope span(tl, "post-exec", "post", wobs.track);
         trace::PmRuntime rt(exec_pool, post_trace,
                             trace::Stage::PostFailure);
         rt.setEntryCap(1u << 20);
@@ -316,13 +330,24 @@ Driver::handleFailurePoint(PreCursor &cur, pm::PmPool &exec_pool,
                 static_cast<unsigned long long>(bad.addr));
             sink.report(std::move(r));
         }
-        stats.postSeconds += secondsSince(t0);
+        double post_s = secondsSince(t0);
+        stats.postSeconds += post_s;
+        if (wobs.postLatency)
+            wobs.postLatency->push_back(post_s);
+        if (wobs.postOps) {
+            const auto &ops = rt.opCounts();
+            for (std::size_t i = 0; i < ops.size(); i++)
+                (*wobs.postOps)[i] += ops[i];
+        }
     }
     stats.postExecutions++;
     stats.postTraceEntries += post_trace.size();
 
     auto tb1 = std::chrono::steady_clock::now();
-    replayPost(cur, pre, post_trace, fp, sink);
+    {
+        obs::SpanScope span(tl, "replay", "backend", wobs.track);
+        replayPost(cur, pre, post_trace, fp, sink);
+    }
     stats.backendSeconds += secondsSince(tb1);
 }
 
@@ -341,11 +366,17 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
     CampaignResult result;
     result.stats.threads = threads;
 
+    obs::Timeline *tl =
+        observer && observer->timeline.enabled() ? &observer->timeline
+                                                 : nullptr;
+
     pm::PmImage initial = pool.snapshot();
 
     // Step 1: pre-failure stage, traced.
     trace::TraceBuffer pre_trace;
+    std::array<std::uint64_t, trace::opCount> pre_ops{};
     {
+        obs::SpanScope span(tl, "pre-failure", "phase", 0);
         trace::PmRuntime rt(pool, pre_trace, trace::Stage::PreFailure);
         auto t0 = std::chrono::steady_clock::now();
         try {
@@ -353,11 +384,16 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
         } catch (const trace::StageComplete &) {
         }
         result.stats.preSeconds = secondsSince(t0);
+        pre_ops = rt.opCounts();
     }
     result.stats.preTraceEntries = pre_trace.size();
 
     // Step 2: plan failure points before each ordering point.
-    FailurePlan plan = planFailurePoints(pre_trace, cfg);
+    FailurePlan plan;
+    {
+        obs::SpanScope span(tl, "plan-failure-points", "phase", 0);
+        plan = planFailurePoints(pre_trace, cfg);
+    }
     result.stats.failurePoints = plan.points.size();
     result.stats.orderingCandidates = plan.candidates;
     result.stats.elidedPoints = plan.elided;
@@ -377,6 +413,22 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
     for (unsigned t = 0; t < threads; t++)
         cursors.emplace_back(pool.range(), cfg, initial);
 
+    // Per-worker observability sinks, merged deterministically (chunk
+    // order) into the observer after the join.
+    std::deque<std::vector<double>> post_latency(threads);
+    std::deque<std::array<std::uint64_t, trace::opCount>>
+        post_ops(threads);
+    for (auto &a : post_ops)
+        a.fill(0);
+    std::vector<int> tracks(threads, 0);
+    if (tl && threads > 1) {
+        for (unsigned t = 0; t < threads; t++)
+            tracks[t] = tl->registerTrack(strprintf("worker-%u", t));
+    }
+    std::atomic<std::size_t> fps_done{0};
+    std::atomic<std::size_t> bugs_found{0};
+    std::mutex progress_lock;
+
     auto worker = [&](unsigned t) {
         std::size_t per =
             (plan.points.size() + threads - 1) / threads;
@@ -385,6 +437,8 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
             std::min(plan.points.size(), begin + per);
         if (begin >= end)
             return;
+        if (threads > 1)
+            setThreadLogLabel(strprintf("w%u", t));
         // Each worker executes post-failure stages on its own pool
         // replica at the same base address.
         pm::PmPool *exec_pool = &pool;
@@ -394,11 +448,24 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
                                                  pool.base());
             exec_pool = local.get();
         }
+        WorkerObs wobs{tl, tracks[t], &post_latency[t], &post_ops[t]};
+        std::size_t reported = 0;
         for (std::size_t i = begin; i < end; i++) {
             handleFailurePoint(cursors[t], *exec_pool, pre_trace, post,
-                               plan.points[i], sinks[t], stats[t]);
+                               plan.points[i], sinks[t], stats[t],
+                               wobs);
+            if (observer && observer->onProgress) {
+                bugs_found += sinks[t].size() - reported;
+                reported = sinks[t].size();
+                std::size_t done = ++fps_done;
+                std::lock_guard<std::mutex> lock(progress_lock);
+                observer->onProgress(done, plan.points.size(),
+                                     bugs_found.load());
+            }
         }
         cursors[t].shadow.endPostReplay();
+        if (threads > 1)
+            setThreadLogLabel("");
     };
 
     auto tpar0 = std::chrono::steady_clock::now();
@@ -435,18 +502,157 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
     }
 
     // Performance bugs come from one full pre-trace replay, and the
-    // pool is left holding the final pre-failure contents.
+    // pool is left holding the final pre-failure contents. The FSM
+    // counters exported to the observer come from this cursor: it
+    // covers the whole trace exactly once, so serial and parallel
+    // campaigns register identical values.
+    ShadowFsmCounters fsm;
     {
+        obs::SpanScope span(tl, "perf-scan", "phase", 0);
         PreCursor full(pool.range(), cfg, std::move(initial));
         auto tb = std::chrono::steady_clock::now();
         advanceShadow(full, pre_trace, trace_end, &merged);
         advanceImage(full, pre_trace, trace_end);
         result.stats.backendSeconds += secondsSince(tb);
         full.image.copyTo(pool);
+        fsm = full.shadow.fsmCounters();
     }
 
     result.bugs = merged.bugs();
+
+    if (observer && cfg.collectStats && obs::statsCompiledIn) {
+        std::array<std::uint64_t, trace::opCount> post_ops_total{};
+        std::vector<double> latency_all;
+        for (unsigned t = 0; t < threads; t++) {
+            for (std::size_t i = 0; i < trace::opCount; i++)
+                post_ops_total[i] += post_ops[t][i];
+            latency_all.insert(latency_all.end(),
+                               post_latency[t].begin(),
+                               post_latency[t].end());
+        }
+        fillObserverStats(result, pre_ops, post_ops_total, fsm,
+                          latency_all);
+    }
     return result;
+}
+
+void
+Driver::fillObserverStats(
+    const CampaignResult &res,
+    const std::array<std::uint64_t, trace::opCount> &pre_ops,
+    const std::array<std::uint64_t, trace::opCount> &post_ops,
+    const ShadowFsmCounters &fsm,
+    const std::vector<double> &post_latency)
+{
+    using obs::Scalar;
+
+    obs::StatsRegistry &reg = observer->stats;
+    const CampaignStats &s = res.stats;
+
+    auto set = [&](const std::string &name, const std::string &desc,
+                   double v) {
+        reg.scalar(name, desc).set(v);
+    };
+
+    set("campaign.failure_points",
+        "failure points planned (after elision)",
+        static_cast<double>(s.failurePoints));
+    set("campaign.ordering_candidates",
+        "ordering points considered for failure injection",
+        static_cast<double>(s.orderingCandidates));
+    set("campaign.elided_points",
+        "failure points skipped by trace elision",
+        static_cast<double>(s.elidedPoints));
+    set("campaign.post_executions",
+        "post-failure stage executions",
+        static_cast<double>(s.postExecutions));
+    set("campaign.pre_trace_entries", "pre-failure trace entries",
+        static_cast<double>(s.preTraceEntries));
+    set("campaign.post_trace_entries",
+        "post-failure trace entries (all executions)",
+        static_cast<double>(s.postTraceEntries));
+    set("campaign.checks_performed",
+        "post-failure read checks performed",
+        static_cast<double>(s.checksPerformed));
+    set("campaign.checks_skipped",
+        "post-failure read checks skipped (first-read opt)",
+        static_cast<double>(s.checksSkipped));
+    set("campaign.threads", "worker threads used",
+        static_cast<double>(s.threads));
+    set("campaign.bugs", "distinct findings",
+        static_cast<double>(res.bugs.size()));
+    set("campaign.pre_seconds", "pre-failure stage wall seconds",
+        s.preSeconds);
+    set("campaign.post_seconds", "post-failure stage wall seconds",
+        s.postSeconds);
+    set("campaign.backend_seconds",
+        "image reconstruction + replay wall seconds",
+        s.backendSeconds);
+
+    Scalar &pre_s = reg.scalar("campaign.pre_seconds", "");
+    Scalar &post_s = reg.scalar("campaign.post_seconds", "");
+    Scalar &back_s = reg.scalar("campaign.backend_seconds", "");
+    reg.formula("campaign.total_seconds",
+                "pre + post + backend wall seconds",
+                [&pre_s, &post_s, &back_s] {
+                    return pre_s.value() + post_s.value() +
+                           back_s.value();
+                });
+    Scalar &cand = reg.scalar("campaign.ordering_candidates", "");
+    Scalar &elided = reg.scalar("campaign.elided_points", "");
+    reg.formula("campaign.elision_ratio",
+                "fraction of candidate points elided",
+                [&cand, &elided] {
+                    return cand.value() ? elided.value() / cand.value()
+                                        : 0.0;
+                });
+
+    // Shadow-PM persistency-FSM edge traversals (Fig. 6), from the
+    // deterministic full-trace replay.
+    for (std::size_t f = 0; f < ShadowFsmCounters::numStates; f++) {
+        for (std::size_t t = 0; t < ShadowFsmCounters::numStates; t++) {
+            std::uint64_t n = fsm.edge[f][t];
+            if (!n)
+                continue;
+            auto from = static_cast<PersistState>(f);
+            auto to = static_cast<PersistState>(t);
+            set(strprintf("shadow_fsm.edge.%s_to_%s",
+                          persistStateName(from), persistStateName(to)),
+                "shadow-PM state transitions over the pre-trace",
+                static_cast<double>(n));
+        }
+    }
+    set("shadow_fsm.redundant_flushes",
+        "flushes of lines with no modified data",
+        static_cast<double>(fsm.redundantFlushes));
+    set("shadow_fsm.fences", "fences replayed",
+        static_cast<double>(fsm.fences));
+    set("shadow_fsm.ordering_fences",
+        "fences that persisted at least one pending line",
+        static_cast<double>(fsm.orderingFences));
+
+    // Per-op trace volumes.
+    for (std::size_t i = 0; i < trace::opCount; i++) {
+        auto op = static_cast<trace::Op>(i);
+        if (pre_ops[i]) {
+            set(strprintf("trace.pre.%s", trace::opName(op)),
+                "pre-failure trace entries of this op",
+                static_cast<double>(pre_ops[i]));
+        }
+        if (post_ops[i]) {
+            set(strprintf("trace.post.%s", trace::opName(op)),
+                "post-failure trace entries of this op (all "
+                "executions)",
+                static_cast<double>(post_ops[i]));
+        }
+    }
+
+    // Post-failure execution latency distribution, in microseconds.
+    obs::Histogram &h = reg.histogram(
+        "campaign.post_exec_latency_us",
+        "post-failure stage latency per failure point (us)");
+    for (double sec : post_latency)
+        h.sample(sec * 1e6);
 }
 
 } // namespace xfd::core

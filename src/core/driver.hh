@@ -24,6 +24,7 @@
 #ifndef XFD_CORE_DRIVER_HH
 #define XFD_CORE_DRIVER_HH
 
+#include <array>
 #include <functional>
 #include <set>
 #include <string>
@@ -32,6 +33,7 @@
 #include "core/bug_report.hh"
 #include "core/config.hh"
 #include "core/failure_planner.hh"
+#include "core/observer.hh"
 #include "core/shadow_pm.hh"
 #include "pm/image.hh"
 #include "pm/pool.hh"
@@ -113,6 +115,15 @@ class Driver
      */
     double runBaseline(const ProgramFn &pre, bool traced);
 
+    /**
+     * Attach observability sinks: phase/failure-point spans land on
+     * @p o's timeline, stat counters are aggregated into its registry
+     * at campaign end (when cfg.collectStats), and o->onProgress fires
+     * after every failure point. Pass nullptr to detach. The observer
+     * must outlive subsequent run()/runParallel() calls.
+     */
+    void setObserver(CampaignObserver *o) { observer = o; }
+
   private:
     /**
      * Per-worker replay state: the shadow PM and the working image,
@@ -154,6 +165,19 @@ class Driver
     void advanceImage(PreCursor &cur, const trace::TraceBuffer &pre,
                       std::uint32_t to);
 
+    /** Per-worker observability context threaded through the chunk. */
+    struct WorkerObs
+    {
+        /** Null when no observer is attached (spans disabled). */
+        obs::Timeline *timeline = nullptr;
+        /** Timeline track of this worker (0 = main). */
+        int track = 0;
+        /** Post-failure-stage seconds, one entry per failure point. */
+        std::vector<double> *postLatency = nullptr;
+        /** Per-op post-trace entry counts, accumulated per point. */
+        std::array<std::uint64_t, trace::opCount> *postOps = nullptr;
+    };
+
     /**
      * Handle failure point @p fp end to end on @p exec_pool:
      * reconstruct the image, run the post-failure stage, replay the
@@ -162,15 +186,31 @@ class Driver
     void handleFailurePoint(PreCursor &cur, pm::PmPool &exec_pool,
                             const trace::TraceBuffer &pre,
                             const ProgramFn &post, std::uint32_t fp,
-                            BugSink &sink, CampaignStats &stats);
+                            BugSink &sink, CampaignStats &stats,
+                            const WorkerObs &wobs);
 
     /** Replay one post-failure trace against the shadow PM. */
     void replayPost(PreCursor &cur, const trace::TraceBuffer &pre,
                     const trace::TraceBuffer &post, std::uint32_t fp,
                     BugSink &sink);
 
+    /**
+     * Aggregate campaign counters into the observer's registry:
+     * timing/volume scalars, shadow-FSM edge counts (from the
+     * deterministic full-trace replay, so serial and parallel
+     * campaigns register identical values), per-op trace volumes,
+     * elision savings, and the post-execution latency histogram.
+     */
+    void fillObserverStats(
+        const CampaignResult &res,
+        const std::array<std::uint64_t, trace::opCount> &pre_ops,
+        const std::array<std::uint64_t, trace::opCount> &post_ops,
+        const ShadowFsmCounters &fsm,
+        const std::vector<double> &post_latency);
+
     pm::PmPool &pool;
     DetectorConfig cfg;
+    CampaignObserver *observer = nullptr;
 };
 
 } // namespace xfd::core

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Campaign observability context.
+ *
+ * A CampaignObserver owns the three observability channels of one
+ * detection campaign:
+ *
+ *  - stats:      the gem5-style registry Driver/ShadowPM/PmRuntime
+ *                counters are aggregated into at campaign end,
+ *  - timeline:   per-phase and per-failure-point spans (exportable as
+ *                JSONL or Chrome trace_event),
+ *  - onProgress: invoked after every failure point with
+ *                (done, total, bugs-so-far) — wire it to an
+ *                obs::ProgressMeter for the periodic progress line.
+ *
+ * Attach with Driver::setObserver(); a null observer keeps the
+ * driver's hot paths free of observability work.
+ */
+
+#ifndef XFD_CORE_OBSERVER_HH
+#define XFD_CORE_OBSERVER_HH
+
+#include <cstddef>
+#include <functional>
+
+#include "obs/stats.hh"
+#include "obs/timeline.hh"
+
+namespace xfd::core
+{
+
+/** Observability sinks for one (or more) detection campaigns. */
+struct CampaignObserver
+{
+    obs::StatsRegistry stats;
+    obs::Timeline timeline;
+
+    /** (failure points done, total planned, distinct bugs so far). */
+    using ProgressFn =
+        std::function<void(std::size_t, std::size_t, std::size_t)>;
+    ProgressFn onProgress;
+};
+
+} // namespace xfd::core
+
+#endif // XFD_CORE_OBSERVER_HH

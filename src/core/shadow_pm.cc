@@ -18,7 +18,8 @@ persistStateName(PersistState s)
 }
 
 ShadowPM::ShadowPM(AddrRange pool, const DetectorConfig &c)
-    : poolRange(pool), cfg(c), gran(c.granularity)
+    : poolRange(pool), cfg(c), gran(c.granularity),
+      collect(c.collectStats)
 {
     if (gran == 0 || (gran & (gran - 1)) != 0 || gran > cacheLineSize)
         fatal("shadow granularity must be a power of two <= 64");
@@ -50,10 +51,12 @@ ShadowPM::preWrite(Addr a, std::size_t n, std::uint32_t seq,
         return;
     std::uint64_t first = cellIndex(a);
     std::uint64_t count = cellCount(a, n);
+    PersistState to = non_temporal ? PersistState::WritebackPending
+                                   : PersistState::Modified;
     for (std::uint64_t i = 0; i < count; i++) {
         Cell &c = cellAt(first + i);
-        c.ps = non_temporal ? PersistState::WritebackPending
-                            : PersistState::Modified;
+        noteEdge(c.ps, to);
+        c.ps = to;
         c.flags &= static_cast<std::uint8_t>(~cellUninit);
         c.tlast = ts;
         c.lastWriterSeq = seq;
@@ -85,11 +88,15 @@ ShadowPM::preFlush(Addr line, std::uint32_t seq)
     if (!any_modified) {
         // Fig. 9 yellow edges: flushing a line with nothing modified
         // (clean, already pending, or already persisted) is redundant.
+        if (obs::statsCompiledIn && collect)
+            fsm.redundantFlushes++;
         return true;
     }
     for (std::uint64_t i = 0; i < count; i++) {
         Cell &c = cellAt(first + i);
         if (c.ps == PersistState::Modified) {
+            noteEdge(PersistState::Modified,
+                     PersistState::WritebackPending);
             c.ps = PersistState::WritebackPending;
             pendingCells.push_back(first + i);
         }
@@ -100,12 +107,22 @@ ShadowPM::preFlush(Addr line, std::uint32_t seq)
 void
 ShadowPM::preFence()
 {
+    bool retired = false;
     for (std::uint64_t idx : pendingCells) {
         Cell &c = cellAt(idx);
-        if (c.ps == PersistState::WritebackPending)
+        if (c.ps == PersistState::WritebackPending) {
+            noteEdge(PersistState::WritebackPending,
+                     PersistState::Persisted);
             c.ps = PersistState::Persisted;
+            retired = true;
+        }
     }
     pendingCells.clear();
+    if (obs::statsCompiledIn && collect) {
+        fsm.fences++;
+        if (retired)
+            fsm.orderingFences++;
+    }
     // The global timestamp increments after each ordering point (§5.4).
     ts++;
 }
@@ -120,6 +137,7 @@ ShadowPM::preAlloc(Addr a, std::size_t n, std::uint32_t seq)
         // Freshly allocated cells hold no guaranteed contents: the
         // pre-failure program "creates an unmodified PM location that
         // is read by the post-failure execution" (§6.3.2 bug 2).
+        noteEdge(c.ps, PersistState::Modified);
         c.ps = PersistState::Modified;
         c.flags |= cellUninit;
         c.tlast = ts;
@@ -134,6 +152,7 @@ ShadowPM::preFree(Addr a, std::size_t n)
     std::uint64_t count = cellCount(a, n);
     for (std::uint64_t i = 0; i < count; i++) {
         Cell &c = cellAt(first + i);
+        noteEdge(c.ps, PersistState::Unmodified);
         c = Cell{};
     }
 }

@@ -29,6 +29,7 @@
 #include "common/types.hh"
 #include "core/bug_report.hh"
 #include "core/config.hh"
+#include "obs/stats.hh"
 #include "trace/entry.hh"
 
 namespace xfd::core
@@ -45,6 +46,33 @@ enum class PersistState : std::uint8_t
 
 /** @return short name of @p s. */
 const char *persistStateName(PersistState s);
+
+/**
+ * Counters over the persistence-FSM edges of paper Fig. 9, collected
+ * while the pre-failure trace is replayed into the shadow PM. One
+ * entry per (from, to) state pair, plus the yellow redundant-flush
+ * edges and fence retirement counts.
+ */
+struct ShadowFsmCounters
+{
+    static constexpr std::size_t numStates = 4;
+
+    /** Cell transitions: edge[from][to]. */
+    std::uint64_t edge[numStates][numStates] = {};
+    /** Flushes of lines holding no modified data (perf-bug edges). */
+    std::uint64_t redundantFlushes = 0;
+    /** Fences observed. */
+    std::uint64_t fences = 0;
+    /** Fences that retired at least one pending writeback. */
+    std::uint64_t orderingFences = 0;
+
+    std::uint64_t
+    edgeCount(PersistState from, PersistState to) const
+    {
+        return edge[static_cast<std::size_t>(from)]
+                   [static_cast<std::size_t>(to)];
+    }
+};
 
 /** Outcome of checking one post-failure read. */
 enum class ReadCheck : std::uint8_t
@@ -155,6 +183,9 @@ class ShadowPM
     std::size_t checksPerformed() const { return nChecks; }
     std::size_t checksSkipped() const { return nSkipped; }
 
+    /** Persistence-FSM transition counters (Fig. 9 edges). */
+    const ShadowFsmCounters &fsmCounters() const { return fsm; }
+
     /** Introspection for tests: persistence state of address @p a. */
     PersistState persistStateOf(Addr a) const;
 
@@ -222,9 +253,22 @@ class ShadowPM
     /** Evaluate paper condition (3) for a cell under @p var. */
     bool consistentUnder(const Cell &c, const CommitVar &var) const;
 
+    /** FSM edge bookkeeping; compiles to nothing under XFD_STATS_NOOP. */
+    void
+    noteEdge(PersistState from, PersistState to)
+    {
+        if (obs::statsCompiledIn && collect) {
+            fsm.edge[static_cast<std::size_t>(from)]
+                    [static_cast<std::size_t>(to)]++;
+        }
+    }
+
     AddrRange poolRange;
     const DetectorConfig &cfg;
     unsigned gran;
+    /** Cached cfg.collectStats (hot-path branch on a plain bool). */
+    bool collect;
+    ShadowFsmCounters fsm;
     std::int32_t ts = 0;
 
     std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages;

@@ -1,0 +1,185 @@
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace xfd::obs
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::element()
+{
+    if (pendingKey) {
+        pendingKey = false;
+        return;
+    }
+    if (!hasElement.empty()) {
+        if (hasElement.back())
+            out << ',';
+        hasElement.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    element();
+    out << '{';
+    inObject.push_back(true);
+    hasElement.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (inObject.empty() || !inObject.back())
+        panic("JsonWriter::endObject outside an object");
+    out << '}';
+    inObject.pop_back();
+    hasElement.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    element();
+    out << '[';
+    inObject.push_back(false);
+    hasElement.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (inObject.empty() || inObject.back())
+        panic("JsonWriter::endArray outside an array");
+    out << ']';
+    inObject.pop_back();
+    hasElement.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    if (inObject.empty() || !inObject.back())
+        panic("JsonWriter::key outside an object");
+    element();
+    out << '"' << jsonEscape(k) << "\":";
+    pendingKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    element();
+    out << '"' << jsonEscape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    element();
+    if (!std::isfinite(v)) {
+        // JSON has no NaN/Inf; null is the conventional stand-in.
+        out << "null";
+        return *this;
+    }
+    // Shortest representation that round-trips a double.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    double parsed = std::strtod(buf, nullptr);
+    for (int prec = 1; prec < 17; prec++) {
+        char probe[32];
+        std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+        if (std::strtod(probe, nullptr) == parsed) {
+            out << probe;
+            return *this;
+        }
+    }
+    out << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    element();
+    out << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    element();
+    out << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(unsigned v)
+{
+    return value(static_cast<std::uint64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    element();
+    out << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    element();
+    out << "null";
+    return *this;
+}
+
+} // namespace xfd::obs

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal streaming JSON writer — the serialization substrate of the
+ * observability layer (stats dumps, bug-report export, Chrome
+ * trace_event files). No external dependency; emits compact,
+ * RFC 8259-conformant output with full string escaping.
+ *
+ * Usage follows the begin/end nesting of the document:
+ *
+ *   JsonWriter w(os);
+ *   w.beginObject();
+ *   w.key("name").value("btree");
+ *   w.key("rows").beginArray();
+ *   w.value(1).value(2);
+ *   w.endArray();
+ *   w.endObject();
+ */
+
+#ifndef XFD_OBS_JSON_HH
+#define XFD_OBS_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace xfd::obs
+{
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** Streaming writer for one JSON document. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : out(os) {}
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by a value or container. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(unsigned v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /** Convenience: key + value in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &k, const T &v)
+    {
+        return key(k).value(v);
+    }
+
+  private:
+    /** Emit the separator a new element at this nesting needs. */
+    void element();
+
+    std::ostream &out;
+    /** true = inside an object (expects keys), false = inside array. */
+    std::vector<bool> inObject;
+    /** Whether the current container already has an element. */
+    std::vector<bool> hasElement;
+    /** A key was just written; the next value is its payload. */
+    bool pendingKey = false;
+};
+
+} // namespace xfd::obs
+
+#endif // XFD_OBS_JSON_HH

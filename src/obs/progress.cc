@@ -1,0 +1,45 @@
+#include "obs/progress.hh"
+
+#include "common/logging.hh"
+
+namespace xfd::obs
+{
+
+std::string
+formatProgress(const char *unit, std::size_t done, std::size_t total,
+               std::size_t bugs, double eta_seconds)
+{
+    return strprintf("[%s %zu/%zu, %zu bugs, ETA %.1fs]", unit, done,
+                     total, bugs, eta_seconds);
+}
+
+ProgressMeter::ProgressMeter(const char *u, double min_interval)
+    : unit(u), minInterval(min_interval),
+      start(std::chrono::steady_clock::now()), lastPrint(start)
+{
+}
+
+void
+ProgressMeter::update(std::size_t done, std::size_t total,
+                      std::size_t bugs)
+{
+    if (!verbose() || total == 0)
+        return;
+    std::lock_guard<std::mutex> guard(lock);
+    auto now = std::chrono::steady_clock::now();
+    double since_last =
+        std::chrono::duration<double>(now - lastPrint).count();
+    bool final = done >= total;
+    if (!final && everPrinted && since_last < minInterval)
+        return;
+    double elapsed = std::chrono::duration<double>(now - start).count();
+    double eta =
+        done ? elapsed * static_cast<double>(total - done) / done : 0;
+    inform("progress: %s",
+           formatProgress(unit, done, total, bugs, eta).c_str());
+    lastPrint = now;
+    everPrinted = true;
+    printed++;
+}
+
+} // namespace xfd::obs

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Periodic progress reporting for long campaigns.
+ *
+ * The driver invokes an observer callback after every failure point;
+ * ProgressMeter rate-limits those calls into an occasional
+ *
+ *   progress: [fp 37/214, 12 bugs, ETA 4.1s]
+ *
+ * line on stderr (through the thread-safe logging sink, so worker
+ * threads never interleave bytes). Silent when verbose() is off.
+ */
+
+#ifndef XFD_OBS_PROGRESS_HH
+#define XFD_OBS_PROGRESS_HH
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace xfd::obs
+{
+
+/** Render one progress line (exposed for tests). */
+std::string formatProgress(const char *unit, std::size_t done,
+                           std::size_t total, std::size_t bugs,
+                           double eta_seconds);
+
+/** Rate-limited campaign progress printer; thread-safe. */
+class ProgressMeter
+{
+  public:
+    /**
+     * @param unit          label of the progress unit ("fp")
+     * @param min_interval  minimum seconds between printed lines
+     */
+    explicit ProgressMeter(const char *unit = "fp",
+                           double min_interval = 0.25);
+
+    /**
+     * Note progress: @p done of @p total units finished, @p bugs
+     * findings so far. Prints when the rate limit allows (the final
+     * update always prints).
+     */
+    void update(std::size_t done, std::size_t total, std::size_t bugs);
+
+    /** Lines actually printed (rate-limit observability). */
+    std::size_t linesPrinted() const { return printed; }
+
+  private:
+    const char *unit;
+    double minInterval;
+    std::chrono::steady_clock::time_point start;
+    std::chrono::steady_clock::time_point lastPrint;
+    bool everPrinted = false;
+    std::size_t printed = 0;
+    std::mutex lock;
+};
+
+} // namespace xfd::obs
+
+#endif // XFD_OBS_PROGRESS_HH

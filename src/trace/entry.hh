@@ -50,6 +50,10 @@ enum class Op : std::uint8_t
     Complete,       ///< completeDetection(): terminate this stage
 };
 
+/** Number of distinct Op values (for per-op counter arrays). */
+inline constexpr std::size_t opCount =
+    static_cast<std::size_t>(Op::Complete) + 1;
+
 /** @return a short mnemonic for @p op. */
 const char *opName(Op op);
 

@@ -58,6 +58,8 @@ PmRuntime::push(TraceEntry e)
         fatal("pre-failure trace exceeded %zu entries", entryCap);
     }
     e.flags |= currentFlags();
+    if (obs::statsCompiledIn)
+        emitted[static_cast<std::size_t>(e.op)]++;
     trace.append(std::move(e));
 }
 

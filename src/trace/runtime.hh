@@ -21,6 +21,7 @@
 #ifndef XFD_TRACE_RUNTIME_HH
 #define XFD_TRACE_RUNTIME_HH
 
+#include <array>
 #include <atomic>
 #include <cstring>
 #include <mutex>
@@ -29,6 +30,7 @@
 #include <type_traits>
 #include <unordered_map>
 
+#include "obs/stats.hh"
 #include "pm/pool.hh"
 #include "trace/buffer.hh"
 
@@ -97,6 +99,18 @@ class PmRuntime
 
     /** Bound the trace length (runaway-loop backstop). */
     void setEntryCap(std::size_t cap) { entryCap = cap; }
+
+    /**
+     * Per-op counts of the entries this runtime emitted — the
+     * trace-entry volume statistic the campaign observer aggregates.
+     * Index with static_cast<std::size_t>(Op); maintained inside the
+     * emission lock (one add), compiled out under XFD_STATS_NOOP.
+     */
+    const std::array<std::uint64_t, opCount> &
+    opCounts() const
+    {
+        return emitted;
+    }
 
     /**
      * @name Data operations
@@ -311,6 +325,8 @@ class PmRuntime
     bool tracing = true;
     std::size_t entryCap = 64u << 20;
     std::mutex emitLock;
+    /** Per-op emission counters (guarded by emitLock). */
+    std::array<std::uint64_t, opCount> emitted{};
 };
 
 /** RAII region-of-interest marker. */

@@ -1,0 +1,638 @@
+/**
+ * @file
+ * Observability layer tests: JSON writer round-trips, stats registry
+ * golden output, Chrome-trace/JSONL export structure, progress
+ * formatting, and end-to-end campaign export — including that serial
+ * and parallel campaigns export identical findings and stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "core/campaign_json.hh"
+#include "core/driver.hh"
+#include "core/observer.hh"
+#include "obs/json.hh"
+#include "obs/progress.hh"
+#include "obs/stats.hh"
+#include "obs/timeline.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace xfd;
+
+/**
+ * Minimal JSON document model + recursive-descent parser, enough to
+ * validate our exporters without external dependencies.
+ */
+struct Json
+{
+    enum Kind { Null, Bool, Num, Str, Arr, Obj };
+
+    Kind kind = Null;
+    bool b = false;
+    double num = 0;
+    std::string str;
+    std::vector<Json> arr;
+    std::vector<std::pair<std::string, Json>> obj;
+
+    const Json *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : obj) {
+            if (k == key)
+                return &v;
+        }
+        return nullptr;
+    }
+
+    const Json &
+    at(const std::string &key) const
+    {
+        const Json *v = find(key);
+        if (!v)
+            throw std::runtime_error("missing key: " + key);
+        return *v;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s(text) {}
+
+    Json
+    parse()
+    {
+        Json v = parseValue();
+        skipWs();
+        if (pos != s.size())
+            throw std::runtime_error("trailing garbage");
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < s.size() && std::isspace(
+                                     static_cast<unsigned char>(s[pos])))
+            pos++;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= s.size())
+            throw std::runtime_error("unexpected end");
+        return s[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            throw std::runtime_error(std::string("expected ") + c);
+        pos++;
+    }
+
+    bool
+    consume(const char *lit)
+    {
+        std::size_t n = std::strlen(lit);
+        if (s.compare(pos, n, lit) == 0) {
+            pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (peek() != '"') {
+            char c = s[pos++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            char e = s[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                unsigned code = static_cast<unsigned>(
+                    std::strtoul(s.substr(pos, 4).c_str(), nullptr, 16));
+                pos += 4;
+                // Test inputs only use ASCII escapes.
+                out += static_cast<char>(code);
+                break;
+              }
+              default:
+                throw std::runtime_error("bad escape");
+            }
+        }
+        pos++;
+        return out;
+    }
+
+    Json
+    parseValue()
+    {
+        skipWs();
+        Json v;
+        char c = peek();
+        if (c == '{') {
+            pos++;
+            v.kind = Json::Obj;
+            skipWs();
+            if (peek() == '}') {
+                pos++;
+                return v;
+            }
+            while (true) {
+                skipWs();
+                std::string key = parseString();
+                skipWs();
+                expect(':');
+                v.obj.emplace_back(std::move(key), parseValue());
+                skipWs();
+                if (peek() == ',') {
+                    pos++;
+                    continue;
+                }
+                expect('}');
+                return v;
+            }
+        }
+        if (c == '[') {
+            pos++;
+            v.kind = Json::Arr;
+            skipWs();
+            if (peek() == ']') {
+                pos++;
+                return v;
+            }
+            while (true) {
+                v.arr.push_back(parseValue());
+                skipWs();
+                if (peek() == ',') {
+                    pos++;
+                    continue;
+                }
+                expect(']');
+                return v;
+            }
+        }
+        if (c == '"') {
+            v.kind = Json::Str;
+            v.str = parseString();
+            return v;
+        }
+        if (consume("true")) {
+            v.kind = Json::Bool;
+            v.b = true;
+            return v;
+        }
+        if (consume("false")) {
+            v.kind = Json::Bool;
+            v.b = false;
+            return v;
+        }
+        if (consume("null"))
+            return v;
+        v.kind = Json::Num;
+        char *end = nullptr;
+        v.num = std::strtod(s.c_str() + pos, &end);
+        if (end == s.c_str() + pos)
+            throw std::runtime_error("bad number");
+        pos = static_cast<std::size_t>(end - s.c_str());
+        return v;
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+Json
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+TEST(JsonWriter, EscapesAndNestingRoundTrip)
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.field("plain", "hello");
+    w.field("quoted", "a \"b\"\\\n\tc");
+    w.field("int", static_cast<std::int64_t>(-3));
+    w.field("big", std::uint64_t{1} << 53);
+    w.field("pi", 3.25);
+    w.field("flag", true);
+    w.key("null").null();
+    w.key("list").beginArray().value(1).value(2).endArray();
+    w.key("nested").beginObject().field("x", 1).endObject();
+    w.endObject();
+
+    Json doc = parseJson(os.str());
+    EXPECT_EQ(doc.at("plain").str, "hello");
+    EXPECT_EQ(doc.at("quoted").str, "a \"b\"\\\n\tc");
+    EXPECT_EQ(doc.at("int").num, -3);
+    EXPECT_EQ(doc.at("big").num,
+              static_cast<double>(std::uint64_t{1} << 53));
+    EXPECT_EQ(doc.at("pi").num, 3.25);
+    EXPECT_TRUE(doc.at("flag").b);
+    EXPECT_EQ(doc.at("null").kind, Json::Null);
+    ASSERT_EQ(doc.at("list").arr.size(), 2u);
+    EXPECT_EQ(doc.at("nested").at("x").num, 1);
+}
+
+TEST(JsonWriter, DoubleFormattingRoundTrips)
+{
+    for (double v : {0.1, 1.0 / 3.0, 1e-9, 6.02e23, -0.0, 12345.6789}) {
+        std::ostringstream os;
+        obs::JsonWriter w(os);
+        w.value(v);
+        EXPECT_EQ(std::strtod(os.str().c_str(), nullptr), v)
+            << os.str();
+    }
+}
+
+TEST(StatsRegistry, GoldenScalarAndFormulaJson)
+{
+    obs::StatsRegistry reg;
+    obs::Scalar &n = reg.scalar("a.count", "things counted");
+    n += 2;
+    ++n;
+    obs::Scalar &d = reg.scalar("a.total", "things overall");
+    d.set(6);
+    reg.formula("a.ratio", "counted fraction",
+                [&n, &d] { return n.value() / d.value(); });
+
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    reg.writeJson(w);
+    EXPECT_EQ(os.str(),
+              "{\"a.count\":{\"type\":\"scalar\","
+              "\"desc\":\"things counted\",\"value\":3},"
+              "\"a.total\":{\"type\":\"scalar\","
+              "\"desc\":\"things overall\",\"value\":6},"
+              "\"a.ratio\":{\"type\":\"formula\","
+              "\"desc\":\"counted fraction\",\"value\":0.5}}");
+}
+
+TEST(StatsRegistry, ReRegistrationReturnsExisting)
+{
+    obs::StatsRegistry reg;
+    obs::Scalar &a = reg.scalar("x", "first");
+    a.set(7);
+    obs::Scalar &b = reg.scalar("x", "second registration ignored");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_EQ(reg.value("x"), 7);
+    EXPECT_EQ(reg.value("missing"), 0);
+    EXPECT_NE(reg.find("x"), nullptr);
+    EXPECT_EQ(reg.find("missing"), nullptr);
+}
+
+TEST(StatsRegistry, HistogramPowerOfTwoBuckets)
+{
+    obs::StatsRegistry reg;
+    obs::Histogram &h = reg.histogram("lat", "latency");
+    for (double v : {0.0, 1.0, 2.0, 3.0, 4.0, 1024.0})
+        h.sample(v);
+
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.bucketCount(0), 2u);  // [0, 2)
+    EXPECT_EQ(h.bucketCount(1), 2u);  // [2, 4)
+    EXPECT_EQ(h.bucketCount(2), 1u);  // [4, 8)
+    EXPECT_EQ(h.bucketCount(10), 1u); // [1024, 2048)
+
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    reg.writeJson(w);
+    Json doc = parseJson(os.str());
+    const Json &hist = doc.at("lat");
+    EXPECT_EQ(hist.at("type").str, "histogram");
+    EXPECT_EQ(hist.at("count").num, 6);
+    EXPECT_EQ(hist.at("min").num, 0);
+    EXPECT_EQ(hist.at("max").num, 1024);
+    // Trailing zero buckets elided: bucket 10 is the last non-zero.
+    EXPECT_EQ(hist.at("buckets").arr.size(), 11u);
+}
+
+TEST(StatsRegistry, DistributionBucketsAndOverflow)
+{
+    obs::StatsRegistry reg;
+    obs::Distribution &d =
+        reg.distribution("d", "samples", 0, 10, 5);
+    d.sample(-1); // underflow
+    d.sample(0);  // bucket 0
+    d.sample(5);  // bucket 2
+    d.sample(9.9);
+    d.sample(10); // overflow
+    EXPECT_EQ(d.count(), 5u);
+    EXPECT_EQ(d.underflows(), 1u);
+    EXPECT_EQ(d.overflows(), 1u);
+    EXPECT_EQ(d.bucketCount(0), 1u);
+    EXPECT_EQ(d.bucketCount(2), 1u);
+    EXPECT_EQ(d.bucketCount(4), 1u);
+}
+
+TEST(Timeline, ChromeTraceStructure)
+{
+    obs::Timeline tl;
+    int worker = tl.registerTrack("worker-1");
+    tl.recordSpan("pre-failure", "phase", 0, 10, 100);
+    tl.recordSpan("fp#3", "fp", worker, 120, 40);
+    tl.recordInstant("bug", "fp", worker, 150);
+
+    std::ostringstream os;
+    tl.writeChromeTrace(os);
+    Json doc = parseJson(os.str());
+    EXPECT_EQ(doc.at("displayTimeUnit").str, "ms");
+    const auto &evs = doc.at("traceEvents").arr;
+    // 2 thread_name metadata events + 3 recorded events.
+    ASSERT_EQ(evs.size(), 5u);
+
+    EXPECT_EQ(evs[0].at("ph").str, "M");
+    EXPECT_EQ(evs[0].at("name").str, "thread_name");
+    EXPECT_EQ(evs[0].at("args").at("name").str, "main");
+    EXPECT_EQ(evs[1].at("args").at("name").str, "worker-1");
+
+    const Json &span = evs[2];
+    EXPECT_EQ(span.at("ph").str, "X");
+    EXPECT_EQ(span.at("name").str, "pre-failure");
+    EXPECT_EQ(span.at("cat").str, "phase");
+    EXPECT_EQ(span.at("pid").num, 1);
+    EXPECT_EQ(span.at("tid").num, 0);
+    EXPECT_EQ(span.at("ts").num, 10);
+    EXPECT_EQ(span.at("dur").num, 100);
+
+    const Json &instant = evs[4];
+    EXPECT_EQ(instant.at("ph").str, "i");
+    EXPECT_EQ(instant.at("s").str, "t");
+    EXPECT_EQ(instant.find("dur"), nullptr);
+
+    // Non-metadata events come out sorted by timestamp.
+    double prev = -1;
+    for (std::size_t i = 2; i < evs.size(); i++) {
+        EXPECT_GE(evs[i].at("ts").num, prev);
+        prev = evs[i].at("ts").num;
+    }
+}
+
+TEST(Timeline, JsonlOneObjectPerLine)
+{
+    obs::Timeline tl;
+    tl.recordSpan("a", "phase", 0, 5, 10);
+    tl.recordInstant("b", "phase", 0, 20);
+
+    std::ostringstream os;
+    tl.writeJsonl(os);
+    std::istringstream is(os.str());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(is, line)) {
+        Json doc = parseJson(line);
+        EXPECT_EQ(doc.at("cat").str, "phase");
+        lines++;
+    }
+    EXPECT_EQ(lines, 2u);
+}
+
+TEST(Timeline, DisabledTimelineRecordsNothing)
+{
+    obs::Timeline tl;
+    tl.setEnabled(false);
+    {
+        obs::SpanScope span(&tl, "ignored", "phase", 0);
+    }
+    tl.recordInstant("also ignored", "phase", 0, 1);
+    EXPECT_EQ(tl.size(), 0u);
+
+    // Null timeline is equally fine.
+    obs::SpanScope span(nullptr, "x", "phase", 0);
+}
+
+TEST(Progress, FormatGolden)
+{
+    EXPECT_EQ(obs::formatProgress("fp", 37, 214, 12, 4.1),
+              "[fp 37/214, 12 bugs, ETA 4.1s]");
+    EXPECT_EQ(obs::formatProgress("fp", 214, 214, 0, 0),
+              "[fp 214/214, 0 bugs, ETA 0.0s]");
+}
+
+TEST(Progress, MeterRateLimitsAndAlwaysPrintsFinal)
+{
+    setVerbose(true);
+    obs::ProgressMeter meter("fp", /*min_interval=*/3600);
+    meter.update(1, 100, 0);
+    meter.update(2, 100, 0);  // inside the interval: suppressed
+    meter.update(3, 100, 0);  // suppressed
+    EXPECT_EQ(meter.linesPrinted(), 1u);
+    meter.update(100, 100, 1); // final: always prints
+    EXPECT_EQ(meter.linesPrinted(), 2u);
+
+    obs::ProgressMeter quiet("fp", 0);
+    setVerbose(false);
+    quiet.update(1, 2, 0);
+    EXPECT_EQ(quiet.linesPrinted(), 0u);
+    setVerbose(true);
+}
+
+core::CampaignResult
+runObserved(const std::string &workload, unsigned threads,
+            core::CampaignObserver &obs)
+{
+    workloads::WorkloadConfig cfg;
+    cfg.initOps = 5;
+    cfg.testOps = 5;
+    cfg.postOps = 2;
+    auto w = workloads::makeWorkload(workload, cfg);
+    pm::PmPool pool(1 << 22);
+    core::Driver driver(pool, {});
+    driver.setObserver(&obs);
+    return driver.runParallel(
+        [&](trace::PmRuntime &rt) { w->pre(rt); },
+        [&](trace::PmRuntime &rt) { w->post(rt); }, threads);
+}
+
+TEST(CampaignExport, StatsRegistryMatchesCampaignStats)
+{
+    if (!obs::statsCompiledIn)
+        GTEST_SKIP() << "stats compiled out (XFD_STATS_NOOP)";
+    core::CampaignObserver obs;
+    auto res = runObserved("btree", 1, obs);
+
+    const obs::StatsRegistry &reg = obs.stats;
+    EXPECT_EQ(reg.value("campaign.failure_points"),
+              static_cast<double>(res.stats.failurePoints));
+    EXPECT_EQ(reg.value("campaign.post_executions"),
+              static_cast<double>(res.stats.postExecutions));
+    EXPECT_EQ(reg.value("campaign.checks_performed"),
+              static_cast<double>(res.stats.checksPerformed));
+    EXPECT_EQ(reg.value("campaign.checks_skipped"),
+              static_cast<double>(res.stats.checksSkipped));
+    EXPECT_EQ(reg.value("campaign.pre_seconds"), res.stats.preSeconds);
+    EXPECT_EQ(reg.value("campaign.total_seconds"),
+              res.stats.totalSeconds());
+
+    // Shadow-FSM edges: a btree campaign writes, flushes and fences.
+    EXPECT_GT(reg.value("shadow_fsm.edge.Modified_to_WritebackPending"),
+              0);
+    EXPECT_GT(reg.value("shadow_fsm.edge.WritebackPending_to_Persisted"),
+              0);
+    EXPECT_GT(reg.value("shadow_fsm.fences"), 0);
+
+    // Per-op trace volumes cover the whole pre-trace.
+    EXPECT_GT(reg.value("trace.pre.WRITE"), 0);
+    EXPECT_GT(reg.value("trace.post.READ"), 0);
+
+    // One latency sample per post-failure execution.
+    const auto *h = dynamic_cast<const obs::Histogram *>(
+        reg.find("campaign.post_exec_latency_us"));
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), res.stats.postExecutions);
+}
+
+TEST(CampaignExport, StatsJsonDocumentIsValid)
+{
+    core::CampaignObserver obs;
+    auto res = runObserved("btree", 1, obs);
+
+    std::ostringstream os;
+    core::writeStatsJson(res, &obs.stats, os);
+    Json doc = parseJson(os.str());
+    EXPECT_EQ(doc.at("schema").str, "xfd-stats-v1");
+    const Json &camp = doc.at("campaign");
+    EXPECT_EQ(camp.at("failure_points").num,
+              static_cast<double>(res.stats.failurePoints));
+    EXPECT_EQ(camp.at("checks_performed").num,
+              static_cast<double>(res.stats.checksPerformed));
+    EXPECT_EQ(camp.at("pre_seconds").num, res.stats.preSeconds);
+    EXPECT_EQ(camp.at("post_seconds").num, res.stats.postSeconds);
+    EXPECT_EQ(camp.at("backend_seconds").num,
+              res.stats.backendSeconds);
+    EXPECT_EQ(doc.at("bugs").at("total").num,
+              static_cast<double>(res.bugs.size()));
+    if (obs::statsCompiledIn) {
+        EXPECT_NE(doc.at("stats").find("campaign.post_exec_latency_us"),
+                  nullptr);
+    }
+}
+
+TEST(CampaignExport, SerialAndParallelExportIdentically)
+{
+    core::CampaignObserver serial_obs, par_obs;
+    auto serial = runObserved("hashmap_tx", 1, serial_obs);
+    auto par = runObserved("hashmap_tx", 4, par_obs);
+
+    // Byte-identical findings documents.
+    std::ostringstream serial_report, par_report;
+    core::writeReportJson(serial, serial_report);
+    core::writeReportJson(par, par_report);
+    EXPECT_EQ(serial_report.str(), par_report.str());
+
+    // Identical check accounting and FSM counters.
+    EXPECT_EQ(serial.stats.checksPerformed, par.stats.checksPerformed);
+    EXPECT_EQ(serial.stats.checksSkipped, par.stats.checksSkipped);
+    for (const char *key :
+         {"shadow_fsm.edge.Unmodified_to_Modified",
+          "shadow_fsm.edge.Modified_to_WritebackPending",
+          "shadow_fsm.edge.WritebackPending_to_Persisted",
+          "shadow_fsm.fences", "campaign.checks_performed",
+          "campaign.checks_skipped", "campaign.post_executions",
+          "trace.pre.WRITE", "trace.post.READ"}) {
+        EXPECT_EQ(serial_obs.stats.value(key), par_obs.stats.value(key))
+            << key;
+    }
+}
+
+TEST(CampaignExport, ParallelWorkersGetDistinctTimelineTracks)
+{
+    core::CampaignObserver obs;
+    auto res = runObserved("btree", 4, obs);
+    ASSERT_EQ(res.stats.threads, 4u);
+
+    std::ostringstream os;
+    obs.timeline.writeChromeTrace(os);
+    Json doc = parseJson(os.str());
+
+    std::set<double> fp_tids;
+    std::set<std::string> labels;
+    for (const Json &e : doc.at("traceEvents").arr) {
+        if (e.at("ph").str == "M")
+            labels.insert(e.at("args").at("name").str);
+        else if (e.at("cat").str == "fp")
+            fp_tids.insert(e.at("tid").num);
+    }
+    EXPECT_GE(fp_tids.size(), 2u);
+    EXPECT_TRUE(labels.count("main"));
+    EXPECT_TRUE(labels.count("worker-0"));
+    EXPECT_TRUE(labels.count("worker-3"));
+}
+
+TEST(CampaignExport, ProgressCallbackCoversEveryFailurePoint)
+{
+    core::CampaignObserver obs;
+    std::size_t calls = 0;
+    std::size_t last_done = 0, last_total = 0;
+    obs.onProgress = [&](std::size_t done, std::size_t total,
+                         std::size_t) {
+        calls++;
+        last_done = std::max(last_done, done);
+        last_total = total;
+    };
+    auto res = runObserved("btree", 2, obs);
+    EXPECT_EQ(calls, res.stats.failurePoints);
+    EXPECT_EQ(last_done, res.stats.failurePoints);
+    EXPECT_EQ(last_total, res.stats.failurePoints);
+}
+
+TEST(CampaignExport, NoStatsWhenCollectionDisabled)
+{
+    workloads::WorkloadConfig cfg;
+    cfg.initOps = 2;
+    cfg.testOps = 2;
+    auto w = workloads::makeWorkload("btree", cfg);
+    pm::PmPool pool(1 << 22);
+    core::DetectorConfig dcfg;
+    dcfg.collectStats = false;
+    core::Driver driver(pool, dcfg);
+    core::CampaignObserver obs;
+    driver.setObserver(&obs);
+    auto res = driver.run([&](trace::PmRuntime &rt) { w->pre(rt); },
+                          [&](trace::PmRuntime &rt) { w->post(rt); });
+    EXPECT_GT(res.stats.postExecutions, 0u);
+    EXPECT_TRUE(obs.stats.empty());
+
+    // The stats document still works without a registry.
+    std::ostringstream os;
+    core::writeStatsJson(res, nullptr, os);
+    Json doc = parseJson(os.str());
+    EXPECT_EQ(doc.find("stats"), nullptr);
+    EXPECT_EQ(doc.at("schema").str, "xfd-stats-v1");
+}
+
+} // namespace

@@ -67,6 +67,18 @@ TEST_P(ParallelEquivalence, CleanWorkloadSameFindings)
     EXPECT_EQ(serial.stats.failurePoints, par.stats.failurePoints);
     EXPECT_EQ(serial.stats.postExecutions, par.stats.postExecutions);
     EXPECT_EQ(par.stats.threads, 4u);
+
+    // Accounting must merge exactly across workers: each worker's
+    // shadow counts its own chunk's checks, and elision happens once
+    // in the shared plan.
+    EXPECT_EQ(serial.stats.checksPerformed, par.stats.checksPerformed);
+    EXPECT_EQ(serial.stats.checksSkipped, par.stats.checksSkipped);
+    EXPECT_EQ(serial.stats.elidedPoints, par.stats.elidedPoints);
+    EXPECT_EQ(serial.stats.orderingCandidates,
+              par.stats.orderingCandidates);
+    EXPECT_EQ(serial.stats.preTraceEntries, par.stats.preTraceEntries);
+    EXPECT_EQ(serial.stats.postTraceEntries,
+              par.stats.postTraceEntries);
 }
 
 INSTANTIATE_TEST_SUITE_P(Micro, ParallelEquivalence,

@@ -29,8 +29,11 @@
 #include <map>
 
 #include "bugsuite/registry.hh"
+#include "core/campaign_json.hh"
 #include "core/driver.hh"
+#include "core/observer.hh"
 #include "core/prefailure_checker.hh"
+#include "obs/progress.hh"
 #include "trace/serialize.hh"
 #include "workloads/workload.hh"
 
@@ -76,6 +79,14 @@ usage()
         "of the paper's\n                         keep-everything "
         "copy\n"
         "  --max-failpoints <n>   cap injected failure points\n"
+        "  --stats-json <f>       write campaign stats (timing, "
+        "shadow-FSM edges,\n"
+        "                         latency histogram) as JSON to <f>\n"
+        "  --trace-events <f>     write per-phase spans in Chrome "
+        "trace_event format\n"
+        "                         to <f> (load in chrome://tracing)\n"
+        "  --report-json <f>      write the findings as JSON to <f>\n"
+        "  --no-stats             skip stat collection\n"
         "  --quiet                suppress info output\n"
         "  --list-workloads       print workload names and exit\n"
         "  --list-bugs [wl]       print bug ids (optionally for one "
@@ -113,6 +124,9 @@ main(int argc, char **argv)
     unsigned threads = 1;
     std::string dump_trace_path;
     std::string analyze_trace_path;
+    std::string stats_json_path;
+    std::string trace_events_path;
+    std::string report_json_path;
 
     auto need_value = [&](int &i) -> const char * {
         if (i + 1 >= argc) {
@@ -176,6 +190,14 @@ main(int argc, char **argv)
         } else if (!std::strcmp(a, "--max-failpoints")) {
             dcfg.maxFailurePoints =
                 std::strtoul(need_value(i), nullptr, 10);
+        } else if (!std::strcmp(a, "--stats-json")) {
+            stats_json_path = need_value(i);
+        } else if (!std::strcmp(a, "--trace-events")) {
+            trace_events_path = need_value(i);
+        } else if (!std::strcmp(a, "--report-json")) {
+            report_json_path = need_value(i);
+        } else if (!std::strcmp(a, "--no-stats")) {
+            dcfg.collectStats = false;
         } else if (!std::strcmp(a, "--quiet")) {
             setVerbose(false);
         } else {
@@ -274,9 +296,50 @@ main(int argc, char **argv)
     }
 
     core::Driver driver(pool, dcfg);
+    core::CampaignObserver obs;
+    obs.timeline.setEnabled(!trace_events_path.empty());
+    obs::ProgressMeter meter("fp");
+    obs.onProgress = [&meter](std::size_t done, std::size_t total,
+                              std::size_t bugs) {
+        meter.update(done, total, bugs);
+    };
+    driver.setObserver(&obs);
+
     auto res = driver.runParallel(
         [&](trace::PmRuntime &rt) { w->pre(rt); },
         [&](trace::PmRuntime &rt) { w->post(rt); }, threads);
     std::printf("%s", res.summary().c_str());
+
+    auto open_out = [](const std::string &path,
+                       std::ofstream &out) -> bool {
+        out.open(path);
+        if (!out)
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return static_cast<bool>(out);
+    };
+    if (!stats_json_path.empty()) {
+        std::ofstream out;
+        if (!open_out(stats_json_path, out))
+            return 2;
+        core::writeStatsJson(res, obs.stats.empty() ? nullptr
+                                                    : &obs.stats,
+                             out);
+        inform("wrote campaign stats to %s", stats_json_path.c_str());
+    }
+    if (!trace_events_path.empty()) {
+        std::ofstream out;
+        if (!open_out(trace_events_path, out))
+            return 2;
+        obs.timeline.writeChromeTrace(out);
+        inform("wrote %zu trace events to %s", obs.timeline.size(),
+               trace_events_path.c_str());
+    }
+    if (!report_json_path.empty()) {
+        std::ofstream out;
+        if (!open_out(report_json_path, out))
+            return 2;
+        core::writeReportJson(res, out);
+        inform("wrote findings report to %s", report_json_path.c_str());
+    }
     return res.hasBugs() ? 1 : 0;
 }
