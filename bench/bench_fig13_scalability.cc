@@ -43,34 +43,61 @@ printTable()
         unsigned txns;
         double ms;
         std::size_t failpoints;
+        pm::DeltaRestoreStats restore;
+        std::uint64_t fullCopyBaseline; // bytes a full-copy run moves
     };
     std::vector<std::pair<std::string, std::vector<Point>>> series;
+
+    // XFD_BENCH_QUICK=1 (CI smoke): smallest two sizes only.
+    bool quick = std::getenv("XFD_BENCH_QUICK") != nullptr;
+    std::vector<unsigned> txn_set(std::begin(kTxns), std::end(kTxns));
+    if (quick)
+        txn_set.resize(2);
 
     std::printf("\n=== Figure 13: execution time vs. #pre-failure "
                 "transactions ===\n");
     for (const char *w : kMicro) {
         rule();
         std::printf("%s\n", w);
-        std::printf("  %-8s %12s %14s %16s\n", "#txns", "time(ms)",
-                    "#failpoints", "ms per failpoint");
+        std::printf("  %-8s %10s %12s %14s %14s %10s\n", "#txns",
+                    "time(ms)", "#failpoints", "ms/failpoint",
+                    "restored(KB)", "of full");
         std::vector<Point> points;
-        for (unsigned txns : kTxns) {
+        for (unsigned txns : txn_set) {
             Timing t = timeCampaign(w, fig13Config(txns), {}, 1);
             double ms = t.meanTotalSeconds * 1e3;
-            std::size_t fp = t.last.stats.failurePoints;
+            const auto &s = t.last.stats;
+            std::size_t fp = s.failurePoints;
             double per = fp ? ms / fp : 0;
-            std::printf("  %-8u %12.2f %14zu %16.3f\n", txns, ms, fp,
-                        per);
-            points.push_back({txns, ms, fp});
+            // What the pre-delta driver would have copied: one full
+            // image per restore.
+            std::uint64_t baseline =
+                (s.restore.fullCopies + s.restore.deltaRestores) *
+                s.poolBytes;
+            double frac = baseline
+                              ? static_cast<double>(
+                                    s.restore.bytesCopied()) /
+                                    static_cast<double>(baseline)
+                              : 0;
+            std::printf("  %-8u %10.2f %12zu %14.3f %14.1f %9.1f%%\n",
+                        txns, ms, fp, per,
+                        static_cast<double>(s.restore.bytesCopied()) /
+                            1024.0,
+                        frac * 100.0);
+            points.push_back({txns, ms, fp, s.restore, baseline});
         }
         series.emplace_back(w, std::move(points));
     }
     rule();
     std::printf("\npaper: time increases linearly as the number of "
                 "failure points increases\n(the per-failure-point cost "
-                "column should stay roughly flat).\n\n");
+                "column should stay roughly flat). The restore columns\n"
+                "track the delta-image engine: bytes actually copied "
+                "into exec pools and the\nfraction of the "
+                "full-copy-per-failure-point baseline they represent.\n\n");
 
     writeBenchJson("fig13", [&](obs::JsonWriter &w) {
+        w.field("quick", quick);
         w.key("workloads").beginArray();
         for (const auto &[name, points] : series) {
             w.beginObject();
@@ -84,6 +111,21 @@ printTable()
                         static_cast<std::uint64_t>(p.failpoints));
                 w.field("ms_per_failpoint",
                         p.failpoints ? p.ms / p.failpoints : 0.0);
+                w.key("restore").beginObject();
+                w.field("full_copies", p.restore.fullCopies);
+                w.field("delta_restores", p.restore.deltaRestores);
+                w.field("pages_restored", p.restore.pagesRestored);
+                w.field("bytes_copied", p.restore.bytesCopied());
+                w.field("bytes_full_copy_baseline", p.fullCopyBaseline);
+                w.field("reduction",
+                        p.fullCopyBaseline
+                            ? 1.0 -
+                                  static_cast<double>(
+                                      p.restore.bytesCopied()) /
+                                      static_cast<double>(
+                                          p.fullCopyBaseline)
+                            : 0.0);
+                w.endObject();
                 w.endObject();
             }
             w.endArray();

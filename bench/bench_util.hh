@@ -17,10 +17,9 @@
 #include <string>
 
 #include "common/logging.hh"
-#include "core/driver.hh"
 #include "obs/json.hh"
-#include "pm/pool.hh"
 #include "workloads/workload.hh"
+#include "xfd.hh"
 
 namespace xfd::bench
 {
@@ -47,11 +46,12 @@ timeCampaign(const std::string &workload,
     Timing t;
     for (unsigned i = 0; i < reps; i++) {
         auto w = workloads::makeWorkload(workload, cfg);
-        pm::PmPool pool(benchPoolSize);
-        core::Driver driver(pool, dcfg);
-        auto res =
-            driver.run([&](trace::PmRuntime &rt) { w->pre(rt); },
-                       [&](trace::PmRuntime &rt) { w->post(rt); });
+        auto res = Campaign::forProgram(
+                       [&](trace::PmRuntime &rt) { w->pre(rt); },
+                       [&](trace::PmRuntime &rt) { w->post(rt); })
+                       .config(dcfg)
+                       .poolSize(benchPoolSize)
+                       .run();
         t.meanTotalSeconds += res.stats.totalSeconds();
         t.meanPreSeconds += res.stats.preSeconds;
         t.meanPostSeconds += res.stats.postSeconds;
@@ -73,10 +73,11 @@ timeBaseline(const std::string &workload, workloads::WorkloadConfig cfg,
     double total = 0;
     for (unsigned i = 0; i < reps; i++) {
         auto w = workloads::makeWorkload(workload, cfg);
-        pm::PmPool pool(benchPoolSize);
-        core::Driver driver(pool, {});
-        total += driver.runBaseline(
-            [&](trace::PmRuntime &rt) { w->pre(rt); }, traced);
+        total += Campaign::forProgram(
+                     [&](trace::PmRuntime &rt) { w->pre(rt); },
+                     [](trace::PmRuntime &) {})
+                     .poolSize(benchPoolSize)
+                     .baseline(traced);
     }
     return total / reps;
 }

@@ -10,8 +10,8 @@
 
 #include <cstdio>
 
-#include "core/driver.hh"
 #include "workloads/workload.hh"
+#include "xfd.hh"
 
 using namespace xfd;
 
@@ -30,11 +30,11 @@ audit(bool shipped)
         cfg.bugs.enable("redis.shipped.init_no_tx");
     auto redis = workloads::makeWorkload("redis", std::move(cfg));
 
-    pm::PmPool pool(1 << 22);
-    core::Driver driver(pool, {});
-    return driver.run(
-        [&](trace::PmRuntime &rt) { redis->pre(rt); },
-        [&](trace::PmRuntime &rt) { redis->post(rt); });
+    return Campaign::forProgram(
+               [&](trace::PmRuntime &rt) { redis->pre(rt); },
+               [&](trace::PmRuntime &rt) { redis->post(rt); })
+        .poolSize(1 << 22)
+        .run();
 }
 
 } // namespace

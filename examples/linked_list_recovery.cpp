@@ -16,9 +16,9 @@
 
 #include <cstdio>
 
-#include "core/driver.hh"
 #include "pmlib/objpool.hh"
 #include "pmlib/tx.hh"
+#include "xfd.hh"
 
 using namespace xfd;
 
@@ -97,9 +97,7 @@ recoverAlt(trace::PmRuntime &rt, pmlib::ObjPool &op)
 void
 runVariant(const char *label, bool log_length, bool alt_recovery)
 {
-    pm::PmPool pool(1 << 21);
-    core::Driver driver(pool, {});
-    auto res = driver.run(
+    auto res = Campaign::forProgram(
         [&](trace::PmRuntime &rt) {
             pmlib::ObjPool op =
                 pmlib::ObjPool::create(rt, "list", sizeof(ListRoot));
@@ -115,7 +113,9 @@ runVariant(const char *label, bool log_length, bool alt_recovery)
             if (alt_recovery)
                 recoverAlt(rt, op);
             pop(rt, op); // resumption
-        });
+        })
+                   .poolSize(1 << 21)
+                   .run();
     std::printf("---- %s ----\n%s\n", label, res.summary().c_str());
 }
 

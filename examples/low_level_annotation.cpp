@@ -12,9 +12,7 @@
 
 #include <cstdio>
 
-#include "core/driver.hh"
-#include "pm/pool.hh"
-#include "trace/runtime.hh"
+#include "xfd.hh"
 
 using namespace xfd;
 
@@ -98,9 +96,7 @@ recoverAndRead(trace::PmRuntime &rt)
 void
 runOnce(const char *label, bool buggy)
 {
-    pm::PmPool pool(1 << 20);
-    core::Driver driver(pool, {});
-    auto res = driver.run(
+    auto res = Campaign::forProgram(
         [&](trace::PmRuntime &rt) {
             // Seed version 0 outside the region of interest. The
             // commit variable is registered first so the seeding
@@ -114,7 +110,9 @@ runOnce(const char *label, bool buggy)
             rt.persistBarrier(&r->gen, 8);
             update(rt, 1000, buggy);
         },
-        [&](trace::PmRuntime &rt) { recoverAndRead(rt); });
+        [&](trace::PmRuntime &rt) { recoverAndRead(rt); })
+                   .poolSize(1 << 20)
+                   .run();
     std::printf("---- %s ----\n%s\n", label, res.summary().c_str());
 }
 

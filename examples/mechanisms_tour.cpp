@@ -18,13 +18,13 @@
 
 #include <cstdio>
 
-#include "core/driver.hh"
 #include "pmlib/checkpoint.hh"
 #include "pmlib/objpool.hh"
 #include "pmlib/oplog.hh"
 #include "pmlib/redo.hh"
 #include "pmlib/shadow_obj.hh"
 #include "pmlib/tx.hh"
+#include "xfd.hh"
 
 using namespace xfd;
 using trace::PmRuntime;
@@ -55,9 +55,7 @@ runMechanism(const char *layout,
              const std::function<void(PmRuntime &, pmlib::ObjPool &)> &update,
              const std::function<void(PmRuntime &, pmlib::ObjPool &)> &recover)
 {
-    pm::PmPool pool(1 << 22);
-    core::Driver driver(pool, {});
-    return driver.run(
+    return Campaign::forProgram(
         [&](PmRuntime &rt) {
             pmlib::ObjPool op =
                 pmlib::ObjPool::create(rt, layout, sizeof(Root));
@@ -71,7 +69,9 @@ runMechanism(const char *layout,
                 pmlib::ObjPool::openOrCreate(rt, layout, sizeof(Root));
             trace::RoiScope roi(rt);
             recover(rt, op);
-        });
+        })
+        .poolSize(1 << 22)
+        .run();
 }
 
 void

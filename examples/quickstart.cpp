@@ -14,9 +14,7 @@
 
 #include <cstdio>
 
-#include "core/driver.hh"
-#include "pm/pool.hh"
-#include "trace/runtime.hh"
+#include "xfd.hh"
 
 using namespace xfd;
 
@@ -89,11 +87,12 @@ postFailure(trace::PmRuntime &rt)
 void
 runOnce(const char *label, bool fixed)
 {
-    pm::PmPool pool(1 << 20);
-    core::Driver driver(pool, {});
-    core::CampaignResult res =
-        driver.run([&](trace::PmRuntime &rt) { preFailure(rt, fixed); },
-                   [&](trace::PmRuntime &rt) { postFailure(rt); });
+    xfd::CampaignResult res =
+        xfd::Campaign::forProgram(
+            [&](trace::PmRuntime &rt) { preFailure(rt, fixed); },
+            [&](trace::PmRuntime &rt) { postFailure(rt); })
+            .poolSize(1 << 20)
+            .run();
     std::printf("---- %s ----\n%s\n", label, res.summary().c_str());
 }
 

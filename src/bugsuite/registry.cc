@@ -3,6 +3,7 @@
 #include "common/logging.hh"
 #include "pmlib/objpool.hh"
 #include "workloads/workload.hh"
+#include "xfd.hh"
 
 namespace xfd::bugsuite
 {
@@ -263,20 +264,20 @@ bugCasesFor(const std::string &workload)
 core::CampaignResult
 runBugCase(const BugCase &c, core::DetectorConfig cfg)
 {
-    pm::PmPool pool(1 << 22);
-    core::Driver driver(pool, cfg);
-
     if (c.workload == "pool_create") {
         // §6.3.2 bug 4 lives in the library, not in a workload.
-        return driver.run(
-            [](trace::PmRuntime &rt) {
-                trace::RoiScope roi(rt);
-                pmlib::ObjPool::create(rt, "bug4", 64);
-            },
-            [](trace::PmRuntime &rt) {
-                trace::RoiScope roi(rt);
-                pmlib::ObjPool::open(rt, "bug4");
-            });
+        return Campaign::forProgram(
+                   [](trace::PmRuntime &rt) {
+                       trace::RoiScope roi(rt);
+                       pmlib::ObjPool::create(rt, "bug4", 64);
+                   },
+                   [](trace::PmRuntime &rt) {
+                       trace::RoiScope roi(rt);
+                       pmlib::ObjPool::open(rt, "bug4");
+                   })
+            .config(cfg)
+            .poolSize(1 << 22)
+            .run();
     }
 
     workloads::WorkloadConfig wcfg;
@@ -291,8 +292,12 @@ runBugCase(const BugCase &c, core::DetectorConfig cfg)
     if (!c.id.empty())
         wcfg.bugs.enable(c.id);
     auto w = workloads::makeWorkload(c.workload, std::move(wcfg));
-    return driver.run([&](trace::PmRuntime &rt) { w->pre(rt); },
-                      [&](trace::PmRuntime &rt) { w->post(rt); });
+    return Campaign::forProgram(
+               [&](trace::PmRuntime &rt) { w->pre(rt); },
+               [&](trace::PmRuntime &rt) { w->post(rt); })
+        .config(cfg)
+        .poolSize(1 << 22)
+        .run();
 }
 
 bool

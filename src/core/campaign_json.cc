@@ -1,6 +1,7 @@
 #include "core/campaign_json.hh"
 
 #include "common/logging.hh"
+#include "core/config_flags.hh"
 #include "obs/json.hh"
 
 namespace xfd::core
@@ -55,10 +56,22 @@ void
 writeStatsJson(const CampaignResult &res,
                const obs::StatsRegistry *stats, std::ostream &os)
 {
+    writeStatsJson(res, nullptr, stats, os);
+}
+
+void
+writeStatsJson(const CampaignResult &res, const DetectorConfig *cfg,
+               const obs::StatsRegistry *stats, std::ostream &os)
+{
     const CampaignStats &s = res.stats;
     obs::JsonWriter w(os);
     w.beginObject();
     w.field("schema", "xfd-stats-v1");
+
+    if (cfg) {
+        w.key("config");
+        writeConfigJson(*cfg, w);
+    }
 
     // The same numbers summary() prints, machine-readable.
     w.key("campaign").beginObject();
@@ -81,6 +94,17 @@ writeStatsJson(const CampaignResult &res,
     w.field("post_seconds", s.postSeconds);
     w.field("backend_seconds", s.backendSeconds);
     w.field("total_seconds", s.totalSeconds());
+    w.endObject();
+
+    // Exec-pool restore volume (delta-image engine accounting).
+    w.key("restore").beginObject();
+    w.field("pool_bytes", static_cast<std::uint64_t>(s.poolBytes));
+    w.field("full_copies", s.restore.fullCopies);
+    w.field("delta_restores", s.restore.deltaRestores);
+    w.field("pages_restored", s.restore.pagesRestored);
+    w.field("bytes_restored", s.restore.bytesRestored);
+    w.field("bytes_full_copy", s.restore.bytesFullCopy);
+    w.field("bytes_copied", s.restore.bytesCopied());
     w.endObject();
 
     w.key("bugs").beginObject();

@@ -28,9 +28,15 @@ namespace xfd::core
 const char *bugTypeId(BugType t);
 
 /**
- * Write the stats document for @p res; @p stats (may be null) is the
+ * Write the stats document for @p res. @p cfg (may be null) adds a
+ * "config" echo of the detector knobs the campaign ran with, driven
+ * by the config_flags descriptor table; @p stats (may be null) is the
  * registry collected by the campaign's observer.
  */
+void writeStatsJson(const CampaignResult &res, const DetectorConfig *cfg,
+                    const obs::StatsRegistry *stats, std::ostream &os);
+
+/** Overload without the config echo (kept for existing callers). */
 void writeStatsJson(const CampaignResult &res,
                     const obs::StatsRegistry *stats, std::ostream &os);
 

@@ -15,7 +15,15 @@
 namespace xfd::core
 {
 
-/** Tuning and ablation switches for a detection campaign. */
+/**
+ * Tuning and ablation switches for a detection campaign.
+ *
+ * This struct is the single source of truth for detector knobs: every
+ * field has a row in the descriptor table in config_flags.cc, which
+ * drives xfdetect's flag parsing, its --help text, and the config
+ * echo inside the xfd-stats-v1 JSON document. Adding a field without
+ * a table row fails the DetectorFlagTable coverage test.
+ */
 struct DetectorConfig
 {
     /**
@@ -72,6 +80,26 @@ struct DetectorConfig
 
     /** Upper bound on injected failure points (0 = unlimited). */
     std::size_t maxFailurePoints = 0;
+
+    /**
+     * Delta-image engine: restore the exec pool between failure
+     * points by copying only the pages that changed (image writes
+     * since the previous point plus pages the previous post-failure
+     * execution soiled) instead of a full PmImage::copyTo. Identical
+     * exec-pool bytes and findings, O(dirty pages) restore cost; the
+     * equivalence suite (test_delta_image) enforces both.
+     */
+    bool deltaImages = true;
+
+    /** Delta restore granularity in bytes (power of two >= 64). */
+    std::size_t deltaPageSize = 4096;
+
+    /**
+     * Full-image checkpoint cadence: after this many consecutive
+     * delta restores, resync with one full copy so error recovery and
+     * drift stay bounded (0 = checkpoint only at chunk starts).
+     */
+    std::size_t deltaCheckpointInterval = 64;
 
     /**
      * Collect observability counters (shadow-FSM transition counts,

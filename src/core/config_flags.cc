@@ -1,0 +1,176 @@
+#include "core/config_flags.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace xfd::core
+{
+
+/*
+ * Coverage tripwire: adding a DetectorConfig field changes its size,
+ * which fails this assert until the new field gets a descriptor row
+ * below (or a deliberate exemption documented here). Update the
+ * constant together with the table.
+ */
+static_assert(sizeof(DetectorConfig) == 56,
+              "DetectorConfig changed: add a ConfigFlagDesc row for "
+              "the new field, then update this size tripwire");
+
+namespace
+{
+
+std::vector<ConfigFlagDesc>
+buildTable()
+{
+    using C = DetectorConfig;
+    std::vector<ConfigFlagDesc> t;
+
+    auto sw = [&](const char *flag, const char *help,
+                  const char *jsonKey, bool C::*field, bool value) {
+        ConfigFlagDesc d;
+        d.flag = flag;
+        d.arg = nullptr;
+        d.help = help;
+        d.jsonKey = jsonKey;
+        d.boolField = field;
+        d.boolValue = value;
+        t.push_back(d);
+    };
+    auto uintf = [&](const char *flag, const char *arg,
+                     const char *help, const char *jsonKey,
+                     unsigned C::*field) {
+        ConfigFlagDesc d;
+        d.flag = flag;
+        d.arg = arg;
+        d.help = help;
+        d.jsonKey = jsonKey;
+        d.uintField = field;
+        t.push_back(d);
+    };
+    auto sizef = [&](const char *flag, const char *arg,
+                     const char *help, const char *jsonKey,
+                     std::size_t C::*field) {
+        ConfigFlagDesc d;
+        d.flag = flag;
+        d.arg = arg;
+        d.help = help;
+        d.jsonKey = jsonKey;
+        d.sizeField = field;
+        t.push_back(d);
+    };
+
+    sw("--no-elision",
+       "disable empty-interval failure-point elision",
+       "elide_empty_failure_points", &C::elideEmptyFailurePoints,
+       false);
+    sw("--no-first-read", "disable first-read-only checking",
+       "first_read_only", &C::firstReadOnly, false);
+    sw("--no-internal-fences",
+       "no failure points at PM-library-internal fences",
+       "failure_at_internal_fences", &C::failureAtInternalFences,
+       false);
+    uintf("--granularity", "<1|2|4|8>",
+          "shadow-PM cell size (default 1)", "granularity",
+          &C::granularity);
+    sw("--strict-persist", "enable the strict persist extension",
+       "strict_persist_check", &C::strictPersistCheck, true);
+    sw("--no-perf-bugs",
+       "do not report performance bugs (redundant flush/TX_ADD)",
+       "report_performance_bugs", &C::reportPerformanceBugs, false);
+    sw("--crash-image",
+       "post-failure stage sees a realistic crash image "
+       "(unpersisted writes dropped) instead of the paper's "
+       "keep-everything copy",
+       "crash_image_mode", &C::crashImageMode, true);
+    sizef("--max-failpoints", "<n>", "cap injected failure points",
+          "max_failure_points", &C::maxFailurePoints);
+    sw("--no-delta",
+       "restore exec pools with full copies instead of the "
+       "page-granular delta engine",
+       "delta_images", &C::deltaImages, false);
+    sizef("--delta-page", "<bytes>",
+          "delta restore granularity (power of two >= 64, "
+          "default 4096)",
+          "delta_page_size", &C::deltaPageSize);
+    sizef("--delta-checkpoint", "<n>",
+          "full-copy resync after <n> delta restores (0 = only at "
+          "chunk starts, default 64)",
+          "delta_checkpoint_interval", &C::deltaCheckpointInterval);
+    sw("--no-stats", "skip stat collection", "collect_stats",
+       &C::collectStats, false);
+
+    return t;
+}
+
+} // namespace
+
+const std::vector<ConfigFlagDesc> &
+detectorFlagTable()
+{
+    static const std::vector<ConfigFlagDesc> table = buildTable();
+    return table;
+}
+
+const ConfigFlagDesc *
+findDetectorFlag(const char *flag)
+{
+    for (const auto &d : detectorFlagTable()) {
+        if (std::strcmp(d.flag, flag) == 0)
+            return &d;
+    }
+    return nullptr;
+}
+
+void
+applyDetectorFlag(const ConfigFlagDesc &d, DetectorConfig &cfg,
+                  const char *value)
+{
+    if (d.boolField) {
+        cfg.*(d.boolField) = d.boolValue;
+        return;
+    }
+    if (!value)
+        panic("flag %s requires a value", d.flag);
+    if (d.uintField) {
+        cfg.*(d.uintField) =
+            static_cast<unsigned>(std::strtoul(value, nullptr, 10));
+    } else if (d.sizeField) {
+        cfg.*(d.sizeField) = std::strtoul(value, nullptr, 10);
+    }
+}
+
+std::string
+detectorFlagHelp()
+{
+    std::string s;
+    for (const auto &d : detectorFlagTable()) {
+        std::string head = d.flag;
+        if (d.arg) {
+            head += ' ';
+            head += d.arg;
+        }
+        s += strprintf("  %-22s %s\n", head.c_str(), d.help);
+    }
+    return s;
+}
+
+void
+writeConfigJson(const DetectorConfig &cfg, obs::JsonWriter &w)
+{
+    w.beginObject();
+    for (const auto &d : detectorFlagTable()) {
+        if (d.boolField)
+            w.field(d.jsonKey, cfg.*(d.boolField));
+        else if (d.uintField)
+            w.field(d.jsonKey, cfg.*(d.uintField));
+        else if (d.sizeField)
+            w.field(d.jsonKey,
+                    static_cast<std::uint64_t>(cfg.*(d.sizeField)));
+    }
+    w.endObject();
+}
+
+} // namespace xfd::core

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <mutex>
@@ -9,6 +10,7 @@
 
 #include "common/logging.hh"
 #include "trace/buffer.hh"
+#include "trace/page_index.hh"
 
 namespace xfd::core
 {
@@ -190,6 +192,8 @@ Driver::advanceImage(PreCursor &cur, const trace::TraceBuffer &pre,
                 std::memcpy(cur.durable.data() + off,
                             cur.image.data() + off, cacheLineSize);
                 cur.dirtyLines.erase(l);
+                if (deltaStore)
+                    cur.durablePages.insert(deltaStore->pageOf(l));
             }
             cur.pendingLines.clear();
         }
@@ -290,10 +294,55 @@ Driver::handleFailurePoint(PreCursor &cur, pm::PmPool &exec_pool,
         advanceShadow(cur, pre, fp, nullptr);
         advanceImage(cur, pre, fp);
 
-        if (cfg.crashImageMode)
-            cur.durable.copyTo(exec_pool);
-        else
-            cur.image.copyTo(exec_pool);
+        const pm::PmImage &src =
+            cfg.crashImageMode ? cur.durable : cur.image;
+        bool checkpoint_due =
+            cfg.deltaCheckpointInterval != 0 &&
+            cur.sinceCheckpoint >= cfg.deltaCheckpointInterval;
+        if (!deltaStore) {
+            pm::restoreFull(src, exec_pool, stats.restore);
+        } else if (!cur.execSynced || checkpoint_due) {
+            // Chunk start or checkpoint cadence: resync with one full
+            // copy so divergence stays bounded.
+            pm::restoreFull(src, exec_pool, stats.restore);
+            exec_pool.clearDirtyPages();
+            cur.durablePages.clear();
+            cur.execSynced = true;
+            cur.sinceCheckpoint = 0;
+        } else {
+            // The exec pool matches the source image as of the
+            // previous restore except on (a) pages the image gained
+            // since, and (b) pages the previous post-failure
+            // execution soiled. Copy exactly that union.
+            std::set<std::uint32_t> pages;
+            if (cfg.crashImageMode)
+                pages.swap(cur.durablePages);
+            else
+                deltaStore->collectPages(cur.lastRestoredSeq, fp,
+                                         pages);
+            exec_pool.drainDirtyPages(pages);
+            pm::restorePages(src, exec_pool, deltaStore->pageSize(),
+                             pages, stats.restore);
+            cur.sinceCheckpoint++;
+        }
+        cur.lastRestoredSeq = fp;
+        // Paranoia mode (XFD_DELTA_VALIDATE=1): after any restore the
+        // exec pool must equal the source image byte-for-byte; a
+        // mismatch means a mutation path missed markDirty() or the
+        // write-log index missed a write. The equivalence suite runs
+        // its campaigns under this check.
+        static const bool validate =
+            std::getenv("XFD_DELTA_VALIDATE") != nullptr;
+        if (validate &&
+            std::memcmp(src.data(), exec_pool.data(), src.size()) != 0) {
+            std::size_t off = 0;
+            while (src.data()[off] == exec_pool.data()[off])
+                off++;
+            panic("delta restore diverged at fp %u: pool offset %#zx "
+                  "(page %zu) image=%02x pool=%02x",
+                  fp, off, off / cfg.deltaPageSize, src.data()[off],
+                  exec_pool.data()[off]);
+        }
     }
     stats.backendSeconds += secondsSince(tb0);
 
@@ -397,6 +446,16 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
     result.stats.failurePoints = plan.points.size();
     result.stats.orderingCandidates = plan.candidates;
     result.stats.elidedPoints = plan.elided;
+    result.stats.poolBytes = pool.size();
+
+    // Index the write log by page once; workers share it read-only.
+    pm::ImageDeltaStore delta_store;
+    if (cfg.deltaImages) {
+        obs::SpanScope span(tl, "index-write-log", "phase", 0);
+        delta_store = trace::buildDeltaStore(
+            pre_trace, cfg.deltaPageSize, pool.range());
+        deltaStore = &delta_store;
+    }
 
     std::uint32_t trace_end =
         static_cast<std::uint32_t>(pre_trace.size());
@@ -448,6 +507,8 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
                                                  pool.base());
             exec_pool = local.get();
         }
+        if (deltaStore)
+            exec_pool->enableDirtyTracking(cfg.deltaPageSize);
         WorkerObs wobs{tl, tracks[t], &post_latency[t], &post_ops[t]};
         std::size_t reported = 0;
         for (std::size_t i = begin; i < end; i++) {
@@ -464,6 +525,7 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
             }
         }
         cursors[t].shadow.endPostReplay();
+        exec_pool->disableDirtyTracking();
         if (threads > 1)
             setThreadLogLabel("");
     };
@@ -494,7 +556,9 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
             cursors[t].shadow.checksPerformed();
         result.stats.checksSkipped +=
             cursors[t].shadow.checksSkipped();
+        result.stats.restore.merge(stats[t].restore);
     }
+    deltaStore = nullptr;
     if (threads > 1) {
         // Per-thread CPU times overlap; report the wall time split
         // proportionally like the serial breakdown would be.
@@ -605,6 +669,52 @@ Driver::fillObserverStats(
                 [&cand, &elided] {
                     return cand.value() ? elided.value() / cand.value()
                                         : 0.0;
+                });
+
+    // Delta-image engine restore volume. The baseline is what the
+    // full-copy engine would have moved: one pool-sized copy per
+    // restore.
+    set("campaign.pool_bytes", "exec-pool capacity in bytes",
+        static_cast<double>(s.poolBytes));
+    set("campaign.delta.full_copies",
+        "full-image restores (chunk starts, checkpoint cadence)",
+        static_cast<double>(s.restore.fullCopies));
+    set("campaign.delta.delta_restores",
+        "page-granular partial restores",
+        static_cast<double>(s.restore.deltaRestores));
+    set("campaign.delta.pages_restored",
+        "pages copied by partial restores",
+        static_cast<double>(s.restore.pagesRestored));
+    set("campaign.delta.bytes_restored",
+        "bytes copied by partial restores",
+        static_cast<double>(s.restore.bytesRestored));
+    set("campaign.delta.bytes_full_copy",
+        "bytes copied by full-image restores",
+        static_cast<double>(s.restore.bytesFullCopy));
+    Scalar &pool_b = reg.scalar("campaign.pool_bytes", "");
+    Scalar &full_c = reg.scalar("campaign.delta.full_copies", "");
+    Scalar &delta_r = reg.scalar("campaign.delta.delta_restores", "");
+    Scalar &bytes_r = reg.scalar("campaign.delta.bytes_restored", "");
+    Scalar &bytes_f = reg.scalar("campaign.delta.bytes_full_copy", "");
+    reg.formula("campaign.delta.bytes_elided",
+                "restore bytes saved vs full-copy baseline",
+                [&pool_b, &full_c, &delta_r, &bytes_r, &bytes_f] {
+                    double baseline = (full_c.value() +
+                                       delta_r.value()) *
+                                      pool_b.value();
+                    return baseline -
+                           (bytes_r.value() + bytes_f.value());
+                });
+    reg.formula("campaign.delta.restore_ratio",
+                "restore bytes moved / full-copy baseline",
+                [&pool_b, &full_c, &delta_r, &bytes_r, &bytes_f] {
+                    double baseline = (full_c.value() +
+                                       delta_r.value()) *
+                                      pool_b.value();
+                    return baseline ? (bytes_r.value() +
+                                       bytes_f.value()) /
+                                          baseline
+                                    : 0.0;
                 });
 
     // Shadow-PM persistency-FSM edge traversals (Fig. 6), from the

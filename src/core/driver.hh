@@ -35,6 +35,7 @@
 #include "core/failure_planner.hh"
 #include "core/observer.hh"
 #include "core/shadow_pm.hh"
+#include "pm/delta.hh"
 #include "pm/image.hh"
 #include "pm/pool.hh"
 #include "trace/runtime.hh"
@@ -61,6 +62,10 @@ struct CampaignStats
     std::size_t checksSkipped = 0;
     /** Worker threads used (1 = serial). */
     unsigned threads = 1;
+    /** Exec-pool restore volume (delta engine or full copies). */
+    pm::DeltaRestoreStats restore;
+    /** Pool capacity in bytes (baseline for restore-volume ratios). */
+    std::size_t poolBytes = 0;
 
     double totalSeconds() const
     {
@@ -152,6 +157,26 @@ class Driver
         std::uint32_t imageCursor = 0;
         /** TX_ADD ranges of the open transaction (perf bugs). */
         std::vector<AddrRange> openTxAdds;
+
+        /**
+         * @name Delta-restore state (meaningful only when the driver
+         * runs with an ImageDeltaStore attached)
+         * @{
+         */
+        /** Exec pool has been synced with a full copy at least once. */
+        bool execSynced = false;
+        /** Failure point the exec pool was last restored to. */
+        std::uint32_t lastRestoredSeq = 0;
+        /** Delta restores since the last full checkpoint. */
+        std::size_t sinceCheckpoint = 0;
+        /**
+         * Pages of the durable image changed since the last restore
+         * (crashImageMode: fences persist lines whose writes may
+         * predate the restore window, so the write-log index cannot
+         * derive the durable delta; track it where it happens).
+         */
+        std::set<std::uint32_t> durablePages;
+        /** @} */
     };
 
     /**
@@ -211,6 +236,13 @@ class Driver
     pm::PmPool &pool;
     DetectorConfig cfg;
     CampaignObserver *observer = nullptr;
+    /**
+     * Write-log page index for the campaign in flight; null disables
+     * delta restores (handleFailurePoint falls back to full copies).
+     * Set by runParallel() when cfg.deltaImages, cleared before it
+     * returns.
+     */
+    const pm::ImageDeltaStore *deltaStore = nullptr;
 };
 
 } // namespace xfd::core

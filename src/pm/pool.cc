@@ -28,4 +28,53 @@ PmPool::restore(const PmImage &img)
     std::memcpy(bytes.data(), img.data(), bytes.size());
 }
 
+void
+PmPool::enableDirtyTracking(std::size_t pageSize)
+{
+    if (pageSize < cacheLineSize || (pageSize & (pageSize - 1)) != 0)
+        panic("dirty-tracking page size %zu is not a power of two "
+              ">= %zu", pageSize, cacheLineSize);
+    pageSz = pageSize;
+    pageShift = 0;
+    while ((std::size_t{1} << pageShift) < pageSize)
+        pageShift++;
+    numPages = (bytes.size() + pageSize - 1) / pageSize;
+    dirtyMap = std::make_unique<std::atomic<std::uint8_t>[]>(numPages);
+    clearDirtyPages();
+}
+
+void
+PmPool::disableDirtyTracking()
+{
+    pageSz = 0;
+    pageShift = 0;
+    numPages = 0;
+    dirtyMap.reset();
+}
+
+void
+PmPool::drainDirtyPages(std::set<std::uint32_t> &out)
+{
+    for (std::size_t p = 0; p < numPages; p++) {
+        if (dirtyMap[p].exchange(0, std::memory_order_relaxed))
+            out.insert(static_cast<std::uint32_t>(p));
+    }
+}
+
+void
+PmPool::clearDirtyPages()
+{
+    for (std::size_t p = 0; p < numPages; p++)
+        dirtyMap[p].store(0, std::memory_order_relaxed);
+}
+
+std::size_t
+PmPool::dirtyPageCount() const
+{
+    std::size_t n = 0;
+    for (std::size_t p = 0; p < numPages; p++)
+        n += dirtyMap[p].load(std::memory_order_relaxed) ? 1 : 0;
+    return n;
+}
+
 } // namespace xfd::pm

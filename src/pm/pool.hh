@@ -13,7 +13,10 @@
 #ifndef XFD_PM_POOL_HH
 #define XFD_PM_POOL_HH
 
+#include <atomic>
 #include <cstring>
+#include <memory>
+#include <set>
 #include <vector>
 
 #include "common/logging.hh"
@@ -130,9 +133,57 @@ class PmPool
     std::uint8_t *data() { return bytes.data(); }
     const std::uint8_t *data() const { return bytes.data(); }
 
+    /**
+     * @name Dirty-page tracking
+     * The delta-image engine needs to know which pages a post-failure
+     * execution soiled so the next failure point can restore only
+     * those. The instrumented runtime calls markDirty() on every
+     * mutation path; with tracking disabled (the default) the call is
+     * a single predictable branch. Flags are relaxed atomics so
+     * multi-threaded workload stages may mark concurrently.
+     * @{
+     */
+
+    /** Start tracking writes at @p pageSize granularity (power of 2). */
+    void enableDirtyTracking(std::size_t pageSize);
+
+    /** Stop tracking and drop the page map. */
+    void disableDirtyTracking();
+
+    /** @return the tracking page size, 0 when tracking is disabled. */
+    std::size_t trackingPageSize() const { return pageSz; }
+
+    /** Record that [a, a+n) was written (no-op unless tracking). */
+    void
+    markDirty(Addr a, std::size_t n)
+    {
+        if (pageSz == 0 || n == 0 || a < baseAddr)
+            return;
+        std::size_t first = (a - baseAddr) >> pageShift;
+        std::size_t last = (a - baseAddr + n - 1) >> pageShift;
+        for (std::size_t p = first; p <= last && p < numPages; p++)
+            dirtyMap[p].store(1, std::memory_order_relaxed);
+    }
+
+    /** Move the dirty-page set into @p out (union) and clear the map. */
+    void drainDirtyPages(std::set<std::uint32_t> &out);
+
+    /** Clear the dirty-page map (after a full restore). */
+    void clearDirtyPages();
+
+    /** @return number of pages currently marked dirty. */
+    std::size_t dirtyPageCount() const;
+
+    /** @} */
+
   private:
     Addr baseAddr;
     std::vector<std::uint8_t> bytes;
+    /** Dirty-page map; allocated only while tracking is enabled. */
+    std::unique_ptr<std::atomic<std::uint8_t>[]> dirtyMap;
+    std::size_t pageSz = 0;
+    unsigned pageShift = 0;
+    std::size_t numPages = 0;
 };
 
 /**

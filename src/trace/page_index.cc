@@ -1,0 +1,35 @@
+#include "trace/page_index.hh"
+
+namespace xfd::trace
+{
+
+pm::ImageDeltaStore
+buildDeltaStore(const TraceBuffer &buf, std::size_t pageSize,
+                AddrRange poolRange)
+{
+    pm::ImageDeltaStore store(pageSize, poolRange);
+    for (const auto &e : buf) {
+        if (e.isWrite())
+            store.recordWrite(e.seq, e.addr, e.size);
+    }
+    return store;
+}
+
+std::size_t
+writeLogPageFootprint(const TraceBuffer &buf, std::size_t pageSize,
+                      AddrRange poolRange)
+{
+    pm::ImageDeltaStore store(pageSize, poolRange);
+    std::set<std::uint32_t> pages;
+    for (const auto &e : buf) {
+        if (!e.isWrite() || e.size == 0 || e.addr < poolRange.begin)
+            continue;
+        for (std::uint32_t p = store.pageOf(e.addr);
+             p <= store.pageOf(e.addr + e.size - 1); p++) {
+            pages.insert(p);
+        }
+    }
+    return pages.size();
+}
+
+} // namespace xfd::trace

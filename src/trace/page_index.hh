@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Write-log page index: bridges the recorded pre-failure trace and
+ * the page-granular delta-image engine (pm::ImageDeltaStore).
+ *
+ * The pre-failure trace already carries every image-affecting write
+ * (including allocator zero-fills, which reach the PM image even
+ * though they are invisible to the shadow PM). Indexing those entries
+ * by page once per campaign lets each worker derive "pages the image
+ * gained between failure points" with a binary search instead of a
+ * trace replay.
+ */
+
+#ifndef XFD_TRACE_PAGE_INDEX_HH
+#define XFD_TRACE_PAGE_INDEX_HH
+
+#include "pm/delta.hh"
+#include "trace/buffer.hh"
+
+namespace xfd::trace
+{
+
+/**
+ * Build the delta store for @p buf: every write entry (cached,
+ * non-temporal, and image-only zero-fill) is recorded at @p pageSize
+ * granularity over @p poolRange.
+ */
+pm::ImageDeltaStore buildDeltaStore(const TraceBuffer &buf,
+                                    std::size_t pageSize,
+                                    AddrRange poolRange);
+
+/**
+ * Total pages the write log touches at @p pageSize granularity — the
+ * working-set size a full-trace replay dirties (stats/benchmarks).
+ */
+std::size_t writeLogPageFootprint(const TraceBuffer &buf,
+                                  std::size_t pageSize,
+                                  AddrRange poolRange);
+
+} // namespace xfd::trace
+
+#endif // XFD_TRACE_PAGE_INDEX_HH

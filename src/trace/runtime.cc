@@ -99,6 +99,7 @@ PmRuntime::copyToPm(void *dst, const void *src, std::size_t n, SrcLoc loc)
     if (!pmPool.contains(a, n))
         panic("copyToPm overruns pool");
     std::memmove(dst, src, n);
+    pmPool.markDirty(a, n);
     emitWrite(Op::Write, a, dst, n, loc);
 }
 
@@ -112,6 +113,7 @@ PmRuntime::ntCopyToPm(void *dst, const void *src, std::size_t n,
     if (!pmPool.contains(a, n))
         panic("ntCopyToPm overruns pool");
     std::memmove(dst, src, n);
+    pmPool.markDirty(a, n);
     emitWrite(Op::NtWrite, a, dst, n, loc);
 }
 
@@ -124,6 +126,7 @@ PmRuntime::setPm(void *dst, int value, std::size_t n, SrcLoc loc)
     if (!pmPool.contains(a, n))
         panic("setPm overruns pool");
     std::memset(dst, value, n);
+    pmPool.markDirty(a, n);
     emitWrite(Op::Write, a, dst, n, loc);
 }
 
@@ -301,6 +304,7 @@ PmRuntime::zeroFill(void *dst, std::size_t n, SrcLoc loc)
     if (!pmPool.contains(a, n))
         panic("zeroFill overruns pool");
     std::memset(dst, 0, n);
+    pmPool.markDirty(a, n);
     TraceEntry e;
     e.op = Op::Write;
     e.flags = flagImageOnly;

@@ -138,6 +138,7 @@ class PmRuntime
         static_assert(std::is_trivially_copyable_v<T>);
         Addr a = pmPool.toAddr(&field);
         field = value;
+        pmPool.markDirty(a, sizeof(T));
         emitWrite(Op::Write, a, &field, sizeof(T), loc);
     }
 
@@ -149,6 +150,7 @@ class PmRuntime
         static_assert(std::is_trivially_copyable_v<T>);
         Addr a = pmPool.toAddr(&field);
         field = value;
+        pmPool.markDirty(a, sizeof(T));
         emitWrite(Op::NtWrite, a, &field, sizeof(T), loc);
     }
 

@@ -18,6 +18,7 @@
 
 #include "common/logging.hh"
 #include "core/campaign_json.hh"
+#include "core/config_flags.hh"
 #include "core/driver.hh"
 #include "core/observer.hh"
 #include "obs/json.hh"
@@ -536,10 +537,80 @@ TEST(CampaignExport, StatsJsonDocumentIsValid)
               res.stats.backendSeconds);
     EXPECT_EQ(doc.at("bugs").at("total").num,
               static_cast<double>(res.bugs.size()));
+    const Json &restore = doc.at("restore");
+    EXPECT_EQ(restore.at("pool_bytes").num,
+              static_cast<double>(res.stats.poolBytes));
+    EXPECT_EQ(restore.at("bytes_copied").num,
+              static_cast<double>(res.stats.restore.bytesCopied()));
     if (obs::statsCompiledIn) {
         EXPECT_NE(doc.at("stats").find("campaign.post_exec_latency_us"),
                   nullptr);
     }
+}
+
+TEST(CampaignExport, StatsJsonEchoesEveryConfigFlag)
+{
+    core::CampaignObserver obs;
+    auto res = runObserved("btree", 1, obs);
+
+    core::DetectorConfig dcfg;
+    dcfg.crashImageMode = true;
+    dcfg.deltaPageSize = 256;
+    std::ostringstream os;
+    core::writeStatsJson(res, &dcfg, &obs.stats, os);
+    Json doc = parseJson(os.str());
+
+    const Json &conf = doc.at("config");
+    for (const auto &d : core::detectorFlagTable())
+        EXPECT_NE(conf.find(d.jsonKey), nullptr) << d.jsonKey;
+    EXPECT_TRUE(conf.at("crash_image_mode").b);
+    EXPECT_TRUE(conf.at("delta_images").b);
+    EXPECT_EQ(conf.at("delta_page_size").num, 256);
+    EXPECT_EQ(conf.at("granularity").num, 1);
+
+    // The three-argument overload omits the echo.
+    std::ostringstream os2;
+    core::writeStatsJson(res, &obs.stats, os2);
+    EXPECT_EQ(parseJson(os2.str()).find("config"), nullptr);
+}
+
+TEST(ConfigFlags, TableRowsAreWellFormedAndUnique)
+{
+    std::set<std::string> flags, keys;
+    for (const auto &d : core::detectorFlagTable()) {
+        EXPECT_TRUE(flags.insert(d.flag).second) << d.flag;
+        EXPECT_TRUE(keys.insert(d.jsonKey).second) << d.jsonKey;
+        int typed = (d.boolField != nullptr) +
+                    (d.uintField != nullptr) + (d.sizeField != nullptr);
+        EXPECT_EQ(typed, 1) << d.flag;
+        EXPECT_EQ(d.takesValue(), d.boolField == nullptr) << d.flag;
+        EXPECT_NE(core::findDetectorFlag(d.flag), nullptr) << d.flag;
+    }
+    EXPECT_EQ(core::findDetectorFlag("--not-a-flag"), nullptr);
+    EXPECT_FALSE(core::detectorFlagHelp().empty());
+}
+
+TEST(ConfigFlags, ApplySetsTheMappedField)
+{
+    core::DetectorConfig cfg;
+    core::applyDetectorFlag(*core::findDetectorFlag("--no-delta"), cfg,
+                            nullptr);
+    EXPECT_FALSE(cfg.deltaImages);
+    core::applyDetectorFlag(*core::findDetectorFlag("--delta-page"),
+                            cfg, "256");
+    EXPECT_EQ(cfg.deltaPageSize, 256u);
+    core::applyDetectorFlag(
+        *core::findDetectorFlag("--delta-checkpoint"), cfg, "7");
+    EXPECT_EQ(cfg.deltaCheckpointInterval, 7u);
+    core::applyDetectorFlag(*core::findDetectorFlag("--granularity"),
+                            cfg, "4");
+    EXPECT_EQ(cfg.granularity, 4u);
+    core::applyDetectorFlag(*core::findDetectorFlag("--strict-persist"),
+                            cfg, nullptr);
+    EXPECT_TRUE(cfg.strictPersistCheck);
+    // Untouched fields keep their defaults.
+    EXPECT_TRUE(cfg.elideEmptyFailurePoints);
+    EXPECT_EQ(cfg.maxFailurePoints, 0u);
 }
 
 TEST(CampaignExport, SerialAndParallelExportIdentically)

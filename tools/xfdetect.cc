@@ -29,13 +29,12 @@
 #include <map>
 
 #include "bugsuite/registry.hh"
-#include "core/campaign_json.hh"
-#include "core/driver.hh"
-#include "core/observer.hh"
+#include "core/config_flags.hh"
 #include "core/prefailure_checker.hh"
 #include "obs/progress.hh"
 #include "trace/serialize.hh"
 #include "workloads/workload.hh"
+#include "xfd.hh"
 
 using namespace xfd;
 
@@ -68,17 +67,6 @@ usage()
         "failure plan,\n"
         "                         baseline findings (no workload "
         "needed)\n"
-        "  --granularity <1|2|4|8> shadow-PM cell size (default 1)\n"
-        "  --no-elision           disable empty-interval failure-point "
-        "elision\n"
-        "  --no-first-read        disable first-read-only checking\n"
-        "  --strict-persist       enable the strict persist extension\n"
-        "  --crash-image          post-failure stage sees a realistic "
-        "crash image\n"
-        "                         (unpersisted writes dropped) instead "
-        "of the paper's\n                         keep-everything "
-        "copy\n"
-        "  --max-failpoints <n>   cap injected failure points\n"
         "  --stats-json <f>       write campaign stats (timing, "
         "shadow-FSM edges,\n"
         "                         latency histogram) as JSON to <f>\n"
@@ -86,11 +74,13 @@ usage()
         "trace_event format\n"
         "                         to <f> (load in chrome://tracing)\n"
         "  --report-json <f>      write the findings as JSON to <f>\n"
-        "  --no-stats             skip stat collection\n"
         "  --quiet                suppress info output\n"
         "  --list-workloads       print workload names and exit\n"
         "  --list-bugs [wl]       print bug ids (optionally for one "
-        "workload) and exit\n");
+        "workload) and exit\n"
+        "detector options (echoed under \"config\" in --stats-json):\n"
+        "%s",
+        core::detectorFlagHelp().c_str());
 }
 
 int
@@ -176,30 +166,21 @@ main(int argc, char **argv)
             dump_trace_path = need_value(i);
         } else if (!std::strcmp(a, "--analyze-trace")) {
             analyze_trace_path = need_value(i);
-        } else if (!std::strcmp(a, "--granularity")) {
-            dcfg.granularity = static_cast<unsigned>(
-                std::strtoul(need_value(i), nullptr, 10));
-        } else if (!std::strcmp(a, "--no-elision")) {
-            dcfg.elideEmptyFailurePoints = false;
-        } else if (!std::strcmp(a, "--no-first-read")) {
-            dcfg.firstReadOnly = false;
-        } else if (!std::strcmp(a, "--strict-persist")) {
-            dcfg.strictPersistCheck = true;
-        } else if (!std::strcmp(a, "--crash-image")) {
-            dcfg.crashImageMode = true;
-        } else if (!std::strcmp(a, "--max-failpoints")) {
-            dcfg.maxFailurePoints =
-                std::strtoul(need_value(i), nullptr, 10);
         } else if (!std::strcmp(a, "--stats-json")) {
             stats_json_path = need_value(i);
         } else if (!std::strcmp(a, "--trace-events")) {
             trace_events_path = need_value(i);
         } else if (!std::strcmp(a, "--report-json")) {
             report_json_path = need_value(i);
-        } else if (!std::strcmp(a, "--no-stats")) {
-            dcfg.collectStats = false;
         } else if (!std::strcmp(a, "--quiet")) {
             setVerbose(false);
+        } else if (const core::ConfigFlagDesc *d =
+                       core::findDetectorFlag(a)) {
+            // All DetectorConfig knobs come from one descriptor
+            // table (config_flags.cc) — parsing, --help, and the
+            // stats-JSON config echo cannot drift apart.
+            core::applyDetectorFlag(
+                *d, dcfg, d->takesValue() ? need_value(i) : nullptr);
         } else {
             std::fprintf(stderr, "unknown option: %s\n", a);
             usage();
@@ -295,7 +276,6 @@ main(int argc, char **argv)
         return findings.empty() ? 0 : 1;
     }
 
-    core::Driver driver(pool, dcfg);
     core::CampaignObserver obs;
     obs.timeline.setEnabled(!trace_events_path.empty());
     obs::ProgressMeter meter("fp");
@@ -303,11 +283,15 @@ main(int argc, char **argv)
                               std::size_t bugs) {
         meter.update(done, total, bugs);
     };
-    driver.setObserver(&obs);
 
-    auto res = driver.runParallel(
-        [&](trace::PmRuntime &rt) { w->pre(rt); },
-        [&](trace::PmRuntime &rt) { w->post(rt); }, threads);
+    auto res = Campaign::forProgram(
+                   [&](trace::PmRuntime &rt) { w->pre(rt); },
+                   [&](trace::PmRuntime &rt) { w->post(rt); })
+                   .config(dcfg)
+                   .onPool(pool)
+                   .threads(threads)
+                   .observer(&obs)
+                   .run();
     std::printf("%s", res.summary().c_str());
 
     auto open_out = [](const std::string &path,
@@ -321,8 +305,8 @@ main(int argc, char **argv)
         std::ofstream out;
         if (!open_out(stats_json_path, out))
             return 2;
-        core::writeStatsJson(res, obs.stats.empty() ? nullptr
-                                                    : &obs.stats,
+        core::writeStatsJson(res, &dcfg,
+                             obs.stats.empty() ? nullptr : &obs.stats,
                              out);
         inform("wrote campaign stats to %s", stats_json_path.c_str());
     }
