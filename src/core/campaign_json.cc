@@ -61,7 +61,8 @@ writeStatsJson(const CampaignResult &res,
 
 void
 writeStatsJson(const CampaignResult &res, const DetectorConfig *cfg,
-               const obs::StatsRegistry *stats, std::ostream &os)
+               const obs::StatsRegistry *stats, std::ostream &os,
+               const std::vector<JsonSection> &extra)
 {
     const CampaignStats &s = res.stats;
     obs::JsonWriter w(os);
@@ -121,6 +122,11 @@ writeStatsJson(const CampaignResult &res, const DetectorConfig *cfg,
     if (stats) {
         w.key("stats");
         stats->writeJson(w);
+    }
+
+    for (const auto &section : extra) {
+        w.key(section.key);
+        section.body(w);
     }
 
     w.endObject();

@@ -16,7 +16,10 @@
 #ifndef XFD_CORE_CAMPAIGN_JSON_HH
 #define XFD_CORE_CAMPAIGN_JSON_HH
 
+#include <functional>
 #include <ostream>
+#include <string>
+#include <vector>
 
 #include "core/driver.hh"
 #include "obs/stats.hh"
@@ -28,13 +31,27 @@ namespace xfd::core
 const char *bugTypeId(BugType t);
 
 /**
+ * One extra top-level object in the xfd-stats-v1 document, supplied
+ * by a layer core does not depend on (e.g. the mutation engine's
+ * "mutation" section). The callback writes the value for @p key —
+ * typically beginObject()...endObject().
+ */
+struct JsonSection
+{
+    std::string key;
+    std::function<void(obs::JsonWriter &)> body;
+};
+
+/**
  * Write the stats document for @p res. @p cfg (may be null) adds a
  * "config" echo of the detector knobs the campaign ran with, driven
  * by the config_flags descriptor table; @p stats (may be null) is the
- * registry collected by the campaign's observer.
+ * registry collected by the campaign's observer; @p extra sections
+ * are appended after the built-in ones.
  */
 void writeStatsJson(const CampaignResult &res, const DetectorConfig *cfg,
-                    const obs::StatsRegistry *stats, std::ostream &os);
+                    const obs::StatsRegistry *stats, std::ostream &os,
+                    const std::vector<JsonSection> &extra = {});
 
 /** Overload without the config echo (kept for existing callers). */
 void writeStatsJson(const CampaignResult &res,

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <limits>
+#include <string>
 
 namespace xfd::core
 {
@@ -109,6 +110,21 @@ struct DetectorConfig
      * out entirely.
      */
     bool collectStats = true;
+
+    /**
+     * Mutation campaign (src/mutate): empty = off. "all" enables
+     * every operator, "quick" the fast drop_flush/drop_fence pair;
+     * otherwise a comma-separated operator list. When set, xfdetect
+     * runs a scored fault-injection campaign instead of a single
+     * detection campaign.
+     */
+    std::string mutateOps;
+
+    /** Seed for deterministic mutant subsampling (with a cap set). */
+    std::size_t mutationSeed = 42;
+
+    /** Cap on mutants per operator (0 = run every enumerated one). */
+    std::size_t mutationMaxPerOp = 0;
 };
 
 } // namespace xfd::core

@@ -15,7 +15,8 @@ namespace xfd::core
  * below (or a deliberate exemption documented here). Update the
  * constant together with the table.
  */
-static_assert(sizeof(DetectorConfig) == 56,
+static_assert(sizeof(DetectorConfig) ==
+                  72 + sizeof(std::string),
               "DetectorConfig changed: add a ConfigFlagDesc row for "
               "the new field, then update this size tripwire");
 
@@ -61,6 +62,18 @@ buildTable()
         d.sizeField = field;
         t.push_back(d);
     };
+    auto strf = [&](const char *flag, const char *arg,
+                    const char *help, const char *jsonKey,
+                    std::string C::*field, const char *implied) {
+        ConfigFlagDesc d;
+        d.flag = flag;
+        d.arg = arg;
+        d.help = help;
+        d.jsonKey = jsonKey;
+        d.stringField = field;
+        d.impliedValue = implied;
+        t.push_back(d);
+    };
 
     sw("--no-elision",
        "disable empty-interval failure-point elision",
@@ -101,6 +114,18 @@ buildTable()
           "delta_checkpoint_interval", &C::deltaCheckpointInterval);
     sw("--no-stats", "skip stat collection", "collect_stats",
        &C::collectStats, false);
+    strf("--mutate", "[=<ops>]",
+         "run a scored fault-injection campaign; <ops> is \"all\" "
+         "(default), \"quick\", or a comma list of drop_flush, "
+         "drop_fence, demote_flush, skip_tx_add, commit_before_data, "
+         "stale_backup",
+         "mutate_ops", &C::mutateOps, "all");
+    sizef("--mutation-seed", "<n>",
+          "seed for deterministic mutant subsampling (default 42)",
+          "mutation_seed", &C::mutationSeed);
+    sizef("--mutation-cap", "<n>",
+          "cap mutants per operator (0 = run every enumerated one)",
+          "mutation_max_per_op", &C::mutationMaxPerOp);
 
     return t;
 }
@@ -132,6 +157,14 @@ applyDetectorFlag(const ConfigFlagDesc &d, DetectorConfig &cfg,
         cfg.*(d.boolField) = d.boolValue;
         return;
     }
+    if (d.stringField) {
+        if (!value)
+            value = d.impliedValue;
+        if (!value)
+            panic("flag %s requires a value", d.flag);
+        cfg.*(d.stringField) = value;
+        return;
+    }
     if (!value)
         panic("flag %s requires a value", d.flag);
     if (d.uintField) {
@@ -149,7 +182,9 @@ detectorFlagHelp()
     for (const auto &d : detectorFlagTable()) {
         std::string head = d.flag;
         if (d.arg) {
-            head += ' ';
+            // Optional values attach to the flag ("--mutate[=<ops>]").
+            if (!d.impliedValue)
+                head += ' ';
             head += d.arg;
         }
         s += strprintf("  %-22s %s\n", head.c_str(), d.help);
@@ -169,6 +204,8 @@ writeConfigJson(const DetectorConfig &cfg, obs::JsonWriter &w)
         else if (d.sizeField)
             w.field(d.jsonKey,
                     static_cast<std::uint64_t>(cfg.*(d.sizeField)));
+        else if (d.stringField)
+            w.field(d.jsonKey, cfg.*(d.stringField));
     }
     w.endObject();
 }

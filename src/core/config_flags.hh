@@ -49,8 +49,21 @@ struct ConfigFlagDesc
     bool boolValue = true;
     unsigned DetectorConfig::*uintField = nullptr;
     std::size_t DetectorConfig::*sizeField = nullptr;
+    std::string DetectorConfig::*stringField = nullptr;
 
-    bool takesValue() const { return arg != nullptr; }
+    /**
+     * For flags whose value is optional ("--mutate[=<ops>]"): the
+     * string stored when the flag appears bare. Such flags never
+     * consume the next argv word; an explicit value arrives as
+     * --flag=value.
+     */
+    const char *impliedValue = nullptr;
+
+    bool
+    takesValue() const
+    {
+        return arg != nullptr && impliedValue == nullptr;
+    }
 };
 
 /** The full flag table, one row per user-settable config field. */

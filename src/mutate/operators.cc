@@ -1,0 +1,68 @@
+#include "mutate/operators.hh"
+
+namespace xfd::mutate
+{
+
+const char *
+mutationOpName(MutationOp op)
+{
+    switch (op) {
+      case MutationOp::DropFlush: return "drop_flush";
+      case MutationOp::DropFence: return "drop_fence";
+      case MutationOp::DemoteFlush: return "demote_flush";
+      case MutationOp::SkipTxAdd: return "skip_tx_add";
+      case MutationOp::CommitBeforeData: return "commit_before_data";
+      case MutationOp::StaleBackup: return "stale_backup";
+    }
+    return "?";
+}
+
+bool
+parseMutationOps(const std::string &spec, PerOp<bool> &enabled,
+                 std::string *err)
+{
+    enabled.fill(false);
+    if (spec == "all") {
+        enabled.fill(true);
+        return true;
+    }
+    if (spec == "quick") {
+        enabled[static_cast<std::size_t>(MutationOp::DropFlush)] = true;
+        enabled[static_cast<std::size_t>(MutationOp::DropFence)] = true;
+        return true;
+    }
+
+    std::size_t pos = 0;
+    bool any = false;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string name = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        bool found = false;
+        for (std::size_t i = 0; i < mutationOpCount; i++) {
+            if (name == mutationOpName(static_cast<MutationOp>(i))) {
+                enabled[i] = true;
+                found = true;
+                any = true;
+                break;
+            }
+        }
+        if (!found) {
+            if (err)
+                *err = "unknown mutation operator: " + name;
+            return false;
+        }
+    }
+    if (!any) {
+        if (err)
+            *err = "empty mutation operator list";
+        return false;
+    }
+    return true;
+}
+
+} // namespace xfd::mutate

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Mutation-operator vocabulary.
+ *
+ * Each operator turns one site in a correct program into a planted
+ * persistency bug with known ground truth (the finding class and the
+ * PM bytes it leaves unprotected). The set mirrors the bug taxonomy
+ * of the paper's §3 and §6.3: missing writebacks and fences (the
+ * cross-failure races of Table 4), broken undo logging, and commit
+ * ordering violations.
+ */
+
+#ifndef XFD_MUTATE_OPERATORS_HH
+#define XFD_MUTATE_OPERATORS_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace xfd::mutate
+{
+
+/** The fault-injection operators the engine can apply. */
+enum class MutationOp : unsigned
+{
+    /** Drop one flush (CLWB/CLFLUSHOPT/CLFLUSH) trace entry. */
+    DropFlush,
+    /** Drop one fence (SFENCE/MFENCE) trace entry. */
+    DropFence,
+    /** Turn one non-temporal store into a plain cached store. */
+    DemoteFlush,
+    /** Skip one TX_ADD: the range is never snapshotted or logged. */
+    SkipTxAdd,
+    /** Retire the tx log before the data ranges are flushed. */
+    CommitBeforeData,
+    /** Write one undo-log backup but never publish its entry count. */
+    StaleBackup,
+};
+
+inline constexpr std::size_t mutationOpCount = 6;
+
+/** Per-operator flag/score array, indexed by MutationOp. */
+template <typename T>
+using PerOp = std::array<T, mutationOpCount>;
+
+/** Stable identifier ("drop_flush") used in flags, JSON and stats. */
+const char *mutationOpName(MutationOp op);
+
+/**
+ * Parse an operator spec: "all" (every operator), "quick" (the
+ * drop_flush/drop_fence pair), or a comma-separated list of operator
+ * names.
+ * @return false (with *err set) on an unknown name or empty spec.
+ */
+bool parseMutationOps(const std::string &spec, PerOp<bool> &enabled,
+                      std::string *err);
+
+} // namespace xfd::mutate
+
+#endif // XFD_MUTATE_OPERATORS_HH

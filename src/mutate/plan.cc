@@ -1,0 +1,592 @@
+#include "mutate/plan.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <map>
+
+#include "common/logging.hh"
+#include "trace/runtime.hh"
+
+namespace xfd::mutate
+{
+
+namespace
+{
+
+constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+
+/** Sorted set of disjoint half-open byte ranges. */
+class RangeSet
+{
+  public:
+    void
+    add(Addr b, Addr e)
+    {
+        if (b >= e)
+            return;
+        auto it = iv.upper_bound(b);
+        if (it != iv.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second >= b) {
+                b = prev->first;
+                if (prev->second > e)
+                    e = prev->second;
+                it = iv.erase(prev);
+            }
+        }
+        while (it != iv.end() && it->first <= e) {
+            if (it->second > e)
+                e = it->second;
+            it = iv.erase(it);
+        }
+        iv[b] = e;
+    }
+
+    void
+    add(const AddrRange &r)
+    {
+        add(r.begin, r.end);
+    }
+
+    void
+    subtract(Addr b, Addr e)
+    {
+        if (b >= e)
+            return;
+        auto it = iv.lower_bound(b);
+        if (it != iv.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second > b) {
+                Addr tailEnd = prev->second;
+                prev->second = b;
+                if (tailEnd > e)
+                    iv[e] = tailEnd;
+            }
+        }
+        it = iv.lower_bound(b);
+        while (it != iv.end() && it->first < e) {
+            if (it->second <= e) {
+                it = iv.erase(it);
+            } else {
+                Addr tailEnd = it->second;
+                iv.erase(it);
+                iv[e] = tailEnd;
+                break;
+            }
+        }
+    }
+
+    void
+    subtract(const AddrRange &r)
+    {
+        subtract(r.begin, r.end);
+    }
+
+    bool
+    intersects(Addr b, Addr e) const
+    {
+        if (b >= e)
+            return false;
+        auto it = iv.lower_bound(b);
+        if (it != iv.begin() && std::prev(it)->second > b)
+            return true;
+        return it != iv.end() && it->first < e;
+    }
+
+    /** Clamped copies of the stored ranges overlapping [b, e). */
+    std::vector<AddrRange>
+    intersect(Addr b, Addr e) const
+    {
+        std::vector<AddrRange> out;
+        if (b >= e)
+            return out;
+        auto it = iv.lower_bound(b);
+        if (it != iv.begin() && std::prev(it)->second > b)
+            --it;
+        for (; it != iv.end() && it->first < e; ++it) {
+            Addr rb = it->first < b ? b : it->first;
+            Addr re = it->second > e ? e : it->second;
+            if (rb < re)
+                out.push_back(AddrRange{rb, re});
+        }
+        return out;
+    }
+
+    std::vector<AddrRange>
+    ranges() const
+    {
+        std::vector<AddrRange> out;
+        out.reserve(iv.size());
+        for (const auto &[b, e] : iv)
+            out.push_back(AddrRange{b, e});
+        return out;
+    }
+
+    void clear() { iv.clear(); }
+    bool empty() const { return iv.empty(); }
+
+  private:
+    std::map<Addr, Addr> iv;
+};
+
+/** A write the backend checks post-failure reads against. */
+bool
+checkedAppWrite(const trace::TraceEntry &e)
+{
+    return e.isWrite() && !e.has(trace::flagInternal) &&
+           !e.has(trace::flagImageOnly) && !e.has(trace::flagSkipDetection);
+}
+
+/** Whether the failure planner may inject a point at fence @p e. */
+bool
+fenceEligible(const trace::TraceEntry &e, const core::DetectorConfig &cfg)
+{
+    return e.has(trace::flagInRoi) && !e.has(trace::flagSkipFailure) &&
+           (!e.has(trace::flagInternal) || cfg.failureAtInternalFences);
+}
+
+/** One outermost transaction (txBegin .. txCommit/txAbort). */
+struct TxInfo
+{
+    std::size_t beginIdx = 0;
+    std::size_t endIdx = npos;
+    bool committed = false;
+    /** (trace index, range) of each TX_ADD annotation. */
+    std::vector<std::pair<std::size_t, AddrRange>> adds;
+    /** Checked application bytes written inside the transaction. */
+    RangeSet writes;
+};
+
+struct TracePrecomputation
+{
+    std::vector<std::size_t> fenceIdx;
+    std::vector<bool> fenceOk; ///< parallel to fenceIdx
+    std::vector<std::pair<std::size_t, AddrRange>> frees;
+    /** Per cache line: trace indices of every flush entry. */
+    std::map<Addr, std::vector<std::size_t>> flushesByLine;
+    RangeSet commitCovered;
+    bool allCommitCovered = false;
+    std::vector<TxInfo> txs;
+    /** Transaction owning each TX_ADD trace index. */
+    std::map<std::size_t, std::size_t> txOfAdd;
+    /** Transaction ending at each txCommit LibCall trace index. */
+    std::map<std::size_t, std::size_t> txOfCommit;
+};
+
+TracePrecomputation
+precompute(const trace::TraceBuffer &pre, const core::DetectorConfig &cfg)
+{
+    TracePrecomputation pc;
+    std::size_t commitVars = 0, commitRanges = 0;
+    std::size_t openTx = npos;
+
+    for (std::size_t i = 0; i < pre.size(); i++) {
+        const trace::TraceEntry &e = pre[i];
+        AddrRange r{e.addr, e.addr + e.size};
+        switch (e.op) {
+          case trace::Op::Sfence:
+          case trace::Op::Mfence:
+            pc.fenceIdx.push_back(i);
+            pc.fenceOk.push_back(fenceEligible(e, cfg));
+            break;
+          case trace::Op::Clwb:
+          case trace::Op::ClflushOpt:
+          case trace::Op::Clflush:
+            pc.flushesByLine[lineBase(e.addr)].push_back(i);
+            break;
+          case trace::Op::Free:
+            pc.frees.emplace_back(i, r);
+            break;
+          case trace::Op::CommitVar:
+            commitVars++;
+            pc.commitCovered.add(r);
+            break;
+          case trace::Op::CommitRange:
+            commitRanges++;
+            pc.commitCovered.add(r);
+            break;
+          case trace::Op::TxAdd:
+            if (openTx != npos) {
+                pc.txs[openTx].adds.emplace_back(i, r);
+                pc.txOfAdd[i] = openTx;
+            }
+            break;
+          case trace::Op::LibCall:
+            if (std::strcmp(e.label, trace::labels::txBegin) == 0) {
+                pc.txs.push_back(TxInfo{});
+                pc.txs.back().beginIdx = i;
+                openTx = pc.txs.size() - 1;
+            } else if (openTx != npos &&
+                       std::strcmp(e.label, trace::labels::txCommit) == 0) {
+                pc.txs[openTx].endIdx = i;
+                pc.txs[openTx].committed = true;
+                pc.txOfCommit[i] = openTx;
+                openTx = npos;
+            } else if (openTx != npos &&
+                       std::strcmp(e.label, trace::labels::txAbort) == 0) {
+                pc.txs[openTx].endIdx = i;
+                openTx = npos;
+            }
+            break;
+          default:
+            if (checkedAppWrite(e) && openTx != npos)
+                pc.txs[openTx].writes.add(r);
+            break;
+        }
+    }
+
+    // A commit variable registered without explicit ranges covers the
+    // whole pool in the backend's consistency clause; treat everything
+    // as maskable then (conservative: fewer candidates, never a
+    // mutant whose detection the clause could suppress).
+    pc.allCommitCovered = commitVars > 0 && commitRanges == 0;
+    return pc;
+}
+
+/** First fence index > @p i, or npos. */
+std::size_t
+nextFence(const TracePrecomputation &pc, std::size_t i)
+{
+    auto it = std::upper_bound(pc.fenceIdx.begin(), pc.fenceIdx.end(), i);
+    return it == pc.fenceIdx.end() ? npos : *it;
+}
+
+/** First *eligible* fence index > @p i, or npos. */
+std::size_t
+nextEligibleFence(const TracePrecomputation &pc, std::size_t i)
+{
+    auto it = std::upper_bound(pc.fenceIdx.begin(), pc.fenceIdx.end(), i);
+    for (; it != pc.fenceIdx.end(); ++it) {
+        if (pc.fenceOk[it - pc.fenceIdx.begin()])
+            return *it;
+    }
+    return npos;
+}
+
+/** Drop bytes whose shadow cells a later Free resets. */
+void
+subtractLaterFrees(RangeSet &set, const TracePrecomputation &pc,
+                   std::size_t i)
+{
+    for (const auto &[idx, r] : pc.frees) {
+        if (idx > i)
+            set.subtract(r);
+    }
+}
+
+/** Another flush entry of line @p line in the same fence window? */
+bool
+flushedTwiceInWindow(const TracePrecomputation &pc, Addr line,
+                     std::size_t i, std::size_t windowEnd)
+{
+    std::size_t windowBegin = 0;
+    auto it = std::lower_bound(pc.fenceIdx.begin(), pc.fenceIdx.end(), i);
+    if (it != pc.fenceIdx.begin())
+        windowBegin = *std::prev(it);
+    for (std::size_t j : pc.flushesByLine.at(line)) {
+        if (j != i && j > windowBegin &&
+            (windowEnd == npos || j < windowEnd))
+            return true;
+    }
+    return false;
+}
+
+/** Any flush entry covering a line of [b, e) with index in (i, last]? */
+bool
+flushedWithin(const TracePrecomputation &pc, Addr b, Addr e,
+              std::size_t i, std::size_t last)
+{
+    for (Addr line = lineBase(b); line < e; line += cacheLineSize) {
+        auto it = pc.flushesByLine.find(line);
+        if (it == pc.flushesByLine.end())
+            continue;
+        for (std::size_t j : it->second) {
+            if (j > i && j <= last)
+                return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+std::string
+Mutant::describe() const
+{
+    return strprintf("%s #%llu @ %s:%u", mutationOpName(op),
+                     static_cast<unsigned long long>(occurrence),
+                     site.file, site.line);
+}
+
+std::vector<Mutant>
+enumerateMutants(const trace::TraceBuffer &pre,
+                 const core::DetectorConfig &cfg, const PerOp<bool> &ops)
+{
+    auto on = [&](MutationOp op) {
+        return ops[static_cast<std::size_t>(op)];
+    };
+
+    TracePrecomputation pc = precompute(pre, cfg);
+    std::vector<Mutant> out;
+
+    auto emit = [&](MutationOp op, std::uint64_t occ,
+                    const trace::SrcLoc &site, RangeSet &&affected,
+                    std::size_t idx) {
+        if (pc.allCommitCovered)
+            return;
+        for (const AddrRange &r : pc.commitCovered.ranges())
+            affected.subtract(r);
+        subtractLaterFrees(affected, pc, idx);
+        if (affected.empty())
+            return;
+        Mutant m;
+        m.op = op;
+        m.occurrence = occ;
+        m.site = site;
+        m.affected = affected.ranges();
+        out.push_back(std::move(m));
+    };
+
+    // Byte-granular persistence model of checked application writes.
+    RangeSet modified; ///< written, not yet flushed
+    RangeSet pending;  ///< flushed (or non-temporal), awaiting a fence
+
+    std::uint64_t flushOcc = 0, fenceOcc = 0, ntOcc = 0;
+    std::uint64_t txAddOcc = 0, commitOcc = 0;
+
+    for (std::size_t i = 0; i < pre.size(); i++) {
+        const trace::TraceEntry &e = pre[i];
+
+        if (e.isFlush()) {
+            Addr line = lineBase(e.addr);
+            std::uint64_t occ = flushOcc++;
+            if (on(MutationOp::DropFlush) && e.has(trace::flagInRoi)) {
+                RangeSet dirty;
+                for (const AddrRange &r :
+                     modified.intersect(line, line + cacheLineSize))
+                    dirty.add(r);
+                // Detection window: any eligible fence after the drop
+                // while no rescuing flush of the same line has both
+                // run and been fenced.
+                std::size_t rescue = npos;
+                for (std::size_t j : pc.flushesByLine.at(line)) {
+                    if (j > i) {
+                        rescue = j;
+                        break;
+                    }
+                }
+                std::size_t limit =
+                    rescue == npos ? npos : nextFence(pc, rescue);
+                std::size_t fp = nextEligibleFence(pc, i);
+                bool detectable =
+                    fp != npos && (limit == npos || fp <= limit) &&
+                    !flushedTwiceInWindow(pc, line, i, nextFence(pc, i));
+                if (detectable && !dirty.empty())
+                    emit(MutationOp::DropFlush, occ, e.loc,
+                         std::move(dirty), i);
+            }
+            // Model the flush: dirty bytes of the line go pending.
+            for (const AddrRange &r :
+                 modified.intersect(line, line + cacheLineSize)) {
+                pending.add(r);
+                modified.subtract(r);
+            }
+            continue;
+        }
+
+        if (e.isFence()) {
+            std::uint64_t occ = fenceOcc++;
+            if (on(MutationOp::DropFence) && e.has(trace::flagInRoi)) {
+                // Without this fence the pending bytes stay
+                // write-back pending until the successor fence, whose
+                // failure point observes the race — so the successor
+                // must exist and be eligible.
+                std::size_t succ = nextFence(pc, i);
+                bool detectable =
+                    succ != npos &&
+                    pc.fenceOk[std::lower_bound(pc.fenceIdx.begin(),
+                                                pc.fenceIdx.end(), succ) -
+                               pc.fenceIdx.begin()];
+                if (detectable && !pending.empty()) {
+                    RangeSet affected;
+                    for (const AddrRange &r : pending.ranges())
+                        affected.add(r);
+                    emit(MutationOp::DropFence, occ, e.loc,
+                         std::move(affected), i);
+                }
+            }
+            pending.clear();
+            continue;
+        }
+
+        switch (e.op) {
+          case trace::Op::Write:
+            if (checkedAppWrite(e)) {
+                modified.add(e.addr, e.addr + e.size);
+                pending.subtract(e.addr, e.addr + e.size);
+            }
+            break;
+
+          case trace::Op::NtWrite: {
+            std::uint64_t occ = ntOcc++;
+            if (checkedAppWrite(e)) {
+                if (on(MutationOp::DemoteFlush) &&
+                    e.has(trace::flagInRoi)) {
+                    // Demoted to a cached store, the bytes persist
+                    // only via an explicit flush. Detection needs an
+                    // eligible fence after the fence that would have
+                    // retired the original, with no flush of the
+                    // bytes' lines before it.
+                    std::size_t f1 = nextFence(pc, i);
+                    std::size_t f2 =
+                        f1 == npos ? npos : nextEligibleFence(pc, f1);
+                    bool detectable =
+                        f2 != npos &&
+                        !flushedWithin(pc, e.addr, e.addr + e.size, i,
+                                       f2);
+                    if (detectable) {
+                        RangeSet affected;
+                        affected.add(e.addr, e.addr + e.size);
+                        emit(MutationOp::DemoteFlush, occ, e.loc,
+                             std::move(affected), i);
+                    }
+                }
+                // Non-temporal stores bypass the cache: pending until
+                // the next fence.
+                pending.add(e.addr, e.addr + e.size);
+                modified.subtract(e.addr, e.addr + e.size);
+            }
+            break;
+          }
+
+          case trace::Op::TxAdd: {
+            std::uint64_t occ = txAddOcc++;
+            auto it = pc.txOfAdd.find(i);
+            if (it == pc.txOfAdd.end())
+                break;
+            const TxInfo &tx = pc.txs[it->second];
+            if (!tx.committed || !e.has(trace::flagInRoi))
+                break;
+            if (nextEligibleFence(pc, tx.endIdx) == npos)
+                break;
+            // Unlogged bytes the transaction dirties: never flushed
+            // at commit, never rolled back — modified at the commit's
+            // retire failure point. Bytes another (still published)
+            // TX_ADD of the same transaction covers are flushed
+            // normally and stay protected.
+            RangeSet affected;
+            for (const AddrRange &r :
+                 tx.writes.intersect(e.addr, e.addr + e.size))
+                affected.add(r);
+            for (const auto &[addIdx, r] : tx.adds) {
+                if (addIdx != i)
+                    affected.subtract(r);
+            }
+            if (affected.empty())
+                break;
+            if (on(MutationOp::SkipTxAdd)) {
+                RangeSet copy = affected;
+                emit(MutationOp::SkipTxAdd, occ, e.loc, std::move(copy),
+                     i);
+            }
+            if (on(MutationOp::StaleBackup))
+                emit(MutationOp::StaleBackup, occ, e.loc,
+                     std::move(affected), i);
+            break;
+          }
+
+          case trace::Op::LibCall: {
+            if (std::strcmp(e.label, trace::labels::txCommit) != 0)
+                break;
+            std::uint64_t occ = commitOcc++;
+            if (!on(MutationOp::CommitBeforeData))
+                break;
+            auto it = pc.txOfCommit.find(i);
+            if (it == pc.txOfCommit.end())
+                break;
+            const TxInfo &tx = pc.txs[it->second];
+            if (!e.has(trace::flagInRoi))
+                break;
+            if (nextEligibleFence(pc, i) == npos)
+                break;
+            // Retiring the log first exposes every logged dirty byte
+            // at the failure points between retirement and the data
+            // fence: the log no longer rolls them back and the data
+            // flushes have not happened yet.
+            RangeSet affected;
+            for (const auto &[addIdx, r] : tx.adds) {
+                for (const AddrRange &w :
+                     tx.writes.intersect(r.begin, r.end))
+                    affected.add(w);
+            }
+            if (!affected.empty())
+                emit(MutationOp::CommitBeforeData, occ, e.loc,
+                     std::move(affected), i);
+            break;
+          }
+
+          case trace::Op::Free:
+            modified.subtract(e.addr, e.addr + e.size);
+            pending.subtract(e.addr, e.addr + e.size);
+            break;
+
+          default:
+            break;
+        }
+    }
+
+    return out;
+}
+
+bool
+ActiveMutation::onEmit(trace::TraceEntry &e)
+{
+    switch (op) {
+      case MutationOp::DropFlush:
+        if (e.isFlush() && flushes++ == target) {
+            hit = true;
+            return false;
+        }
+        return true;
+      case MutationOp::DropFence:
+        if (e.isFence() && fences++ == target) {
+            hit = true;
+            return false;
+        }
+        return true;
+      case MutationOp::DemoteFlush:
+        if (e.op == trace::Op::NtWrite && ntWrites++ == target) {
+            hit = true;
+            e.op = trace::Op::Write;
+        }
+        return true;
+      default:
+        return true;
+    }
+}
+
+trace::MutationHook::TxAddAction
+ActiveMutation::onTxAdd()
+{
+    if (op != MutationOp::SkipTxAdd && op != MutationOp::StaleBackup)
+        return TxAddAction::Normal;
+    if (txAdds++ != target)
+        return TxAddAction::Normal;
+    hit = true;
+    return op == MutationOp::SkipTxAdd ? TxAddAction::Skip
+                                       : TxAddAction::StalePublish;
+}
+
+bool
+ActiveMutation::onTxCommit()
+{
+    if (op != MutationOp::CommitBeforeData)
+        return false;
+    if (commits++ != target)
+        return false;
+    hit = true;
+    return true;
+}
+
+} // namespace xfd::mutate

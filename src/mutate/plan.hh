@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Mutation planning: enumerate the fault-injection sites of a traced
+ * program and describe the ground truth each mutant plants.
+ *
+ * The enumerator replays the *unmutated* pre-failure trace through a
+ * byte-granular persistence model (the same Modified → WritebackPending
+ * → retired lattice as core/shadow_pm) and keeps only sites whose
+ * mutation provably leaves application bytes unprotected at some
+ * failure point the planner will inject:
+ *
+ *  - a dropped flush must be the only flush of its cache line in its
+ *    fence window, must cover dirty application bytes, and an eligible
+ *    fence must follow before any rescuing flush of the same line;
+ *  - a dropped fence must have pending application bytes and a
+ *    successor fence that is failure-point eligible (detection happens
+ *    at the successor, while the bytes are still write-back pending);
+ *  - a demoted non-temporal store needs an eligible fence *after* the
+ *    fence that would have persisted it, with no flush in between;
+ *  - TX_ADD and commit mutations need the owning transaction to commit
+ *    and to contain in-transaction writes to the mutated range.
+ *
+ * Bytes covered by commit variables/ranges are excluded (the backend's
+ * consistency clause can mask the race) and so are bytes freed later
+ * in the trace (the shadow state of freed cells is reset). Ground
+ * truth is always BugType::CrossFailureRace: every operator plants an
+ * unpersisted-then-read ordering violation, the paper's cross-failure
+ * race (§3.1).
+ *
+ * Occurrences, not trace indices, identify sites: the k-th flush, the
+ * k-th fence, the k-th TX_ADD call. The injection hook counts the same
+ * event stream while the mutant executes, so a plan made from the
+ * baseline trace addresses the re-executed program exactly (the
+ * frontend is deterministic; see DESIGN.md §8).
+ */
+
+#ifndef XFD_MUTATE_PLAN_HH
+#define XFD_MUTATE_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/bug_report.hh"
+#include "core/config.hh"
+#include "mutate/operators.hh"
+#include "trace/buffer.hh"
+#include "trace/mutation.hh"
+
+namespace xfd::mutate
+{
+
+/** One planned fault injection with its ground truth. */
+struct Mutant
+{
+    MutationOp op = MutationOp::DropFlush;
+    /** Which occurrence of the operator's event kind to mutate (the
+        k-th flush/fence/non-temporal store/TX_ADD/commit). */
+    std::uint64_t occurrence = 0;
+    /** Source location of the mutated operation (for reports). */
+    trace::SrcLoc site;
+    /** Finding class a detector must report to score a true positive. */
+    core::BugType expected = core::BugType::CrossFailureRace;
+    /** PM bytes the mutation leaves unprotected; a finding matches
+        this mutant iff its class is @ref expected and its address
+        range overlaps one of these. */
+    std::vector<AddrRange> affected;
+
+    /** "drop_flush #3 @ file:line" — scoreboard/debug identifier. */
+    std::string describe() const;
+};
+
+/**
+ * Enumerate every detectable mutant of the program that produced
+ * @p pre. @p cfg supplies the failure-point eligibility knobs
+ * (failureAtInternalFences); @p ops selects the operators to plan.
+ * The trace must come from a single-threaded pre-failure stage —
+ * occurrence counting assumes one deterministic event order.
+ */
+std::vector<Mutant> enumerateMutants(const trace::TraceBuffer &pre,
+                                     const core::DetectorConfig &cfg,
+                                     const PerOp<bool> &ops);
+
+/**
+ * The injection hook: counts the mutated operator's event stream
+ * during re-execution and perturbs exactly the planned occurrence.
+ * Attach to the pre-failure PmRuntime via setMutationHook(); the
+ * post-failure stages run unhooked.
+ */
+class ActiveMutation : public trace::MutationHook
+{
+  public:
+    ActiveMutation(MutationOp op, std::uint64_t occurrence)
+        : op(op), target(occurrence)
+    {
+    }
+
+    bool onEmit(trace::TraceEntry &e) override;
+    TxAddAction onTxAdd() override;
+    bool onTxCommit() override;
+
+    /** Whether the planned occurrence was reached and perturbed. */
+    bool fired() const { return hit; }
+
+  private:
+    MutationOp op;
+    std::uint64_t target;
+    std::uint64_t flushes = 0;
+    std::uint64_t fences = 0;
+    std::uint64_t ntWrites = 0;
+    std::uint64_t txAdds = 0;
+    std::uint64_t commits = 0;
+    bool hit = false;
+};
+
+} // namespace xfd::mutate
+
+#endif // XFD_MUTATE_PLAN_HH

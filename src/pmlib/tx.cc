@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "trace/mutation.hh"
 
 namespace xfd::pmlib
 {
@@ -77,6 +78,15 @@ Tx::addRangeUnchecked(void *p, std::size_t n, trace::SrcLoc loc)
     Addr a = pm.toAddr(p);
     activeAdds.push_back(AddrRange{a, a + n});
 
+    // Fault injection (src/mutate): the volatile dedupe above stays
+    // intact either way so the mutant's control flow matches the
+    // baseline call-for-call.
+    auto action = trace::MutationHook::TxAddAction::Normal;
+    if (trace::MutationHook *h = rt.mutationHook())
+        action = h->onTxAdd();
+    if (action == trace::MutationHook::TxAddAction::Skip)
+        return;
+
     // The annotation is emitted at the caller's location so the
     // backend can attribute duplicate-TX_ADD performance bugs.
     rt.noteTxAdd(a, n, loc);
@@ -95,9 +105,14 @@ Tx::addRangeUnchecked(void *p, std::size_t n, trace::SrcLoc loc)
         // Snapshot the current (old) contents into the log.
         rt.copyToPm(e.data, pm.toHost(a + off), chunk, loc);
         rt.persistBarrier(&e, sizeof(TxEntry), loc);
-        // Publishing the entry count commits the snapshot.
-        rt.store(log->numEntries, idx + 1, loc);
-        rt.persistBarrier(&log->numEntries, sizeof(log->numEntries), loc);
+        // Publishing the entry count commits the snapshot. A stale
+        // mutant leaves the count unpublished: recovery misses the
+        // entry, and the next TX_ADD overwrites the same slot.
+        if (action != trace::MutationHook::TxAddAction::StalePublish) {
+            rt.store(log->numEntries, idx + 1, loc);
+            rt.persistBarrier(&log->numEntries, sizeof(log->numEntries),
+                              loc);
+        }
         off += chunk;
     }
 }
@@ -118,6 +133,19 @@ Tx::commit(trace::SrcLoc loc)
     trace::LibScope lib(rt, trace::labels::txCommit, loc);
     TxLogHeader *log = pool.txLog();
 
+    // Fault injection (src/mutate): a commit-before-data mutant
+    // retires the log before the data ranges are flushed.
+    bool retire_first = false;
+    if (trace::MutationHook *h = rt.mutationHook())
+        retire_first = h->onTxCommit();
+
+    auto retire = [&] {
+        rt.store(log->active, 0u, loc);
+        rt.persistBarrier(&log->active, sizeof(log->active), loc);
+    };
+    if (retire_first)
+        retire();
+
     // Flush every snapshotted range: the in-place updates the caller
     // made inside the transaction become persistent here.
     std::uint32_t n = rt.load(log->numEntries, loc);
@@ -129,8 +157,8 @@ Tx::commit(trace::SrcLoc loc)
     rt.sfence(loc);
 
     // Retire the log: `active` is the commit variable.
-    rt.store(log->active, 0u, loc);
-    rt.persistBarrier(&log->active, sizeof(log->active), loc);
+    if (!retire_first)
+        retire();
 }
 
 void

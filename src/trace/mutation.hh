@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fault-injection hook points in the tracing frontend.
+ *
+ * A MutationHook installed on a pre-failure PmRuntime lets the
+ * mutation engine (src/mutate) deterministically perturb a correct
+ * program into a buggy variant without touching workload code:
+ *
+ *  - onEmit() sees every pre-failure trace entry right before it is
+ *    appended (context flags already applied) and may drop it
+ *    (drop-flush, drop-fence) or rewrite it in place
+ *    (demote-flush-to-plain-store turns NtWrite into Write). Dropping
+ *    an entry never changes program execution — the runtime performs
+ *    the data movement before emitting — so the pre-failure control
+ *    flow of a mutant is identical to the baseline and occurrence
+ *    indices stay aligned across runs.
+ *
+ *  - onTxAdd() / onTxCommit() are consulted by the PM library (tx.cc)
+ *    because skipping a TX_ADD or reordering a commit must change the
+ *    library's *behaviour* (what gets logged and flushed), not merely
+ *    the trace: dropping only the TxAdd annotation would be a no-op,
+ *    as commit flushes from the persistent log.
+ *
+ * Post-failure runtimes never carry a hook; recovery and resumption
+ * always run unperturbed.
+ */
+
+#ifndef XFD_TRACE_MUTATION_HH
+#define XFD_TRACE_MUTATION_HH
+
+#include "trace/entry.hh"
+
+namespace xfd::trace
+{
+
+/** Interface the mutation engine implements; see file comment. */
+class MutationHook
+{
+  public:
+    virtual ~MutationHook() = default;
+
+    /**
+     * Called (under the emission lock) for every pre-failure entry
+     * about to be appended. May modify @p e in place.
+     * @return false to drop the entry from the trace.
+     */
+    virtual bool onEmit(TraceEntry &e) = 0;
+
+    /** What the library should do with one TX_ADD call. */
+    enum class TxAddAction
+    {
+        /** Snapshot and publish as usual. */
+        Normal,
+        /** Skip the snapshot entirely (the range is never logged). */
+        Skip,
+        /**
+         * Write the backup entry but never publish the new entry
+         * count: recovery reads a stale count and misses the entry.
+         */
+        StalePublish,
+    };
+
+    /** Consulted once per TX_ADD of an open transaction. */
+    virtual TxAddAction onTxAdd() { return TxAddAction::Normal; }
+
+    /**
+     * Consulted once per outermost commit.
+     * @return true to retire the log *before* flushing the data
+     *         ranges (the classic commit-before-data ordering bug).
+     */
+    virtual bool onTxCommit() { return false; }
+};
+
+} // namespace xfd::trace
+
+#endif // XFD_TRACE_MUTATION_HH

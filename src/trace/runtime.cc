@@ -1,5 +1,7 @@
 #include "trace/runtime.hh"
 
+#include "trace/mutation.hh"
+
 namespace xfd::trace
 {
 
@@ -58,6 +60,8 @@ PmRuntime::push(TraceEntry e)
         fatal("pre-failure trace exceeded %zu entries", entryCap);
     }
     e.flags |= currentFlags();
+    if (mutHook && stg == Stage::PreFailure && !mutHook->onEmit(e))
+        return;
     if (obs::statsCompiledIn)
         emitted[static_cast<std::size_t>(e.op)]++;
     trace.append(std::move(e));

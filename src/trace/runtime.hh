@@ -37,6 +37,8 @@
 namespace xfd::trace
 {
 
+class MutationHook;
+
 /** Capture the caller's location as a SrcLoc (default-arg idiom). */
 inline SrcLoc
 here(const std::source_location &sl = std::source_location::current())
@@ -99,6 +101,15 @@ class PmRuntime
 
     /** Bound the trace length (runaway-loop backstop). */
     void setEntryCap(std::size_t cap) { entryCap = cap; }
+
+    /**
+     * Install a fault-injection hook (src/mutate). Consulted for
+     * every pre-failure entry before it is appended and by the PM
+     * library at TX_ADD/commit; see trace/mutation.hh. The hook must
+     * outlive emission; pass nullptr to detach.
+     */
+    void setMutationHook(MutationHook *h) { mutHook = h; }
+    MutationHook *mutationHook() const { return mutHook; }
 
     /**
      * Per-op counts of the entries this runtime emitted — the
@@ -325,6 +336,7 @@ class PmRuntime
     std::unordered_map<std::thread::id, ThreadScopes> threadScopes;
     std::atomic<bool> done{false};
     bool tracing = true;
+    MutationHook *mutHook = nullptr;
     std::size_t entryCap = 64u << 20;
     std::mutex emitLock;
     /** Per-op emission counters (guarded by emitLock). */

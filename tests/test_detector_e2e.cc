@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "core/driver.hh"
+#include "harness.hh"
 #include "pm/pool.hh"
 #include "trace/runtime.hh"
 
@@ -100,17 +101,21 @@ struct Fig2Program
 
 struct DetectorE2E : ::testing::Test
 {
-    DetectorE2E() : pool(1 << 20) {}
+    // Tests that inspect the pool after a run, or drive the Driver
+    // directly, share this fixture pool; plain campaigns go through
+    // the harness on a fresh pool.
+    pm::PmPool pool{1 << 20};
 
     CampaignResult
     runCampaign(const Fig2Program &prog, DetectorConfig cfg = {})
     {
-        Driver driver(pool, cfg);
-        return driver.run([&](PmRuntime &rt) { prog.pre(rt); },
-                          [&](PmRuntime &rt) { prog.post(rt); });
+        xfdtest::RunOptions opt;
+        opt.detector = cfg;
+        opt.poolBytes = 1 << 20;
+        return xfdtest::runCampaign(
+            [&](PmRuntime &rt) { prog.pre(rt); },
+            [&](PmRuntime &rt) { prog.post(rt); }, opt);
     }
-
-    pm::PmPool pool;
 };
 
 TEST_F(DetectorE2E, CorrectProtocolHasNoFindings)
@@ -126,9 +131,10 @@ TEST_F(DetectorE2E, BuggyProtocolYieldsRaceAndSemanticBug)
 {
     Fig2Program prog{false};
     CampaignResult res = runCampaign(prog);
-    EXPECT_GE(res.count(BugType::CrossFailureRace), 1u) << res.summary();
-    EXPECT_GE(res.count(BugType::CrossFailureSemantic), 1u)
-        << res.summary();
+    EXPECT_TRUE(xfdtest::hasFindingOfClass(
+        res, BugType::CrossFailureRace));
+    EXPECT_TRUE(xfdtest::hasFindingOfClass(
+        res, BugType::CrossFailureSemantic));
 }
 
 TEST_F(DetectorE2E, BugReportPointsAtReaderAndWriter)
@@ -154,7 +160,9 @@ TEST_F(DetectorE2E, FailurePointCountMatchesOrderingPoints)
 TEST_F(DetectorE2E, PoolHoldsFinalStateAfterCampaign)
 {
     Fig2Program prog{true};
-    runCampaign(prog);
+    Driver driver(pool, {});
+    (void)driver.run([&](PmRuntime &rt) { prog.pre(rt); },
+                     [&](PmRuntime &rt) { prog.post(rt); });
     auto *r = static_cast<ArrayRoot *>(pool.toHost(pool.base()));
     EXPECT_EQ(r->arr[5], 42);
     EXPECT_EQ(r->valid, 0);

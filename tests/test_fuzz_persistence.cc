@@ -17,6 +17,7 @@
 
 #include "common/rng.hh"
 #include "core/driver.hh"
+#include "harness.hh"
 #include "pm/pool.hh"
 #include "trace/runtime.hh"
 
@@ -162,7 +163,7 @@ TEST_P(FuzzPersistence, DriverMatchesOracle)
         auto ops = generate(s, 24);
         auto expect = oracleRacingSlots(ops);
         auto got = detectorRacingSlots(ops);
-        EXPECT_EQ(got, expect) << "seed " << s;
+        EXPECT_EQ(got, expect) << "replay with XFD_FUZZ_SEED=" << s;
     }
 }
 
@@ -176,8 +177,20 @@ TEST(FuzzPersistenceGranularity, CoarseCellsMatchOracleToo)
     for (std::uint64_t seed = 100; seed < 110; seed++) {
         auto ops = generate(seed, 24);
         EXPECT_EQ(detectorRacingSlots(ops, 8), oracleRacingSlots(ops))
-            << "seed " << seed;
+            << "replay with XFD_FUZZ_SEED=" << seed;
     }
+}
+
+TEST(FuzzPersistenceReplay, ReplayFromEnv)
+{
+    std::uint64_t s = 0;
+    if (!xfdtest::fuzzSeedFromEnv(s))
+        GTEST_SKIP()
+            << "set XFD_FUZZ_SEED=<seed from a failure message> to "
+               "replay a single fuzz program";
+    auto ops = generate(s, 24);
+    EXPECT_EQ(detectorRacingSlots(ops), oracleRacingSlots(ops))
+        << "XFD_FUZZ_SEED=" << s;
 }
 
 TEST(FuzzPersistenceOracle, SanityOnKnownSequences)

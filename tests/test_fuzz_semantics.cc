@@ -20,6 +20,7 @@
 
 #include "common/rng.hh"
 #include "core/driver.hh"
+#include "harness.hh"
 #include "pm/pool.hh"
 #include "trace/runtime.hh"
 
@@ -174,9 +175,26 @@ TEST_P(FuzzSemantics, DriverMatchesOracle)
         auto ops = generate(s, 16);
         Verdicts expect = oracle(ops);
         Verdicts got = detector(ops);
-        EXPECT_EQ(got.races, expect.races) << "seed " << s;
-        EXPECT_EQ(got.semantics, expect.semantics) << "seed " << s;
+        EXPECT_EQ(got.races, expect.races)
+            << "replay with XFD_FUZZ_SEED=" << s;
+        EXPECT_EQ(got.semantics, expect.semantics)
+            << "replay with XFD_FUZZ_SEED=" << s;
     }
+}
+
+TEST(FuzzSemanticsReplay, ReplayFromEnv)
+{
+    std::uint64_t s = 0;
+    if (!xfdtest::fuzzSeedFromEnv(s))
+        GTEST_SKIP()
+            << "set XFD_FUZZ_SEED=<seed from a failure message> to "
+               "replay a single fuzz program";
+    auto ops = generate(s, 16);
+    Verdicts expect = oracle(ops);
+    Verdicts got = detector(ops);
+    EXPECT_EQ(got.races, expect.races) << "XFD_FUZZ_SEED=" << s;
+    EXPECT_EQ(got.semantics, expect.semantics)
+        << "XFD_FUZZ_SEED=" << s;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSemantics,

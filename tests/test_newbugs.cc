@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "bugsuite/registry.hh"
+#include "harness.hh"
 #include "pmlib/objpool.hh"
 
 namespace
@@ -103,9 +104,7 @@ TEST(NewBugs, Bug4PoolCreationNotFailureAtomic)
 
     // The fix: recovery uses openOrCreate() to reformat the half
     // pool; no finding remains.
-    pm::PmPool pool(1 << 22);
-    core::Driver driver(pool, {});
-    auto clean = driver.run(
+    auto clean = xfdtest::runCampaign(
         [](trace::PmRuntime &rt) {
             trace::RoiScope roi(rt);
             pmlib::ObjPool::create(rt, "bug4fix", 64);
@@ -114,7 +113,7 @@ TEST(NewBugs, Bug4PoolCreationNotFailureAtomic)
             trace::RoiScope roi(rt);
             pmlib::ObjPool::openOrCreate(rt, "bug4fix", 64);
         });
-    EXPECT_EQ(clean.bugs.size(), 0u) << clean.summary();
+    EXPECT_TRUE(xfdtest::hasNoFindings(clean));
 }
 
 TEST(NewBugs, AllFourAnnotatedMinimally)

@@ -21,6 +21,8 @@
 #include "core/config_flags.hh"
 #include "core/driver.hh"
 #include "core/observer.hh"
+#include "harness.hh"
+#include "mutate/campaign.hh"
 #include "obs/json.hh"
 #include "obs/progress.hh"
 #include "obs/stats.hh"
@@ -470,13 +472,10 @@ runObserved(const std::string &workload, unsigned threads,
     cfg.initOps = 5;
     cfg.testOps = 5;
     cfg.postOps = 2;
-    auto w = workloads::makeWorkload(workload, cfg);
-    pm::PmPool pool(1 << 22);
-    core::Driver driver(pool, {});
-    driver.setObserver(&obs);
-    return driver.runParallel(
-        [&](trace::PmRuntime &rt) { w->pre(rt); },
-        [&](trace::PmRuntime &rt) { w->post(rt); }, threads);
+    xfdtest::RunOptions opt;
+    opt.threads = threads;
+    opt.observer = &obs;
+    return xfdtest::runWorkload(workload, cfg, opt);
 }
 
 TEST(CampaignExport, StatsRegistryMatchesCampaignStats)
@@ -581,9 +580,17 @@ TEST(ConfigFlags, TableRowsAreWellFormedAndUnique)
         EXPECT_TRUE(flags.insert(d.flag).second) << d.flag;
         EXPECT_TRUE(keys.insert(d.jsonKey).second) << d.jsonKey;
         int typed = (d.boolField != nullptr) +
-                    (d.uintField != nullptr) + (d.sizeField != nullptr);
+                    (d.uintField != nullptr) + (d.sizeField != nullptr) +
+                    (d.stringField != nullptr);
         EXPECT_EQ(typed, 1) << d.flag;
-        EXPECT_EQ(d.takesValue(), d.boolField == nullptr) << d.flag;
+        // Switches and flags with an implied value consume no
+        // separate argv slot; everything else requires one.
+        EXPECT_EQ(d.takesValue(),
+                  d.boolField == nullptr && d.impliedValue == nullptr)
+            << d.flag;
+        if (d.impliedValue) {
+            EXPECT_NE(d.stringField, nullptr) << d.flag;
+        }
         EXPECT_NE(core::findDetectorFlag(d.flag), nullptr) << d.flag;
     }
     EXPECT_EQ(core::findDetectorFlag("--not-a-flag"), nullptr);
@@ -608,9 +615,83 @@ TEST(ConfigFlags, ApplySetsTheMappedField)
     core::applyDetectorFlag(*core::findDetectorFlag("--strict-persist"),
                             cfg, nullptr);
     EXPECT_TRUE(cfg.strictPersistCheck);
+
+    // --mutate is a string flag with an implied value: bare use means
+    // "all", an attached value is passed through.
+    const auto *mut = core::findDetectorFlag("--mutate");
+    ASSERT_NE(mut, nullptr);
+    EXPECT_FALSE(mut->takesValue());
+    core::applyDetectorFlag(*mut, cfg, nullptr);
+    EXPECT_EQ(cfg.mutateOps, "all");
+    core::applyDetectorFlag(*mut, cfg, "quick");
+    EXPECT_EQ(cfg.mutateOps, "quick");
+    core::applyDetectorFlag(*core::findDetectorFlag("--mutation-seed"),
+                            cfg, "9");
+    EXPECT_EQ(cfg.mutationSeed, 9u);
+
     // Untouched fields keep their defaults.
     EXPECT_TRUE(cfg.elideEmptyFailurePoints);
     EXPECT_EQ(cfg.maxFailurePoints, 0u);
+}
+
+TEST(MutationExport, JsonObjectGolden)
+{
+    // A hand-built report exercises the exporter deterministically —
+    // no campaign needed, and zero-mutant operators must be omitted.
+    mutate::MutationReport rep;
+    rep.seed = 7;
+    rep.enumerated = 5;
+    rep.baselineFindings = 1;
+    auto &df = rep.perOp[static_cast<std::size_t>(
+        mutate::MutationOp::DropFlush)];
+    df.mutants = 4;
+    df.detected = 3;
+    df.truePositives = 3;
+    df.falsePositives = 1;
+    rep.aggregate = df;
+    rep.aggregate.falsePositives += rep.baselineFindings;
+
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    rep.writeJson(w);
+    Json doc = parseJson(os.str());
+
+    EXPECT_EQ(doc.at("seed").num, 7);
+    EXPECT_EQ(doc.at("enumerated").num, 5);
+    EXPECT_EQ(doc.at("mutants").num, 4);
+    EXPECT_EQ(doc.at("baseline_findings").num, 1);
+
+    const Json &per = doc.at("per_operator");
+    ASSERT_EQ(per.obj.size(), 1u); // only drop_flush has mutants
+    const Json &dfj = per.at("drop_flush");
+    EXPECT_EQ(dfj.at("mutants").num, 4);
+    EXPECT_EQ(dfj.at("detected").num, 3);
+    EXPECT_EQ(dfj.at("true_positives").num, 3);
+    EXPECT_EQ(dfj.at("false_positives").num, 1);
+    EXPECT_DOUBLE_EQ(dfj.at("recall").num, 0.75);
+    EXPECT_DOUBLE_EQ(dfj.at("precision").num, 0.75);
+
+    const Json &agg = doc.at("aggregate");
+    EXPECT_EQ(agg.at("false_positives").num, 2);
+    EXPECT_DOUBLE_EQ(agg.at("precision").num, 0.6);
+}
+
+TEST(MutationExport, StatsRegistryMirrorsReport)
+{
+    mutate::MutationReport rep;
+    rep.enumerated = 3;
+    rep.aggregate.mutants = 3;
+    rep.aggregate.detected = 2;
+    rep.aggregate.truePositives = 2;
+    rep.aggregate.falsePositives = 1;
+
+    obs::StatsRegistry reg;
+    mutate::exportMutationStats(rep, reg);
+    EXPECT_EQ(reg.value("campaign.mutation.mutants"), 3);
+    EXPECT_EQ(reg.value("campaign.mutation.detected"), 2);
+    EXPECT_DOUBLE_EQ(reg.value("campaign.mutation.recall"), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(reg.value("campaign.mutation.precision"),
+                     2.0 / 3.0);
 }
 
 TEST(CampaignExport, SerialAndParallelExportIdentically)

@@ -8,11 +8,8 @@
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
-
 #include "bugsuite/registry.hh"
-#include "core/driver.hh"
-#include "workloads/workload.hh"
+#include "harness.hh"
 
 namespace
 {
@@ -24,30 +21,15 @@ using core::Driver;
 using trace::PmRuntime;
 using workloads::makeWorkload;
 using workloads::WorkloadConfig;
-
-/** Findings as a sorted multiset of (type, reader line, writer line). */
-std::vector<std::tuple<int, unsigned, unsigned, std::string>>
-fingerprint(const CampaignResult &res)
-{
-    std::vector<std::tuple<int, unsigned, unsigned, std::string>> out;
-    for (const auto &b : res.bugs) {
-        out.emplace_back(static_cast<int>(b.type), b.reader.line,
-                         b.writer.line, b.note);
-    }
-    std::sort(out.begin(), out.end());
-    return out;
-}
+using xfdtest::fingerprint;
 
 CampaignResult
-runWorkload(const std::string &name, WorkloadConfig cfg,
+runWorkload(const std::string &name, const WorkloadConfig &cfg,
             unsigned threads)
 {
-    auto w = makeWorkload(name, cfg);
-    pm::PmPool pool(1 << 22);
-    Driver driver(pool, {});
-    return driver.runParallel(
-        [&](PmRuntime &rt) { w->pre(rt); },
-        [&](PmRuntime &rt) { w->post(rt); }, threads);
+    xfdtest::RunOptions opt;
+    opt.threads = threads;
+    return xfdtest::runWorkload(name, cfg, opt);
 }
 
 class ParallelEquivalence
@@ -115,11 +97,11 @@ TEST(ParallelDriver, BuggyCampaignsMatchSerial)
             wcfg.roiFromStart = c.roiFromStart;
             wcfg.bugs.enable(c.id);
             auto w = makeWorkload(c.workload, std::move(wcfg));
-            pm::PmPool pool(1 << 22);
-            Driver driver(pool, {});
-            auto par = driver.runParallel(
+            xfdtest::RunOptions opt;
+            opt.threads = 3;
+            auto par = xfdtest::runCampaign(
                 [&](PmRuntime &rt) { w->pre(rt); },
-                [&](PmRuntime &rt) { w->post(rt); }, 3);
+                [&](PmRuntime &rt) { w->post(rt); }, opt);
             EXPECT_EQ(fingerprint(serial), fingerprint(par));
             EXPECT_TRUE(bugsuite::detected(c, par));
         }
@@ -141,11 +123,11 @@ TEST(ParallelDriver, ZeroThreadsMeansSerial)
     cfg.initOps = 2;
     cfg.testOps = 2;
     auto w = makeWorkload("ctree", cfg);
-    pm::PmPool pool(1 << 22);
-    Driver driver(pool, {});
-    auto res = driver.runParallel(
+    xfdtest::RunOptions opt;
+    opt.threads = 0;
+    auto res = xfdtest::runCampaign(
         [&](PmRuntime &rt) { w->pre(rt); },
-        [&](PmRuntime &rt) { w->post(rt); }, 0);
+        [&](PmRuntime &rt) { w->post(rt); }, opt);
     EXPECT_EQ(res.stats.threads, 1u);
     EXPECT_GT(res.stats.postExecutions, 0u);
 }

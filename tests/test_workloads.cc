@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "core/driver.hh"
+#include "harness.hh"
 #include "workloads/workload.hh"
 
 namespace
@@ -89,17 +90,8 @@ TEST_P(WorkloadParamTest, NoFalsePositives)
     cfg.initOps = 8;
     cfg.testOps = 10;
     cfg.postOps = 4;
-    auto w = makeWorkload(GetParam(), cfg);
-
-    pm::PmPool pool(poolSize);
-    Driver driver(pool, {});
-    auto res = driver.run([&](PmRuntime &rt) { w->pre(rt); },
-                          [&](PmRuntime &rt) { w->post(rt); });
-    EXPECT_EQ(res.count(BugType::CrossFailureRace), 0u) << res.summary();
-    EXPECT_EQ(res.count(BugType::CrossFailureSemantic), 0u)
-        << res.summary();
-    EXPECT_EQ(res.count(BugType::RecoveryFailure), 0u) << res.summary();
-    EXPECT_EQ(res.count(BugType::Performance), 0u) << res.summary();
+    auto res = xfdtest::runWorkload(GetParam(), cfg);
+    EXPECT_TRUE(xfdtest::hasNoFindings(res));
     EXPECT_GT(res.stats.failurePoints, 0u);
 }
 
@@ -110,15 +102,11 @@ TEST_P(WorkloadParamTest, NoFalsePositivesWithRoiFromStart)
     cfg.testOps = 2;
     cfg.postOps = 2;
     cfg.roiFromStart = true;
-    auto w = makeWorkload(GetParam(), cfg);
-
-    pm::PmPool pool(poolSize);
-    Driver driver(pool, {});
-    auto res = driver.run([&](PmRuntime &rt) { w->pre(rt); },
-                          [&](PmRuntime &rt) { w->post(rt); });
-    EXPECT_EQ(res.count(BugType::CrossFailureRace), 0u) << res.summary();
-    EXPECT_EQ(res.count(BugType::CrossFailureSemantic), 0u)
-        << res.summary();
+    auto res = xfdtest::runWorkload(GetParam(), cfg);
+    EXPECT_TRUE(
+        xfdtest::hasNoFindingOfClass(res, BugType::CrossFailureRace));
+    EXPECT_TRUE(
+        xfdtest::hasNoFindingOfClass(res, BugType::CrossFailureSemantic));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadParamTest,

@@ -31,6 +31,7 @@
 #include "bugsuite/registry.hh"
 #include "core/config_flags.hh"
 #include "core/prefailure_checker.hh"
+#include "mutate/campaign.hh"
 #include "obs/progress.hh"
 #include "trace/serialize.hh"
 #include "workloads/workload.hh"
@@ -174,17 +175,31 @@ main(int argc, char **argv)
             report_json_path = need_value(i);
         } else if (!std::strcmp(a, "--quiet")) {
             setVerbose(false);
-        } else if (const core::ConfigFlagDesc *d =
-                       core::findDetectorFlag(a)) {
+        } else {
             // All DetectorConfig knobs come from one descriptor
             // table (config_flags.cc) — parsing, --help, and the
-            // stats-JSON config echo cannot drift apart.
-            core::applyDetectorFlag(
-                *d, dcfg, d->takesValue() ? need_value(i) : nullptr);
-        } else {
-            std::fprintf(stderr, "unknown option: %s\n", a);
-            usage();
-            return 2;
+            // stats-JSON config echo cannot drift apart. Both
+            // "--flag value" and "--flag=value" are accepted; flags
+            // with an implied value ("--mutate") only take the
+            // attached form.
+            std::string name = a;
+            const char *attached = nullptr;
+            if (std::size_t eq = name.find('=');
+                eq != std::string::npos) {
+                attached = a + eq + 1;
+                name.resize(eq);
+            }
+            const core::ConfigFlagDesc *d =
+                core::findDetectorFlag(name.c_str());
+            if (!d) {
+                std::fprintf(stderr, "unknown option: %s\n", a);
+                usage();
+                return 2;
+            }
+            const char *value = attached;
+            if (!value && d->takesValue())
+                value = need_value(i);
+            core::applyDetectorFlag(*d, dcfg, value);
         }
     }
 
@@ -284,15 +299,55 @@ main(int argc, char **argv)
         meter.update(done, total, bugs);
     };
 
-    auto res = Campaign::forProgram(
-                   [&](trace::PmRuntime &rt) { w->pre(rt); },
-                   [&](trace::PmRuntime &rt) { w->post(rt); })
-                   .config(dcfg)
-                   .onPool(pool)
-                   .threads(threads)
-                   .observer(&obs)
-                   .run();
-    std::printf("%s", res.summary().c_str());
+    core::CampaignResult res;
+    std::vector<core::JsonSection> extra;
+    mutate::MutationReport mrep;
+    int exit_code = 0;
+
+    if (!dcfg.mutateOps.empty()) {
+        // Mutation mode: score the detector against fault injections
+        // of this (assumed-correct) workload configuration.
+        mutate::PerOp<bool> ops{};
+        std::string err;
+        if (!mutate::parseMutationOps(dcfg.mutateOps, ops, &err)) {
+            std::fprintf(stderr, "--mutate: %s\n", err.c_str());
+            return 2;
+        }
+        mutate::MutationConfig mcfg;
+        mcfg.pre = [&](trace::PmRuntime &rt) { w->pre(rt); };
+        mcfg.post = [&](trace::PmRuntime &rt) { w->post(rt); };
+        mcfg.poolBytes = 1 << 23;
+        mcfg.threads = threads;
+        mcfg.detector = dcfg;
+        mcfg.ops = ops;
+        mcfg.seed = dcfg.mutationSeed;
+        mcfg.maxPerOp = dcfg.mutationMaxPerOp;
+        mcfg.observer = &obs;
+        obs::ProgressMeter mutMeter("mutant");
+        mcfg.onMutant = [&mutMeter](std::size_t done,
+                                    std::size_t total,
+                                    const mutate::Mutant &, bool) {
+            mutMeter.update(done, total, 0);
+        };
+        mrep = mutate::runMutationCampaign(mcfg);
+        std::printf("%s", mrep.scoreboard().c_str());
+        mutate::exportMutationStats(mrep, obs.stats);
+        res = mrep.baseline;
+        extra.push_back(core::JsonSection{
+            "mutation",
+            [&mrep](obs::JsonWriter &w) { mrep.writeJson(w); }});
+    } else {
+        res = Campaign::forProgram(
+                  [&](trace::PmRuntime &rt) { w->pre(rt); },
+                  [&](trace::PmRuntime &rt) { w->post(rt); })
+                  .config(dcfg)
+                  .onPool(pool)
+                  .threads(threads)
+                  .observer(&obs)
+                  .run();
+        std::printf("%s", res.summary().c_str());
+        exit_code = res.hasBugs() ? 1 : 0;
+    }
 
     auto open_out = [](const std::string &path,
                        std::ofstream &out) -> bool {
@@ -307,7 +362,7 @@ main(int argc, char **argv)
             return 2;
         core::writeStatsJson(res, &dcfg,
                              obs.stats.empty() ? nullptr : &obs.stats,
-                             out);
+                             out, extra);
         inform("wrote campaign stats to %s", stats_json_path.c_str());
     }
     if (!trace_events_path.empty()) {
@@ -325,5 +380,5 @@ main(int argc, char **argv)
         core::writeReportJson(res, out);
         inform("wrote findings report to %s", report_json_path.c_str());
     }
-    return res.hasBugs() ? 1 : 0;
+    return exit_code;
 }
