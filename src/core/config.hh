@@ -125,6 +125,31 @@ struct DetectorConfig
 
     /** Cap on mutants per operator (0 = run every enumerated one). */
     std::size_t mutationMaxPerOp = 0;
+
+    /**
+     * Crash-state oracle (src/oracle): empty = off. "exhaustive"
+     * enumerates every legal persisted-subset of the crash image at
+     * each failure point (frontiers larger than oracleFrontierLimit
+     * fall back to seeded sampling); "sample:<n>" caps candidates at
+     * <n> seeded-random legal subsets per failure point. When set,
+     * xfdetect cross-checks the detector's per-failure-point verdicts
+     * against the oracle's and reports disagreements.
+     */
+    std::string oracleMode;
+
+    /**
+     * Exhaustive-enumeration bound: a failure point with more
+     * in-flight write events than this is sampled instead of
+     * enumerated (the state space is 2^frontier).
+     */
+    std::size_t oracleFrontierLimit = 8;
+
+    /**
+     * Directory for replayable disagreement artifacts (serialized
+     * pre-trace plus one JSON descriptor per disagreeing failure
+     * point). Empty = do not write artifacts.
+     */
+    std::string oracleArtifactDir;
 };
 
 } // namespace xfd::core

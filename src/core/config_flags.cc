@@ -16,7 +16,7 @@ namespace xfd::core
  * constant together with the table.
  */
 static_assert(sizeof(DetectorConfig) ==
-                  72 + sizeof(std::string),
+                  80 + 3 * sizeof(std::string),
               "DetectorConfig changed: add a ConfigFlagDesc row for "
               "the new field, then update this size tripwire");
 
@@ -126,6 +126,19 @@ buildTable()
     sizef("--mutation-cap", "<n>",
           "cap mutants per operator (0 = run every enumerated one)",
           "mutation_max_per_op", &C::mutationMaxPerOp);
+    strf("--oracle", "[=exhaustive|sample:<n>]",
+         "cross-check the detector against the crash-state "
+         "enumeration oracle (exhaustive below the frontier limit, "
+         "<n> seeded-random legal subsets per failure point above)",
+         "oracle_mode", &C::oracleMode, "exhaustive");
+    sizef("--oracle-frontier", "<n>",
+          "exhaustive-enumeration bound on in-flight writes per "
+          "failure point (default 8)",
+          "oracle_frontier_limit", &C::oracleFrontierLimit);
+    strf("--oracle-artifacts", "<dir>",
+         "write replayable disagreement artifacts (pre-trace + "
+         "failure point + subset mask) into <dir>",
+         "oracle_artifact_dir", &C::oracleArtifactDir, nullptr);
 
     return t;
 }

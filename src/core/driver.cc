@@ -286,6 +286,13 @@ Driver::handleFailurePoint(PreCursor &cur, pm::PmPool &exec_pool,
                                   : std::string(),
                            "fp", wobs.track);
 
+    // With a per-failure-point hook attached, findings collect in a
+    // local sink first: the worker sink dedups across points, which
+    // would hide a finding's recurrence at later points from the hook.
+    BugSink local;
+    bool fp_hook = observer && observer->onFailurePoint;
+    BugSink &fp_sink = fp_hook ? local : sink;
+
     auto tb0 = std::chrono::steady_clock::now();
     {
         obs::SpanScope span(tl, "reconstruct", "backend", wobs.track);
@@ -363,7 +370,7 @@ Driver::handleFailurePoint(PreCursor &cur, pm::PmPool &exec_pool,
             r.writer = pre[fp].loc;
             r.failurePoint = fp;
             r.note = abort.reason;
-            sink.report(std::move(r));
+            fp_sink.report(std::move(r));
         } catch (const pm::BadPmAccess &bad) {
             // The post-failure stage dereferenced a corrupted
             // persistent pointer — the emulated equivalent of the
@@ -377,7 +384,7 @@ Driver::handleFailurePoint(PreCursor &cur, pm::PmPool &exec_pool,
             r.note = strprintf(
                 "post-failure crash: wild PM access at %#llx",
                 static_cast<unsigned long long>(bad.addr));
-            sink.report(std::move(r));
+            fp_sink.report(std::move(r));
         }
         double post_s = secondsSince(t0);
         stats.postSeconds += post_s;
@@ -395,9 +402,14 @@ Driver::handleFailurePoint(PreCursor &cur, pm::PmPool &exec_pool,
     auto tb1 = std::chrono::steady_clock::now();
     {
         obs::SpanScope span(tl, "replay", "backend", wobs.track);
-        replayPost(cur, pre, post_trace, fp, sink);
+        replayPost(cur, pre, post_trace, fp, fp_sink);
     }
     stats.backendSeconds += secondsSince(tb1);
+
+    if (fp_hook) {
+        observer->onFailurePoint(fp, local);
+        sink.merge(local);
+    }
 }
 
 CampaignResult
@@ -436,6 +448,9 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
         pre_ops = rt.opCounts();
     }
     result.stats.preTraceEntries = pre_trace.size();
+
+    if (observer && observer->onPreTraceReady)
+        observer->onPreTraceReady(pre_trace);
 
     // Step 2: plan failure points before each ordering point.
     FailurePlan plan;

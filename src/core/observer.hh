@@ -13,6 +13,12 @@
  *                (done, total, bugs-so-far) — wire it to an
  *                obs::ProgressMeter for the periodic progress line.
  *
+ * Two further hooks exist for harnesses that need the campaign's raw
+ * material rather than its aggregates (the differential oracle in
+ * src/oracle is the canonical consumer): onPreTraceReady hands out the
+ * pre-failure trace right after it was captured, and onFailurePoint
+ * delivers each failure point's findings before cross-point dedup.
+ *
  * Attach with Driver::setObserver(); a null observer keeps the
  * driver's hot paths free of observability work.
  */
@@ -21,10 +27,13 @@
 #define XFD_CORE_OBSERVER_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
+#include "core/bug_report.hh"
 #include "obs/stats.hh"
 #include "obs/timeline.hh"
+#include "trace/buffer.hh"
 
 namespace xfd::core
 {
@@ -39,6 +48,27 @@ struct CampaignObserver
     using ProgressFn =
         std::function<void(std::size_t, std::size_t, std::size_t)>;
     ProgressFn onProgress;
+
+    /**
+     * Invoked once per campaign, from the main thread, after the
+     * pre-failure stage ran and before failure points are planned.
+     * The buffer reference is valid only for the duration of the
+     * call — copy it to keep it (TraceEntry is copyable; its string
+     * members point at literals).
+     */
+    using PreTraceFn = std::function<void(const trace::TraceBuffer &)>;
+    PreTraceFn onPreTraceReady;
+
+    /**
+     * Invoked after each failure point's post-failure replay with the
+     * findings that exact failure point produced (a per-point sink:
+     * no suppression by earlier points, unlike the campaign's merged
+     * result). With a parallel driver this fires concurrently from
+     * worker threads — the callback must synchronize itself.
+     */
+    using FailurePointFn =
+        std::function<void(std::uint32_t fp, const BugSink &findings)>;
+    FailurePointFn onFailurePoint;
 };
 
 } // namespace xfd::core

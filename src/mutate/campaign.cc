@@ -103,9 +103,13 @@ runMutationCampaign(const MutationConfig &mcfg)
     MutationReport rep;
     rep.seed = mcfg.seed;
 
-    // The inner campaigns must never recurse into mutation mode.
+    // The inner campaigns must never recurse into mutation mode, and
+    // run plain — oracle cross-checking of mutants is the differential
+    // harness's job (src/oracle/diff), not each inner campaign's.
     core::DetectorConfig dcfg = mcfg.detector;
     dcfg.mutateOps.clear();
+    dcfg.oracleMode.clear();
+    dcfg.oracleArtifactDir.clear();
 
     // Trace the unmutated pre-failure stage once; the plan addresses
     // re-executions of the same deterministic program by occurrence.

@@ -1,0 +1,338 @@
+#include "oracle/diff.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+#include "trace/serialize.hh"
+
+namespace xfd::oracle
+{
+
+namespace
+{
+
+std::string
+classSetStr(const std::set<core::BugType> &classes)
+{
+    if (classes.empty())
+        return "{}";
+    std::string s = "{";
+    for (core::BugType t : classes) {
+        if (s.size() > 1)
+            s += ", ";
+        s += core::bugTypeId(t);
+    }
+    return s + "}";
+}
+
+void
+writeClassArray(obs::JsonWriter &w, const std::string &key,
+                const std::set<core::BugType> &classes)
+{
+    w.key(key).beginArray();
+    for (core::BugType t : classes)
+        w.value(core::bugTypeId(t));
+    w.endArray();
+}
+
+/**
+ * One JSON sidecar per disagreeing failure point: enough to rebuild
+ * the exact candidate image (pre-trace + point + mask) and compare
+ * the class sets again.
+ */
+std::string
+writeDisagreementArtifact(const std::string &dir,
+                          const FpAgreement &a,
+                          const FpOracleResult &ores)
+{
+    std::string path =
+        dir + "/disagreement-fp" + std::to_string(a.fp) + ".json";
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) {
+        warn("oracle: cannot write artifact %s", path.c_str());
+        return "";
+    }
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.field("format", "xfd-oracle-disagreement-v1");
+    w.field("pre_trace", "pre-trace.xft");
+    w.field("failure_point", static_cast<std::uint64_t>(a.fp));
+    w.field("frontier_size",
+            static_cast<std::uint64_t>(a.frontier));
+    w.key("frontier_seqs").beginArray();
+    for (const auto &ev : ores.frontier)
+        w.value(static_cast<std::uint64_t>(ev.seq));
+    w.endArray();
+    // The anchor mask: the candidate whose classes must equal the
+    // detector's.
+    w.field("mask", ores.candidates.front().mask.toHex());
+    writeClassArray(w, "detector_classes", a.detectorClasses);
+    writeClassArray(w, "oracle_classes", a.oracleClasses);
+    w.field("sampled", a.sampled);
+    w.endObject();
+    os << "\n";
+    return path;
+}
+
+} // namespace
+
+double
+DiffReport::agreementRate() const
+{
+    if (failurePoints == 0)
+        return 1.0;
+    return static_cast<double>(agreements) /
+           static_cast<double>(failurePoints);
+}
+
+std::string
+DiffReport::summary() const
+{
+    std::string s = strprintf(
+        "=== oracle differential report: %zu failure point(s), "
+        "%zu disagreement(s) ===\n"
+        "agreement rate: %.3f (%zu/%zu), crash states: %zu legal, "
+        "%zu candidate run(s), %zu sampled\n"
+        "partial-candidate extras: %zu explained, %zu unexplained\n",
+        failurePoints, disagreements, agreementRate(), agreements,
+        failurePoints, statesEnumerated, candidatesRun,
+        subsetsSampled, extrasExplained, extrasUnexplained);
+    for (const auto &a : perFp) {
+        if (a.agree)
+            continue;
+        s += strprintf("  DISAGREE fp#%u: detector %s oracle %s "
+                       "(frontier %zu%s)\n",
+                       a.fp, classSetStr(a.detectorClasses).c_str(),
+                       classSetStr(a.oracleClasses).c_str(),
+                       a.frontier, a.sampled ? ", sampled" : "");
+    }
+    for (const auto &p : artifacts)
+        s += strprintf("  artifact: %s\n", p.c_str());
+    return s;
+}
+
+DiffReport
+runDifferentialCampaign(pm::PmPool &pool, const core::ProgramFn &pre,
+                        const core::ProgramFn &post,
+                        const DiffConfig &cfg)
+{
+    DiffReport rep;
+
+    core::DetectorConfig dcfg = cfg.detector;
+    if (dcfg.crashImageMode) {
+        warn("oracle: crash-image mode keeps a line-granular durable "
+             "image the cell-granular oracle cannot reproduce; "
+             "running the differential campaign without it");
+        dcfg.crashImageMode = false;
+    }
+
+    pm::PmImage initial = pool.snapshot();
+
+    // Capture the campaign's raw material through the observer hooks;
+    // never re-run the pre-failure stage (fault-injection hooks count
+    // occurrences cumulatively, so a second run mutates differently).
+    trace::TraceBuffer preTrace;
+    std::map<std::uint32_t, std::set<core::BugType>> detectorByFp;
+    std::mutex fpLock;
+
+    core::CampaignObserver localObs;
+    core::CampaignObserver *obsv =
+        cfg.observer ? cfg.observer : &localObs;
+    auto savedPre = obsv->onPreTraceReady;
+    auto savedFp = obsv->onFailurePoint;
+    obsv->onPreTraceReady = [&](const trace::TraceBuffer &b) {
+        if (savedPre)
+            savedPre(b);
+        preTrace = b;
+    };
+    obsv->onFailurePoint = [&](std::uint32_t fp,
+                               const core::BugSink &sink) {
+        if (savedFp)
+            savedFp(fp, sink);
+        std::set<core::BugType> classes;
+        for (const auto &b : sink.bugs()) {
+            // Performance bugs are a full-trace property and never
+            // appear in per-point sinks; filter defensively anyway.
+            if (b.type != core::BugType::Performance)
+                classes.insert(b.type);
+        }
+        std::lock_guard<std::mutex> lock(fpLock);
+        detectorByFp[fp] = std::move(classes);
+    };
+
+    core::Driver driver(pool, dcfg);
+    driver.setObserver(obsv);
+    rep.detector = driver.runParallel(pre, post, cfg.threads);
+    obsv->onPreTraceReady = std::move(savedPre);
+    obsv->onFailurePoint = std::move(savedFp);
+
+    // The plan is deterministic over (trace, config); re-derive it so
+    // the oracle visits exactly the points the detector failed at.
+    core::FailurePlan plan = core::planFailurePoints(preTrace, dcfg);
+    rep.failurePoints = plan.points.size();
+
+    OracleConfig ocfg;
+    ocfg.exhaustive = cfg.exhaustive;
+    ocfg.sampleCount = cfg.sampleCount;
+    ocfg.frontierLimit = dcfg.oracleFrontierLimit;
+    ocfg.seed = cfg.seed;
+    ocfg.detector = dcfg;
+    CrashStateOracle oracle(preTrace, initial, ocfg);
+
+    bool wrotePreTrace = false;
+    for (std::uint32_t fp : plan.points) {
+        FpOracleResult ores = oracle.runFailurePoint(fp, post);
+
+        FpAgreement a;
+        a.fp = fp;
+        auto it = detectorByFp.find(fp);
+        if (it != detectorByFp.end())
+            a.detectorClasses = it->second;
+        a.oracleClasses = ores.anchorClasses();
+        a.frontier = ores.frontier.size();
+        a.candidates = ores.candidates.size();
+        a.sampled = ores.sampled;
+        a.agree = a.detectorClasses == a.oracleClasses;
+
+        rep.statesEnumerated += ores.statesLegal;
+        rep.candidatesRun += ores.candidates.size();
+        if (ores.sampled)
+            rep.subsetsSampled += ores.candidates.size();
+
+        for (std::size_t c = 1; c < ores.candidates.size(); c++) {
+            for (core::BugType t : ores.candidates[c].classes) {
+                if (!a.oracleClasses.count(t))
+                    a.extras.insert(t);
+            }
+        }
+        for (core::BugType t : a.extras) {
+            // A partial image can race (an in-flight write it leaves
+            // out), fail recovery (metadata half-applied), or expose
+            // an older committed version (semantic); all presuppose a
+            // non-empty frontier.
+            (void)t;
+            if (a.frontier > 0)
+                rep.extrasExplained++;
+            else
+                rep.extrasUnexplained++;
+        }
+
+        if (a.agree) {
+            rep.agreements++;
+        } else {
+            rep.disagreements++;
+            if (!cfg.artifactDir.empty()) {
+                std::error_code ec;
+                std::filesystem::create_directories(cfg.artifactDir,
+                                                    ec);
+                if (!wrotePreTrace) {
+                    std::ofstream os(cfg.artifactDir +
+                                         "/pre-trace.xft",
+                                     std::ios::binary |
+                                         std::ios::trunc);
+                    if (os) {
+                        trace::writeTrace(preTrace, os);
+                        rep.artifacts.push_back(cfg.artifactDir +
+                                                "/pre-trace.xft");
+                        wrotePreTrace = true;
+                    } else {
+                        warn("oracle: cannot write %s/pre-trace.xft",
+                             cfg.artifactDir.c_str());
+                    }
+                }
+                std::string p = writeDisagreementArtifact(
+                    cfg.artifactDir, a, ores);
+                if (!p.empty())
+                    rep.artifacts.push_back(std::move(p));
+            }
+        }
+        rep.perFp.push_back(std::move(a));
+    }
+    return rep;
+}
+
+void
+exportOracleStats(obs::StatsRegistry &reg, const DiffReport &r)
+{
+    auto set = [&](const char *name, const char *desc, double v) {
+        reg.scalar(name, desc).set(v);
+    };
+    set("campaign.oracle.failure_points",
+        "failure points compared against the oracle",
+        static_cast<double>(r.failurePoints));
+    set("campaign.oracle.states_enumerated",
+        "legal crash states identified",
+        static_cast<double>(r.statesEnumerated));
+    set("campaign.oracle.subsets_sampled",
+        "candidates run at sampled (over-limit) points",
+        static_cast<double>(r.subsetsSampled));
+    set("campaign.oracle.candidates_run",
+        "candidate recovery executions",
+        static_cast<double>(r.candidatesRun));
+    set("campaign.oracle.agreements",
+        "failure points where detector and oracle classes match",
+        static_cast<double>(r.agreements));
+    set("campaign.oracle.disagreements",
+        "failure points where the class sets differ",
+        static_cast<double>(r.disagreements));
+    set("campaign.oracle.extras_explained",
+        "partial-candidate extra classes with an attribution",
+        static_cast<double>(r.extrasExplained));
+    set("campaign.oracle.extras_unexplained",
+        "partial-candidate extra classes without one",
+        static_cast<double>(r.extrasUnexplained));
+
+    obs::Scalar &points =
+        reg.scalar("campaign.oracle.failure_points", "");
+    obs::Scalar &agree = reg.scalar("campaign.oracle.agreements", "");
+    reg.formula("campaign.oracle.agreement_rate",
+                "agreeing points / compared points",
+                [&points, &agree] {
+                    return points.value()
+                               ? agree.value() / points.value()
+                               : 1.0;
+                });
+}
+
+core::JsonSection
+oracleJsonSection(const DiffReport &r)
+{
+    return core::JsonSection{
+        "oracle", [&r](obs::JsonWriter &w) {
+            w.beginObject();
+            w.field("failure_points",
+                    static_cast<std::uint64_t>(r.failurePoints));
+            w.field("agreements",
+                    static_cast<std::uint64_t>(r.agreements));
+            w.field("disagreements",
+                    static_cast<std::uint64_t>(r.disagreements));
+            w.field("agreement_rate", r.agreementRate());
+            w.field("states_enumerated",
+                    static_cast<std::uint64_t>(r.statesEnumerated));
+            w.field("subsets_sampled",
+                    static_cast<std::uint64_t>(r.subsetsSampled));
+            w.field("candidates_run",
+                    static_cast<std::uint64_t>(r.candidatesRun));
+            w.field("extras_explained",
+                    static_cast<std::uint64_t>(r.extrasExplained));
+            w.field("extras_unexplained",
+                    static_cast<std::uint64_t>(r.extrasUnexplained));
+            w.key("disagreement_fps").beginArray();
+            for (const auto &a : r.perFp) {
+                if (!a.agree)
+                    w.value(static_cast<std::uint64_t>(a.fp));
+            }
+            w.endArray();
+            w.key("artifacts").beginArray();
+            for (const auto &p : r.artifacts)
+                w.value(p);
+            w.endArray();
+            w.endObject();
+        }};
+}
+
+} // namespace xfd::oracle

@@ -96,6 +96,10 @@ readTrace(std::istream &in)
 
     LoadedTrace loaded;
     std::uint32_t nstrings = get<std::uint32_t>(in);
+    // Each interned string needs at least its length field in the
+    // stream; a fuzzed count must fail before the table allocation.
+    if (nstrings > (1u << 24))
+        throw std::runtime_error("implausible string count");
     std::vector<const char *> table;
     table.reserve(nstrings);
     for (std::uint32_t i = 0; i < nstrings; i++) {

@@ -694,6 +694,89 @@ TEST(MutationExport, StatsRegistryMirrorsReport)
                      2.0 / 3.0);
 }
 
+/**
+ * Replace wall-clock tokens ("1.234s", "12.5s") with "#s" so golden
+ * comparisons of human-readable reports never depend on timing.
+ */
+std::string
+normalizeTimings(const std::string &s)
+{
+    std::string out;
+    for (std::size_t i = 0; i < s.size();) {
+        std::size_t j = i;
+        while (j < s.size() && std::isdigit(s[j]))
+            j++;
+        if (j > i && j + 1 < s.size() && s[j] == '.' &&
+            std::isdigit(s[j + 1])) {
+            std::size_t k = j + 1;
+            while (k < s.size() && std::isdigit(s[k]))
+                k++;
+            if (k < s.size() && s[k] == 's') {
+                out += "#s";
+                i = k + 1;
+                continue;
+            }
+        }
+        out += s[i++];
+    }
+    return out;
+}
+
+TEST(MutationExport, TimingNormalizerCollapsesSeconds)
+{
+    EXPECT_EQ(normalizeTimings("pre 0.123s, post 42.5s, backend 1.0s"),
+              "pre #s, post #s, backend #s");
+    // Non-timing numbers survive untouched.
+    EXPECT_EQ(normalizeTimings("seq 12.5 at 3:4, 7 sites"),
+              "seq 12.5 at 3:4, 7 sites");
+}
+
+TEST(MutationExport, ScoreboardTextGolden)
+{
+    // Same hand-built report style as JsonObjectGolden, but freezing
+    // the human-readable table: column layout, per-operator rows,
+    // aggregate row, baseline line and MISSED listing.
+    mutate::MutationReport rep;
+    auto &df = rep.perOp[static_cast<std::size_t>(
+        mutate::MutationOp::DropFlush)];
+    df.mutants = 4;
+    df.detected = 3;
+    df.truePositives = 3;
+    df.falsePositives = 1;
+    auto &dn = rep.perOp[static_cast<std::size_t>(
+        mutate::MutationOp::DropFence)];
+    dn.mutants = 2;
+    dn.detected = 2;
+    dn.truePositives = 2;
+    dn.falsePositives = 0;
+    rep.baselineFindings = 1;
+    rep.aggregate.mutants = 6;
+    rep.aggregate.detected = 5;
+    rep.aggregate.truePositives = 5;
+    rep.aggregate.falsePositives = 2;
+
+    mutate::MutantOutcome missed;
+    missed.mutant.op = mutate::MutationOp::DropFlush;
+    missed.mutant.occurrence = 3;
+    missed.mutant.site = trace::SrcLoc{"btree.cc", 42, "insert"};
+    missed.detected = false;
+    rep.outcomes.push_back(missed);
+
+    const std::string expected =
+        "=== mutation scoreboard: 6 mutant(s), 5 detected ===\n"
+        "operator             mutants detected  recall    TP    FP "
+        "precision     F1\n"
+        "drop_flush                 4        3   0.750     3     1 "
+        "    0.750  0.750\n"
+        "drop_fence                 2        2   1.000     2     0 "
+        "    1.000  1.000\n"
+        "aggregate                  6        5   0.833     5     2 "
+        "    0.714  0.769\n"
+        "baseline findings (counted as false positives): 1\n"
+        "  MISSED  drop_flush #3 @ btree.cc:42\n";
+    EXPECT_EQ(normalizeTimings(rep.scoreboard()), expected);
+}
+
 TEST(CampaignExport, SerialAndParallelExportIdentically)
 {
     core::CampaignObserver serial_obs, par_obs;

@@ -33,6 +33,7 @@
 #include "core/prefailure_checker.hh"
 #include "mutate/campaign.hh"
 #include "obs/progress.hh"
+#include "oracle/diff.hh"
 #include "trace/serialize.hh"
 #include "workloads/workload.hh"
 #include "xfd.hh"
@@ -302,7 +303,27 @@ main(int argc, char **argv)
     core::CampaignResult res;
     std::vector<core::JsonSection> extra;
     mutate::MutationReport mrep;
+    oracle::DiffReport orep;
     int exit_code = 0;
+
+    bool oracle_on = !dcfg.oracleMode.empty();
+    oracle::DiffConfig ocfg;
+    if (oracle_on) {
+        std::string err;
+        if (!oracle::parseOracleMode(dcfg.oracleMode, ocfg.exhaustive,
+                                     ocfg.sampleCount, &err)) {
+            std::fprintf(stderr, "--oracle: %s\n", err.c_str());
+            return 2;
+        }
+        ocfg.detector = dcfg;
+        // The echo-only campaign modes must not recurse into the
+        // differential run.
+        ocfg.detector.mutateOps.clear();
+        ocfg.detector.oracleMode.clear();
+        ocfg.threads = threads;
+        ocfg.artifactDir = dcfg.oracleArtifactDir;
+        ocfg.observer = &obs;
+    }
 
     if (!dcfg.mutateOps.empty()) {
         // Mutation mode: score the detector against fault injections
@@ -336,6 +357,24 @@ main(int argc, char **argv)
         extra.push_back(core::JsonSection{
             "mutation",
             [&mrep](obs::JsonWriter &w) { mrep.writeJson(w); }});
+        if (oracle_on) {
+            // Cross-check the unmutated workload; the scored campaign
+            // above used its own pools, so this one is still fresh.
+            orep = oracle::runDifferentialCampaign(
+                pool, [&](trace::PmRuntime &rt) { w->pre(rt); },
+                [&](trace::PmRuntime &rt) { w->post(rt); }, ocfg);
+            std::printf("%s", orep.summary().c_str());
+        }
+    } else if (oracle_on) {
+        // Differential mode: one detector campaign (captured through
+        // observer hooks) cross-checked by the crash-state oracle.
+        orep = oracle::runDifferentialCampaign(
+            pool, [&](trace::PmRuntime &rt) { w->pre(rt); },
+            [&](trace::PmRuntime &rt) { w->post(rt); }, ocfg);
+        res = orep.detector;
+        std::printf("%s", res.summary().c_str());
+        std::printf("%s", orep.summary().c_str());
+        exit_code = res.hasBugs() ? 1 : 0;
     } else {
         res = Campaign::forProgram(
                   [&](trace::PmRuntime &rt) { w->pre(rt); },
@@ -347,6 +386,15 @@ main(int argc, char **argv)
                   .run();
         std::printf("%s", res.summary().c_str());
         exit_code = res.hasBugs() ? 1 : 0;
+    }
+
+    if (oracle_on) {
+        oracle::exportOracleStats(obs.stats, orep);
+        extra.push_back(oracle::oracleJsonSection(orep));
+        // Exit 3 signals a conformance break, distinct from findings
+        // (1) and usage errors (2).
+        if (!orep.clean())
+            exit_code = 3;
     }
 
     auto open_out = [](const std::string &path,
