@@ -80,6 +80,8 @@ writeStatsJson(const CampaignResult &res, const DetectorConfig *cfg,
     w.field("ordering_candidates",
             static_cast<std::uint64_t>(s.orderingCandidates));
     w.field("elided_points", static_cast<std::uint64_t>(s.elidedPoints));
+    w.field("lint_pruned_points",
+            static_cast<std::uint64_t>(s.lintPrunedPoints));
     w.field("post_executions",
             static_cast<std::uint64_t>(s.postExecutions));
     w.field("pre_trace_entries",

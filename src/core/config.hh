@@ -150,6 +150,23 @@ struct DetectorConfig
      * point). Empty = do not write artifacts.
      */
     std::string oracleArtifactDir;
+
+    /**
+     * Static lint pass (src/lint): empty = off. "all" enables every
+     * rule; otherwise a comma-separated list of rule ids (XL01..XL07)
+     * or names (redundant_writeback, ...). Reporting only — campaign
+     * findings are unchanged.
+     */
+    std::string lintRules;
+
+    /**
+     * Skip failure points the lint pass proves statically redundant:
+     * an earlier point at the same ordering-point source location had
+     * an identical frontier signature, so the post-failure execution
+     * can only rediscover the kept representative's findings. The
+     * oracle differential campaign re-checks every pruned point.
+     */
+    bool lintPrune = false;
 };
 
 } // namespace xfd::core

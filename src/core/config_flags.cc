@@ -16,7 +16,7 @@ namespace xfd::core
  * constant together with the table.
  */
 static_assert(sizeof(DetectorConfig) ==
-                  80 + 3 * sizeof(std::string),
+                  88 + 4 * sizeof(std::string),
               "DetectorConfig changed: add a ConfigFlagDesc row for "
               "the new field, then update this size tripwire");
 
@@ -139,6 +139,16 @@ buildTable()
          "write replayable disagreement artifacts (pre-trace + "
          "failure point + subset mask) into <dir>",
          "oracle_artifact_dir", &C::oracleArtifactDir, nullptr);
+    strf("--lint", "[=<rules>]",
+         "run the static lint pass over the pre-failure trace; "
+         "<rules> is \"all\" (default) or a comma list of XL01..XL07 "
+         "ids or names (redundant_writeback, duplicate_tx_add, ...)",
+         "lint_rules", &C::lintRules, "all");
+    sw("--lint-prune",
+       "skip failure points the lint pass proves statically "
+       "redundant (same ordering-point location, identical frontier "
+       "signature)",
+       "lint_prune", &C::lintPrune, true);
 
     return t;
 }

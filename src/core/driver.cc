@@ -9,7 +9,9 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "lint/lint.hh"
 #include "trace/buffer.hh"
+#include "trace/iter.hh"
 #include "trace/page_index.hh"
 
 namespace xfd::core
@@ -43,12 +45,17 @@ CampaignResult::summary() const
 {
     std::string s = strprintf(
         "=== XFDetector report: %zu finding(s) ===\n"
-        "failure points: %zu (candidates %zu, elided %zu), "
+        "failure points: %zu (candidates %zu, elided %zu%s), "
         "post-failure executions: %zu\n"
         "time: pre %.3fs, post %.3fs, backend %.3fs\n",
         bugs.size(), stats.failurePoints, stats.orderingCandidates,
-        stats.elidedPoints, stats.postExecutions, stats.preSeconds,
-        stats.postSeconds, stats.backendSeconds);
+        stats.elidedPoints,
+        stats.lintPrunedPoints
+            ? strprintf(", lint-pruned %zu", stats.lintPrunedPoints)
+                  .c_str()
+            : "",
+        stats.postExecutions, stats.preSeconds, stats.postSeconds,
+        stats.backendSeconds);
     for (const auto &b : bugs)
         s += b.str() + "\n";
     return s;
@@ -146,11 +153,8 @@ Driver::advanceShadow(PreCursor &cur, const trace::TraceBuffer &pre,
             break;
           }
           case Op::LibCall:
-            if (std::strcmp(e.label, trace::labels::txBegin) == 0 ||
-                std::strcmp(e.label, trace::labels::txCommit) == 0 ||
-                std::strcmp(e.label, trace::labels::txAbort) == 0) {
+            if (trace::isTxBoundary(e))
                 cur.openTxAdds.clear();
-            }
             break;
           default:
             break;
@@ -458,6 +462,20 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
         obs::SpanScope span(tl, "plan-failure-points", "phase", 0);
         plan = planFailurePoints(pre_trace, cfg);
     }
+
+    // Step 2b (--lint-prune): drop points the static frontier
+    // analysis proves redundant — an earlier kept point at the same
+    // ordering-point source location exposed an identical frontier
+    // signature, so the post-failure stage can only rediscover the
+    // representative's findings. The oracle differential campaign
+    // re-checks every pruned point against its representative.
+    if (cfg.lintPrune && !plan.points.empty()) {
+        obs::SpanScope span(tl, "lint-prune", "phase", 0);
+        lint::PruneVerdicts v = lint::computePruneVerdicts(
+            pre_trace, plan.points, cfg.granularity);
+        result.stats.lintPrunedPoints = v.pruned.size();
+        plan.points = std::move(v.kept);
+    }
     result.stats.failurePoints = plan.points.size();
     result.stats.orderingCandidates = plan.candidates;
     result.stats.elidedPoints = plan.elided;
@@ -642,6 +660,9 @@ Driver::fillObserverStats(
     set("campaign.elided_points",
         "failure points skipped by trace elision",
         static_cast<double>(s.elidedPoints));
+    set("campaign.lint.pruned_points",
+        "failure points skipped by --lint-prune",
+        static_cast<double>(s.lintPrunedPoints));
     set("campaign.post_executions",
         "post-failure stage executions",
         static_cast<double>(s.postExecutions));
@@ -684,6 +705,14 @@ Driver::fillObserverStats(
                 [&cand, &elided] {
                     return cand.value() ? elided.value() / cand.value()
                                         : 0.0;
+                });
+    Scalar &fps = reg.scalar("campaign.failure_points", "");
+    Scalar &pruned = reg.scalar("campaign.lint.pruned_points", "");
+    reg.formula("campaign.lint.prune_ratio",
+                "fraction of planned points pruned by --lint-prune",
+                [&fps, &pruned] {
+                    double planned = fps.value() + pruned.value();
+                    return planned ? pruned.value() / planned : 0.0;
                 });
 
     // Delta-image engine restore volume. The baseline is what the

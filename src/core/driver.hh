@@ -52,6 +52,8 @@ struct CampaignStats
     std::size_t failurePoints = 0;
     std::size_t orderingCandidates = 0;
     std::size_t elidedPoints = 0;
+    /** Points skipped by --lint-prune (0 unless cfg.lintPrune). */
+    std::size_t lintPrunedPoints = 0;
     std::size_t postExecutions = 0;
     std::size_t preTraceEntries = 0;
     std::size_t postTraceEntries = 0;

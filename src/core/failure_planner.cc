@@ -1,5 +1,7 @@
 #include "core/failure_planner.hh"
 
+#include "trace/iter.hh"
+
 namespace xfd::core
 {
 
@@ -14,10 +16,7 @@ planFailurePoints(const trace::TraceBuffer &pre, const DetectorConfig &cfg)
     std::size_t ops_since = 0;
 
     for (const auto &e : pre) {
-        bool is_pm_op = e.isWrite() || e.isFlush() ||
-                        e.op == Op::TxAdd || e.op == Op::Alloc ||
-                        e.op == Op::Free;
-        if (is_pm_op && !e.has(trace::flagImageOnly)) {
+        if (trace::isPmMutation(e)) {
             ops_since++;
             continue;
         }

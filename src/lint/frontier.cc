@@ -1,0 +1,344 @@
+#include "lint/frontier.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace xfd::lint
+{
+
+FrontierState::FrontierState(unsigned granularity) : gran(granularity)
+{
+    if (gran == 0 || (gran & (gran - 1)) != 0 || gran > cacheLineSize)
+        fatal("lint granularity must be a power of two <= 64");
+}
+
+void
+FrontierState::applyWrite(const trace::TraceEntry &e)
+{
+    if (e.size == 0)
+        return;
+    bool non_temporal = e.op == trace::Op::NtWrite;
+    std::uint64_t first = cellIndex(e.addr);
+    std::uint64_t count = cellCount(e.addr, e.size);
+    CellState to = non_temporal ? CellState::WritebackPending
+                                : CellState::Modified;
+    for (std::uint64_t i = 0; i < count; i++) {
+        FrontierCell &c = cells[first + i];
+        c.st = to;
+        c.writer = e.loc;
+        c.writerSeq = e.seq;
+        c.tlast = ts;
+        c.uninit = false;
+        if (non_temporal)
+            pendingCells.push_back(first + i);
+    }
+    // A write overlapping a commit variable is a commit write: it
+    // versions the consistency window of the variable's address set.
+    // The written value is recorded too — recovery branches on it
+    // (that is what a commit variable is for), so points whose
+    // commit variables hold different values must never prune
+    // against each other.
+    for (auto &cv : commitVars) {
+        if (cv.var.overlaps({e.addr, e.addr + e.size})) {
+            cv.tprelast = cv.tlast;
+            cv.tlast = ts;
+            cv.lastVal.clear();
+            for (std::size_t i = 0; i < e.data.size() && i < 16; i++)
+                cv.lastVal += strprintf("%02x", e.data[i]);
+        }
+    }
+}
+
+void
+FrontierState::applyFlush(Addr line)
+{
+    std::uint64_t first = cellIndex(line);
+    std::uint64_t count = cellCount(line, cacheLineSize);
+    for (std::uint64_t i = 0; i < count; i++) {
+        auto it = cells.find(first + i);
+        if (it != cells.end() && it->second.st == CellState::Modified) {
+            it->second.st = CellState::WritebackPending;
+            pendingCells.push_back(first + i);
+        }
+    }
+}
+
+void
+FrontierState::applyFence()
+{
+    for (std::uint64_t idx : pendingCells) {
+        auto it = cells.find(idx);
+        if (it != cells.end() &&
+            it->second.st == CellState::WritebackPending) {
+            it->second.st = CellState::Persisted;
+        }
+    }
+    pendingCells.clear();
+    ts++;
+}
+
+void
+FrontierState::apply(const trace::TraceEntry &e)
+{
+    using trace::Op;
+
+    switch (e.op) {
+      case Op::Write:
+      case Op::NtWrite:
+        if (!e.has(trace::flagImageOnly))
+            applyWrite(e);
+        break;
+      case Op::Clwb:
+      case Op::ClflushOpt:
+      case Op::Clflush:
+        applyFlush(e.addr);
+        break;
+      case Op::Sfence:
+      case Op::Mfence:
+        applyFence();
+        break;
+      case Op::Alloc: {
+        std::uint64_t first = cellIndex(e.addr);
+        std::uint64_t count = cellCount(e.addr, e.size);
+        for (std::uint64_t i = 0; i < count; i++) {
+            FrontierCell &c = cells[first + i];
+            c.st = CellState::Modified;
+            c.writer = e.loc;
+            c.writerSeq = e.seq;
+            c.tlast = ts;
+            c.uninit = true;
+        }
+        if (e.size)
+            allocs[e.addr] = {e.addr + e.size, e.loc};
+        break;
+      }
+      case Op::Free: {
+        std::uint64_t first = cellIndex(e.addr);
+        std::uint64_t count = cellCount(e.addr, e.size);
+        for (std::uint64_t i = 0; i < count; i++)
+            cells.erase(first + i);
+        allocs.erase(e.addr);
+        break;
+      }
+      case Op::CommitVar: {
+        AddrRange r{e.addr, e.addr + e.size};
+        for (const auto &cv : commitVars) {
+            if (cv.var == r)
+                return;
+        }
+        commitVars.push_back(CommitVar{r, {}, -1, -1, {}});
+        break;
+      }
+      case Op::CommitRange:
+        for (auto &cv : commitVars) {
+            if (cv.var.contains(e.aux)) {
+                AddrRange r{e.addr, e.addr + e.size};
+                if (std::find(cv.ranges.begin(), cv.ranges.end(), r) ==
+                    cv.ranges.end()) {
+                    cv.ranges.push_back(r);
+                }
+                return;
+            }
+        }
+        break;
+      default:
+        break;
+    }
+}
+
+bool
+FrontierState::lineHasState(Addr line, CellState st) const
+{
+    std::uint64_t first = cellIndex(line);
+    std::uint64_t count = cellCount(line, cacheLineSize);
+    for (std::uint64_t i = 0; i < count; i++) {
+        auto it = cells.find(first + i);
+        if (it != cells.end() && it->second.st == st)
+            return true;
+    }
+    return false;
+}
+
+bool
+FrontierState::lineTracked(Addr line) const
+{
+    std::uint64_t first = cellIndex(line);
+    std::uint64_t count = cellCount(line, cacheLineSize);
+    for (std::uint64_t i = 0; i < count; i++) {
+        if (cells.count(first + i))
+            return true;
+    }
+    return false;
+}
+
+bool
+FrontierState::fenceWouldRetire() const
+{
+    for (std::uint64_t idx : pendingCells) {
+        auto it = cells.find(idx);
+        if (it != cells.end() &&
+            it->second.st == CellState::WritebackPending) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+FrontierState::dataInFlight() const
+{
+    for (const auto &[idx, c] : cells) {
+        if (c.st == CellState::Persisted)
+            continue;
+        if (!isCommitVarAddr(idx * gran))
+            return true;
+    }
+    return false;
+}
+
+bool
+FrontierState::rangePending(Addr a, std::uint32_t n) const
+{
+    std::uint64_t first = cellIndex(a);
+    std::uint64_t count = cellCount(a, n);
+    for (std::uint64_t i = 0; i < count; i++) {
+        auto it = cells.find(first + i);
+        if (it != cells.end() &&
+            it->second.st == CellState::WritebackPending) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+FrontierState::isCommitVarAddr(Addr a) const
+{
+    for (const auto &cv : commitVars) {
+        if (cv.var.contains(a))
+            return true;
+    }
+    return false;
+}
+
+const FrontierState::CommitVar *
+FrontierState::coveringVar(Addr a) const
+{
+    for (const auto &cv : commitVars) {
+        for (const auto &r : cv.ranges) {
+            if (r.contains(a))
+                return &cv;
+        }
+    }
+    if (commitVars.size() == 1 && commitVars.front().ranges.empty())
+        return &commitVars.front();
+    return nullptr;
+}
+
+std::string
+FrontierState::regionTag(Addr a) const
+{
+    auto it = allocs.upper_bound(a);
+    if (it != allocs.begin()) {
+        --it;
+        if (a < it->second.first) {
+            // Alloc site plus field offset: instances of one object
+            // type collapse, but distinct fields of it do not (a
+            // ctree node's child[0] vs child[1] are read back by
+            // different recovery statements).
+            const trace::SrcLoc &loc = it->second.second;
+            return strprintf(
+                "%s:%u+%llu", loc.file, loc.line,
+                static_cast<unsigned long long>(a - it->first));
+        }
+    }
+    return "root";
+}
+
+std::string
+FrontierState::signature() const
+{
+    // Sets of strings rather than cell indices: the signature must be
+    // identical across loop iterations that touch *different*
+    // addresses through the *same* code, so cells contribute their
+    // writer's source location and allocation region, not their
+    // address.
+    std::set<std::string> inflight;
+    std::set<std::string> inconsistent;
+    for (const auto &[idx, c] : cells) {
+        if (c.st != CellState::Persisted) {
+            // The read check passes an in-flight cell only when its
+            // commit window covers it consistently, so that class —
+            // uncovered, covered-consistent, covered-inconsistent —
+            // must be part of the cell's identity.
+            const CommitVar *var = coveringVar(idx * gran);
+            char commit = 'n';
+            if (var) {
+                commit = var->tprelast <= c.tlast &&
+                                 c.tlast < var->tlast
+                             ? 'c'
+                             : 'i';
+            }
+            inflight.insert(strprintf(
+                "%s:%u:%c%c@%s", c.writer.file, c.writer.line,
+                c.uninit ? 'u' : '-', commit,
+                regionTag(idx * gran).c_str()));
+            continue;
+        }
+        if (c.uninit)
+            continue;
+        const CommitVar *var = coveringVar(idx * gran);
+        if (!var)
+            continue;
+        bool consistent =
+            var->tprelast <= c.tlast && c.tlast < var->tlast;
+        if (consistent)
+            continue;
+        bool stale = c.tlast < var->tprelast;
+        inconsistent.insert(strprintf(
+            "%s:%u:%c@%s", c.writer.file, c.writer.line,
+            stale ? 's' : '-', regionTag(idx * gran).c_str()));
+    }
+    std::string sig;
+    for (const auto &s : inflight) {
+        sig += s;
+        sig += ';';
+    }
+    sig += '|';
+    for (const auto &s : inconsistent) {
+        sig += s;
+        sig += ';';
+    }
+    // Commit-variable values: recovery branches on them, so the
+    // current value (plus the persistency state of the variable's
+    // first cell, which decides what a realistic crash image holds)
+    // is part of the failure point's identity.
+    for (std::size_t i = 0; i < commitVars.size(); i++) {
+        const CommitVar &cv = commitVars[i];
+        char st = '-';
+        auto it = cells.find(cellIndex(cv.var.begin));
+        if (it != cells.end()) {
+            switch (it->second.st) {
+              case CellState::Modified: st = 'm'; break;
+              case CellState::WritebackPending: st = 'w'; break;
+              case CellState::Persisted: st = 'p'; break;
+            }
+        }
+        sig += strprintf("#%zu=%s:%c", i, cv.lastVal.c_str(), st);
+    }
+    return sig;
+}
+
+void
+FrontierState::forEachInFlight(
+    const std::function<void(Addr, const FrontierCell &)> &fn) const
+{
+    for (const auto &[idx, c] : cells) {
+        if (c.st != CellState::Persisted)
+            fn(idx * gran, c);
+    }
+}
+
+} // namespace xfd::lint

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Frontier dataflow over the pre-failure trace — the lint-side mirror
+ * of the shadow PM's persistency FSM (core/shadow_pm.cc), without the
+ * post-failure read-check machinery.
+ *
+ * One forward walk maintains, per cell (granularity bytes): the
+ * persistency state (Modified / WritebackPending / Persisted), the
+ * source location and seq of the last writer, the last-modified
+ * timestamp, and the uninitialized flag; plus the commit-variable
+ * registry with last / pre-last commit timestamps. Rules query the
+ * state *before* an entry applies; the prune pass snapshots a
+ * signature at each planned failure point the same way.
+ */
+
+#ifndef XFD_LINT_FRONTIER_HH
+#define XFD_LINT_FRONTIER_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/entry.hh"
+
+namespace xfd::lint
+{
+
+/** Persistency state of a tracked cell (untracked = Unmodified). */
+enum class CellState : std::uint8_t
+{
+    Modified,         ///< written, not yet flushed
+    WritebackPending, ///< flushed (or ntstore), awaiting a fence
+    Persisted,        ///< retired by a fence
+};
+
+/** Lint-side shadow cell. */
+struct FrontierCell
+{
+    CellState st = CellState::Modified;
+    /** Source of the last write (or allocation). */
+    trace::SrcLoc writer;
+    std::uint32_t writerSeq = 0;
+    /** Timestamp of the last modification (fences increment time). */
+    std::int32_t tlast = -1;
+    /** Allocated but never explicitly written. */
+    bool uninit = false;
+};
+
+/** The dataflow state machine. */
+class FrontierState
+{
+  public:
+    explicit FrontierState(unsigned granularity);
+
+    /** Advance the state past @p e. */
+    void apply(const trace::TraceEntry &e);
+
+    /** @name Pre-apply queries used by the rule engine @{ */
+
+    /** Any cell of the line at @p line in state @p st? */
+    bool lineHasState(Addr line, CellState st) const;
+
+    /** Any tracked (ever-written) cell in the line at @p line? */
+    bool lineTracked(Addr line) const;
+
+    /** Would a fence retire at least one pending cell right now? */
+    bool fenceWouldRetire() const;
+
+    /** Any non-commit-variable cell still Modified or Pending? */
+    bool dataInFlight() const;
+
+    /** Any cell of [@p a, @p a + @p n) currently WritebackPending? */
+    bool rangePending(Addr a, std::uint32_t n) const;
+
+    /** Is @p a inside a registered commit variable? */
+    bool isCommitVarAddr(Addr a) const;
+
+    /** @} */
+
+    /**
+     * Canonical frontier signature for failure-point pruning: the set
+     * of (writer file, writer line, uninit, commit class, allocation
+     * region) over in-flight cells plus the set of (writer file,
+     * writer line, stale, allocation region) over persisted,
+     * commit-covered, commit-inconsistent cells. The allocation
+     * region — the Alloc site plus the cell's offset inside the live
+     * allocation, or "root" for untracked (root-struct) memory —
+     * disambiguates a single store statement that aliases
+     * structurally different targets (a bucket head in the root
+     * object vs. an interior next field of a heap node; child[0] vs.
+     * child[1] of one node type): recovery reaches those through
+     * different reads, so they must not prune against each other. The
+     * commit class (uncovered / covered-consistent /
+     * covered-inconsistent) matters because the read check passes a
+     * consistent in-flight cell but reports a race on an inconsistent
+     * one. Two points with equal signatures at the same
+     * ordering-point source location yield the same post-failure
+     * finding keys.
+     */
+    std::string signature() const;
+
+    /**
+     * Visit every cell still Modified or WritebackPending (for the
+     * unpersisted-at-exit rule), in address order.
+     */
+    void forEachInFlight(
+        const std::function<void(Addr, const FrontierCell &)> &fn) const;
+
+    unsigned granularity() const { return gran; }
+
+  private:
+    /** Commit variable with its address set and commit timestamps. */
+    struct CommitVar
+    {
+        AddrRange var{0, 0};
+        std::vector<AddrRange> ranges;
+        std::int32_t tlast = -1;
+        std::int32_t tprelast = -1;
+        /** Hex of the last commit write's bytes (16-byte cap). */
+        std::string lastVal;
+    };
+
+    std::uint64_t cellIndex(Addr a) const { return a / gran; }
+
+    /** Cells covering [a, a+n). */
+    std::uint64_t
+    cellCount(Addr a, std::size_t n) const
+    {
+        if (n == 0)
+            return 0;
+        return (a + n - 1) / gran - a / gran + 1;
+    }
+
+    /**
+     * Commit variable governing @p a: explicit ranges first, then the
+     * single-variable default-cover rule (§5.2).
+     */
+    const CommitVar *coveringVar(Addr a) const;
+
+    void applyWrite(const trace::TraceEntry &e);
+    void applyFlush(Addr line);
+    void applyFence();
+
+    /** Allocation-region tag of @p a for signature strings. */
+    std::string regionTag(Addr a) const;
+
+    unsigned gran;
+    /** Ordered so signatures and exit scans are deterministic. */
+    std::map<std::uint64_t, FrontierCell> cells;
+    /** Live allocations: begin -> (end, alloc site). */
+    std::map<Addr, std::pair<Addr, trace::SrcLoc>> allocs;
+    std::vector<CommitVar> commitVars;
+    /** Cell indices awaiting retirement at the next fence. */
+    std::vector<std::uint64_t> pendingCells;
+    std::int32_t ts = 0;
+};
+
+} // namespace xfd::lint
+
+#endif // XFD_LINT_FRONTIER_HH

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * xfd-lint — static persistency analysis over a pre-failure trace.
+ *
+ * The dynamic detector discovers performance bugs and ordering
+ * mistakes as a side effect of replaying post-failure executions; the
+ * lint pass finds the statically-decidable subset by walking the
+ * pre-failure trace once, with no post-failure stage at all:
+ *
+ *  - diagnostics: seven rules (XL01..XL07) over the persistency FSM —
+ *    redundant writebacks, duplicated TX_ADD, flushes of unmodified
+ *    lines, no-op fences, writes never persisted at exit, commit
+ *    writes issued before their data is durable, and epoch
+ *    (write -> flush -> fence) ordering violations;
+ *  - prunability: per planned failure point, whether an earlier point
+ *    at the same ordering-point source location had an identical
+ *    frontier signature, in which case the post-failure execution is
+ *    statically redundant and the driver may skip it (--lint-prune).
+ *
+ * The analysis consumes an in-memory trace::TraceBuffer or a loaded
+ * serialized trace; it depends only on trace/ and obs/ (for JSON
+ * rendering), so core::Driver can call into it without a cycle.
+ */
+
+#ifndef XFD_LINT_LINT_HH
+#define XFD_LINT_LINT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/json.hh"
+#include "trace/buffer.hh"
+
+namespace xfd::lint
+{
+
+/** Statically-checkable persistency rules, in stable-ID order. */
+enum class Rule : std::uint8_t
+{
+    RedundantWriteback, ///< XL01: flush of a line with no modified data
+    DuplicateTxAdd,     ///< XL02: TX_ADD contained in an open TX_ADD
+    FlushUnmodified,    ///< XL03: flush of a line never written
+    FenceNoPending,     ///< XL04: fence with nothing to retire
+    UnpersistedAtExit,  ///< XL05: write still in flight at trace end
+    CommitFenceMissing, ///< XL06: commit write before data is durable
+    EpochOrder,         ///< XL07: write to a flushed, un-fenced line
+};
+
+/** Number of distinct rules (for per-rule counter arrays). */
+inline constexpr std::size_t ruleCount = 7;
+
+/** Bit for @p r in a rule mask. */
+inline constexpr std::uint32_t
+ruleBit(Rule r)
+{
+    return 1u << static_cast<unsigned>(r);
+}
+
+/** Mask with every rule enabled. */
+inline constexpr std::uint32_t allRules = (1u << ruleCount) - 1;
+
+/** Stable rule identifier ("XL01".."XL07"). */
+const char *ruleId(Rule r);
+
+/** Stable rule name ("redundant_writeback", ...). */
+const char *ruleName(Rule r);
+
+/** Diagnostic severity, fixed per rule. */
+enum class Severity : std::uint8_t { Note, Perf, Warning, Error };
+
+const char *severityName(Severity s);
+
+/** Severity a diagnostic of rule @p r carries. */
+Severity ruleSeverity(Rule r);
+
+/**
+ * Parse a --lint rule selection: "all", or a comma-separated list of
+ * rule ids ("XL01") and/or names ("redundant_writeback").
+ * @return false (with *err set) on an unknown rule.
+ */
+bool parseRuleList(const std::string &csv, std::uint32_t &mask,
+                   std::string *err);
+
+/** One lint finding, anchored to trace op sequence numbers. */
+struct Diagnostic
+{
+    static constexpr std::uint32_t noSeq = ~std::uint32_t{0};
+
+    Rule rule = Rule::RedundantWriteback;
+    /** First PM address the diagnostic is about. */
+    Addr addr = 0;
+    std::uint32_t size = 0;
+    /** Sequence number of the offending trace op. */
+    std::uint32_t seq = noSeq;
+    trace::SrcLoc loc;
+    /** Related earlier op (e.g. the covering TX_ADD), if any. */
+    std::uint32_t relatedSeq = noSeq;
+    trace::SrcLoc related;
+    std::string note;
+
+    /** One-line human-readable rendering. */
+    std::string str() const;
+};
+
+/** Lint pass configuration. */
+struct LintConfig
+{
+    /** Enabled rules (default: all). */
+    std::uint32_t rules = allRules;
+    /** Frontier cell granularity in bytes (match the detector's). */
+    unsigned granularity = 1;
+};
+
+/**
+ * Per-failure-point prunability verdicts. A point is pruned when an
+ * earlier kept point at the same ordering-point source location had
+ * an identical frontier signature: the in-flight write set and the
+ * commit-inconsistency set, keyed by writer source location and
+ * allocation region, are equal, so the post-failure execution can
+ * only rediscover findings the kept representative already produced
+ * (findings deduplicate by source location, and recovery-failure
+ * reports carry the failure point's location, which is shared within
+ * the group).
+ */
+struct PruneVerdicts
+{
+    /** A pruned point and the kept point that stands in for it. */
+    struct Pruned
+    {
+        std::uint32_t fp = 0;
+        std::uint32_t keptRep = 0;
+    };
+
+    /** Points to run, in plan order (subset of the input). */
+    std::vector<std::uint32_t> kept;
+    /** Points proven statically redundant. */
+    std::vector<Pruned> pruned;
+
+    double
+    pruneRatio() const
+    {
+        std::size_t total = kept.size() + pruned.size();
+        return total ? static_cast<double>(pruned.size()) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/** Everything one lint pass produced. */
+struct LintReport
+{
+    std::vector<Diagnostic> diagnostics;
+    /** Diagnostic count per rule (indexed by Rule). */
+    std::array<std::size_t, ruleCount> hits{};
+    /** Rules that were enabled for this pass. */
+    std::uint32_t rules = allRules;
+    /** Prunability verdicts (empty when no plan was supplied). */
+    PruneVerdicts prune;
+    /** Failure points the prune pass considered. */
+    std::size_t pointsConsidered = 0;
+
+    /** Diagnostics of @p r found. */
+    std::size_t
+    count(Rule r) const
+    {
+        return hits[static_cast<std::size_t>(r)];
+    }
+};
+
+/**
+ * Run the lint pass over @p pre. When @p plannedPoints is non-null
+ * (the campaign's planned failure points, ascending), prunability
+ * verdicts are computed as well.
+ */
+LintReport runLint(const trace::TraceBuffer &pre, const LintConfig &cfg,
+                   const std::vector<std::uint32_t> *plannedPoints =
+                       nullptr);
+
+/**
+ * Compute only the prunability verdicts for @p points (ascending seq
+ * order, as produced by core::planFailurePoints) at @p granularity.
+ */
+PruneVerdicts computePruneVerdicts(const trace::TraceBuffer &pre,
+                                   const std::vector<std::uint32_t> &points,
+                                   unsigned granularity);
+
+/** Multi-line human-readable report (the lint scoreboard). */
+std::string renderText(const LintReport &rep);
+
+/**
+ * Write the report as one JSON object ("xfd-lint-v1"): diagnostics,
+ * per-rule hit counts, and the prune verdict summary. Usable both as
+ * a standalone document (--lint-json) and as the "lint" section of
+ * the stats document.
+ */
+void writeLintJson(const LintReport &rep, obs::JsonWriter &w);
+
+} // namespace xfd::lint
+
+#endif // XFD_LINT_LINT_HH

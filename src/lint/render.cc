@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Lint report renderers: the human-readable scoreboard and the
+ * "xfd-lint-v1" JSON document. Both are pure functions of the report
+ * (no timing, no pointers), so serial and parallel campaigns over the
+ * same trace render byte-identical output.
+ */
+
+#include "common/logging.hh"
+#include "lint/lint.hh"
+
+namespace xfd::lint
+{
+
+const char *
+ruleId(Rule r)
+{
+    switch (r) {
+      case Rule::RedundantWriteback: return "XL01";
+      case Rule::DuplicateTxAdd: return "XL02";
+      case Rule::FlushUnmodified: return "XL03";
+      case Rule::FenceNoPending: return "XL04";
+      case Rule::UnpersistedAtExit: return "XL05";
+      case Rule::CommitFenceMissing: return "XL06";
+      case Rule::EpochOrder: return "XL07";
+    }
+    return "XL??";
+}
+
+const char *
+ruleName(Rule r)
+{
+    switch (r) {
+      case Rule::RedundantWriteback: return "redundant_writeback";
+      case Rule::DuplicateTxAdd: return "duplicate_tx_add";
+      case Rule::FlushUnmodified: return "flush_unmodified";
+      case Rule::FenceNoPending: return "fence_no_pending";
+      case Rule::UnpersistedAtExit: return "unpersisted_at_exit";
+      case Rule::CommitFenceMissing: return "commit_fence_missing";
+      case Rule::EpochOrder: return "epoch_order";
+    }
+    return "unknown";
+}
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Note: return "note";
+      case Severity::Perf: return "perf";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+Severity
+ruleSeverity(Rule r)
+{
+    switch (r) {
+      case Rule::RedundantWriteback: return Severity::Perf;
+      case Rule::DuplicateTxAdd: return Severity::Perf;
+      case Rule::FlushUnmodified: return Severity::Perf;
+      case Rule::FenceNoPending: return Severity::Note;
+      case Rule::UnpersistedAtExit: return Severity::Error;
+      case Rule::CommitFenceMissing: return Severity::Error;
+      case Rule::EpochOrder: return Severity::Warning;
+    }
+    return Severity::Note;
+}
+
+bool
+parseRuleList(const std::string &csv, std::uint32_t &mask,
+              std::string *err)
+{
+    if (csv.empty() || csv == "all") {
+        mask = allRules;
+        return true;
+    }
+    mask = 0;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        std::string tok = csv.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (tok.empty())
+            continue;
+        bool found = false;
+        for (std::size_t i = 0; i < ruleCount; i++) {
+            auto r = static_cast<Rule>(i);
+            if (tok == ruleId(r) || tok == ruleName(r)) {
+                mask |= ruleBit(r);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            if (err) {
+                *err = strprintf(
+                    "unknown lint rule \"%s\" (expected \"all\", "
+                    "XL01..XL0%zu, or rule names)",
+                    tok.c_str(), ruleCount);
+            }
+            return false;
+        }
+    }
+    if (mask == 0) {
+        if (err)
+            *err = "empty lint rule list";
+        return false;
+    }
+    return true;
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::string s = strprintf(
+        "[%s %s] %s at %s:%u (%s), seq %u, addr %#llx+%u",
+        ruleId(rule), severityName(ruleSeverity(rule)), note.c_str(),
+        loc.file, loc.line, loc.func, seq,
+        static_cast<unsigned long long>(addr), size);
+    if (relatedSeq != noSeq) {
+        s += strprintf("; first at %s:%u, seq %u", related.file,
+                       related.line, relatedSeq);
+    }
+    return s;
+}
+
+std::string
+renderText(const LintReport &rep)
+{
+    std::string s = strprintf("=== xfd-lint: %zu diagnostic(s) ===\n",
+                              rep.diagnostics.size());
+    for (const auto &d : rep.diagnostics)
+        s += d.str() + "\n";
+
+    std::string hits;
+    for (std::size_t i = 0; i < ruleCount; i++) {
+        auto r = static_cast<Rule>(i);
+        if (!(rep.rules & ruleBit(r)) || rep.hits[i] == 0)
+            continue;
+        if (!hits.empty())
+            hits += ", ";
+        hits += strprintf("%s=%zu", ruleId(r), rep.hits[i]);
+    }
+    s += strprintf("rule hits: %s\n",
+                   hits.empty() ? "none" : hits.c_str());
+
+    if (rep.pointsConsidered) {
+        s += strprintf(
+            "prunable failure points: %zu/%zu (%.1f%%)\n",
+            rep.prune.pruned.size(), rep.pointsConsidered,
+            100.0 * rep.prune.pruneRatio());
+    }
+    return s;
+}
+
+namespace
+{
+
+void
+writeLoc(obs::JsonWriter &w, const trace::SrcLoc &loc)
+{
+    w.beginObject();
+    w.field("file", loc.file);
+    w.field("line", static_cast<std::uint64_t>(loc.line));
+    w.field("func", loc.func);
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeLintJson(const LintReport &rep, obs::JsonWriter &w)
+{
+    w.beginObject();
+    w.field("schema", "xfd-lint-v1");
+
+    w.key("diagnostics").beginArray();
+    for (const auto &d : rep.diagnostics) {
+        w.beginObject();
+        w.field("rule", ruleId(d.rule));
+        w.field("name", ruleName(d.rule));
+        w.field("severity", severityName(ruleSeverity(d.rule)));
+        w.field("addr",
+                strprintf("%#llx",
+                          static_cast<unsigned long long>(d.addr)));
+        w.field("size", static_cast<std::uint64_t>(d.size));
+        w.field("seq", static_cast<std::uint64_t>(d.seq));
+        w.key("loc");
+        writeLoc(w, d.loc);
+        if (d.relatedSeq != Diagnostic::noSeq) {
+            w.field("related_seq",
+                    static_cast<std::uint64_t>(d.relatedSeq));
+            w.key("related");
+            writeLoc(w, d.related);
+        }
+        w.field("note", d.note);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("hits").beginObject();
+    for (std::size_t i = 0; i < ruleCount; i++) {
+        auto r = static_cast<Rule>(i);
+        if (rep.rules & ruleBit(r)) {
+            w.field(ruleId(r),
+                    static_cast<std::uint64_t>(rep.hits[i]));
+        }
+    }
+    w.endObject();
+
+    w.key("prune").beginObject();
+    w.field("points",
+            static_cast<std::uint64_t>(rep.pointsConsidered));
+    w.field("kept", static_cast<std::uint64_t>(rep.prune.kept.size()));
+    w.field("pruned",
+            static_cast<std::uint64_t>(rep.prune.pruned.size()));
+    w.field("ratio", rep.prune.pruneRatio());
+    w.key("pruned_points").beginArray();
+    for (const auto &p : rep.prune.pruned) {
+        w.beginObject();
+        w.field("fp", static_cast<std::uint64_t>(p.fp));
+        w.field("kept_rep", static_cast<std::uint64_t>(p.keptRep));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    w.endObject();
+}
+
+} // namespace xfd::lint

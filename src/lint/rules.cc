@@ -1,0 +1,231 @@
+/**
+ * @file
+ * The lint rule engine: one forward walk over the pre-failure trace,
+ * consulting the frontier dataflow state *before* each entry applies.
+ *
+ * Reporting mirrors the dynamic detector's conventions: a diagnostic
+ * is only emitted for operations the detector would report on (inside
+ * the RoI, outside library internals, outside skipDetection regions),
+ * and identical diagnostics for the same (rule, address, seq) key are
+ * deduplicated, so the lint output of a trace is the same no matter
+ * how many times or on how many driver threads it is replayed.
+ */
+
+#include <cstring>
+#include <set>
+#include <tuple>
+
+#include "common/logging.hh"
+#include "lint/frontier.hh"
+#include "lint/lint.hh"
+#include "trace/iter.hh"
+#include "trace/runtime.hh"
+
+namespace xfd::lint
+{
+
+namespace
+{
+
+/** Would the dynamic detector report on this entry? */
+bool
+detectable(const trace::TraceEntry &e)
+{
+    return e.has(trace::flagInRoi) && !e.has(trace::flagInternal) &&
+           !e.has(trace::flagSkipDetection);
+}
+
+/** An open TX_ADD range with the site that registered it. */
+struct OpenAdd
+{
+    AddrRange range;
+    std::uint32_t seq;
+    trace::SrcLoc loc;
+};
+
+/** Collects diagnostics with (rule, addr, seq) deduplication. */
+class DiagSink
+{
+  public:
+    DiagSink(LintReport &r, std::uint32_t rules) : rep(r), mask(rules) {}
+
+    bool enabled(Rule r) const { return (mask & ruleBit(r)) != 0; }
+
+    void
+    report(Diagnostic d)
+    {
+        if (!enabled(d.rule))
+            return;
+        if (!seen.emplace(static_cast<int>(d.rule), d.addr, d.seq)
+                 .second) {
+            return;
+        }
+        rep.hits[static_cast<std::size_t>(d.rule)]++;
+        rep.diagnostics.push_back(std::move(d));
+    }
+
+  private:
+    LintReport &rep;
+    std::uint32_t mask;
+    std::set<std::tuple<int, Addr, std::uint32_t>> seen;
+};
+
+Diagnostic
+makeDiag(Rule rule, const trace::TraceEntry &e, std::string note)
+{
+    Diagnostic d;
+    d.rule = rule;
+    d.addr = e.addr;
+    d.size = e.size;
+    d.seq = e.seq;
+    d.loc = e.loc;
+    d.note = std::move(note);
+    return d;
+}
+
+} // namespace
+
+LintReport
+runLint(const trace::TraceBuffer &pre, const LintConfig &cfg,
+        const std::vector<std::uint32_t> *plannedPoints)
+{
+    using trace::Op;
+
+    LintReport rep;
+    rep.rules = cfg.rules;
+    DiagSink sink(rep, cfg.rules);
+
+    FrontierState st(cfg.granularity);
+    std::vector<OpenAdd> openAdds;
+
+    for (const auto &e : pre) {
+        switch (e.op) {
+          case Op::Write:
+          case Op::NtWrite: {
+            if (e.has(trace::flagImageOnly) || !detectable(e))
+                break;
+            if (sink.enabled(Rule::CommitFenceMissing) &&
+                st.isCommitVarAddr(e.addr) && st.dataInFlight()) {
+                sink.report(makeDiag(
+                    Rule::CommitFenceMissing, e,
+                    "commit write while guarded data is not yet "
+                    "durable; fence the data first"));
+            }
+            if (sink.enabled(Rule::EpochOrder) &&
+                !st.isCommitVarAddr(e.addr) &&
+                st.rangePending(e.addr, e.size)) {
+                sink.report(makeDiag(
+                    Rule::EpochOrder, e,
+                    "write to a line already flushed in this epoch; "
+                    "the earlier writeback will not cover it"));
+            }
+            break;
+          }
+          case Op::Clwb:
+          case Op::ClflushOpt:
+          case Op::Clflush: {
+            if (!detectable(e))
+                break;
+            if (st.lineHasState(e.addr, CellState::Modified))
+                break;
+            if (st.lineTracked(e.addr)) {
+                sink.report(makeDiag(
+                    Rule::RedundantWriteback, e,
+                    "redundant writeback: no modified data in line"));
+            } else {
+                sink.report(makeDiag(
+                    Rule::FlushUnmodified, e,
+                    "flush of a line with no tracked PM writes"));
+            }
+            break;
+          }
+          case Op::Sfence:
+          case Op::Mfence:
+            if (detectable(e) && !st.fenceWouldRetire()) {
+                sink.report(makeDiag(
+                    Rule::FenceNoPending, e,
+                    "fence with no pending writebacks to retire"));
+            }
+            break;
+          case Op::TxAdd: {
+            AddrRange r{e.addr, e.addr + e.size};
+            const OpenAdd *covering = nullptr;
+            for (const auto &prev : openAdds) {
+                if (prev.range.begin <= r.begin &&
+                    r.end <= prev.range.end) {
+                    covering = &prev;
+                    break;
+                }
+            }
+            if (covering) {
+                if (detectable(e)) {
+                    Diagnostic d = makeDiag(
+                        Rule::DuplicateTxAdd, e,
+                        "duplicated TX_ADD of the same PM object");
+                    d.relatedSeq = covering->seq;
+                    d.related = covering->loc;
+                    sink.report(std::move(d));
+                }
+            } else {
+                openAdds.push_back(OpenAdd{r, e.seq, e.loc});
+            }
+            break;
+          }
+          case Op::LibCall:
+            if (trace::isTxBoundary(e))
+                openAdds.clear();
+            break;
+          default:
+            break;
+        }
+        st.apply(e);
+    }
+
+    // XL05: cells still in flight once the trace ends, grouped by
+    // writer location (one loop writing many cells is one diagnostic).
+    if (sink.enabled(Rule::UnpersistedAtExit)) {
+        struct Group
+        {
+            Addr first;
+            std::size_t cellCount;
+            std::uint32_t seq;
+            trace::SrcLoc loc;
+        };
+        std::map<std::pair<std::string, unsigned>, Group> groups;
+        st.forEachInFlight([&](Addr a, const FrontierCell &c) {
+            if (c.uninit)
+                return; // allocated-but-never-written is not a write
+            auto key = std::make_pair(std::string(c.writer.file),
+                                      c.writer.line);
+            auto [it, fresh] = groups.emplace(
+                key, Group{a, 0, c.writerSeq, c.writer});
+            it->second.cellCount++;
+            if (!fresh && c.writerSeq < it->second.seq) {
+                it->second.seq = c.writerSeq;
+                it->second.first = std::min(it->second.first, a);
+            }
+        });
+        for (const auto &[key, g] : groups) {
+            Diagnostic d;
+            d.rule = Rule::UnpersistedAtExit;
+            d.addr = g.first;
+            d.size = static_cast<std::uint32_t>(
+                g.cellCount * st.granularity());
+            d.seq = g.seq;
+            d.loc = g.loc;
+            d.note = strprintf("%zu cell(s) written here never reach "
+                               "durability before the trace ends",
+                               g.cellCount);
+            sink.report(std::move(d));
+        }
+    }
+
+    if (plannedPoints) {
+        rep.pointsConsidered = plannedPoints->size();
+        rep.prune =
+            computePruneVerdicts(pre, *plannedPoints, cfg.granularity);
+    }
+    return rep;
+}
+
+} // namespace xfd::lint

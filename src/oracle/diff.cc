@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "common/logging.hh"
+#include "lint/lint.hh"
 #include "obs/json.hh"
 #include "trace/serialize.hh"
 
@@ -101,14 +102,20 @@ DiffReport::summary() const
         failurePoints, disagreements, agreementRate(), agreements,
         failurePoints, statesEnumerated, candidatesRun,
         subsetsSampled, extrasExplained, extrasUnexplained);
+    if (prunedRechecked) {
+        s += strprintf("lint-pruned points re-checked against their "
+                       "kept representatives: %zu\n",
+                       prunedRechecked);
+    }
     for (const auto &a : perFp) {
         if (a.agree)
             continue;
         s += strprintf("  DISAGREE fp#%u: detector %s oracle %s "
-                       "(frontier %zu%s)\n",
+                       "(frontier %zu%s%s)\n",
                        a.fp, classSetStr(a.detectorClasses).c_str(),
                        classSetStr(a.oracleClasses).c_str(),
-                       a.frontier, a.sampled ? ", sampled" : "");
+                       a.frontier, a.sampled ? ", sampled" : "",
+                       a.prunedRecheck ? ", pruned" : "");
     }
     for (const auto &p : artifacts)
         s += strprintf("  artifact: %s\n", p.c_str());
@@ -171,9 +178,20 @@ runDifferentialCampaign(pm::PmPool &pool, const core::ProgramFn &pre,
     obsv->onFailurePoint = std::move(savedFp);
 
     // The plan is deterministic over (trace, config); re-derive it so
-    // the oracle visits exactly the points the detector failed at.
+    // the oracle visits exactly the points the detector failed at —
+    // including, under --lint-prune, the points the detector skipped:
+    // the oracle runs those for real and their anchor classes must
+    // match what the detector reported at the kept representative.
     core::FailurePlan plan = core::planFailurePoints(preTrace, dcfg);
     rep.failurePoints = plan.points.size();
+
+    std::map<std::uint32_t, std::uint32_t> prunedRep;
+    if (dcfg.lintPrune && !plan.points.empty()) {
+        lint::PruneVerdicts v = lint::computePruneVerdicts(
+            preTrace, plan.points, dcfg.granularity);
+        for (const auto &p : v.pruned)
+            prunedRep[p.fp] = p.keptRep;
+    }
 
     OracleConfig ocfg;
     ocfg.exhaustive = cfg.exhaustive;
@@ -189,7 +207,14 @@ runDifferentialCampaign(pm::PmPool &pool, const core::ProgramFn &pre,
 
         FpAgreement a;
         a.fp = fp;
-        auto it = detectorByFp.find(fp);
+        auto pruned = prunedRep.find(fp);
+        std::uint32_t detectorFp =
+            pruned == prunedRep.end() ? fp : pruned->second;
+        if (pruned != prunedRep.end()) {
+            a.prunedRecheck = true;
+            rep.prunedRechecked++;
+        }
+        auto it = detectorByFp.find(detectorFp);
         if (it != detectorByFp.end())
             a.detectorClasses = it->second;
         a.oracleClasses = ores.anchorClasses();
@@ -273,6 +298,9 @@ exportOracleStats(obs::StatsRegistry &reg, const DiffReport &r)
     set("campaign.oracle.candidates_run",
         "candidate recovery executions",
         static_cast<double>(r.candidatesRun));
+    set("campaign.oracle.pruned_rechecked",
+        "lint-pruned points the oracle re-checked",
+        static_cast<double>(r.prunedRechecked));
     set("campaign.oracle.agreements",
         "failure points where detector and oracle classes match",
         static_cast<double>(r.agreements));
@@ -317,6 +345,8 @@ oracleJsonSection(const DiffReport &r)
                     static_cast<std::uint64_t>(r.subsetsSampled));
             w.field("candidates_run",
                     static_cast<std::uint64_t>(r.candidatesRun));
+            w.field("pruned_rechecked",
+                    static_cast<std::uint64_t>(r.prunedRechecked));
             w.field("extras_explained",
                     static_cast<std::uint64_t>(r.extrasExplained));
             w.field("extras_unexplained",

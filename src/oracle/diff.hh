@@ -99,6 +99,15 @@ struct FpAgreement
     /** detectorClasses == oracleClasses. */
     bool agree = false;
 
+    /**
+     * The detector pruned this point (--lint-prune); detectorClasses
+     * holds the classes of its kept representative, which the prune
+     * rule guarantees are the classes this point would have produced.
+     * The oracle runs the pruned point for real, so a disagreement
+     * here falsifies the rule, not just the detector.
+     */
+    bool prunedRecheck = false;
+
     /** Classes only partial candidates produced (attributed). */
     std::set<core::BugType> extras;
 };
@@ -120,6 +129,9 @@ struct DiffReport
 
     /** Candidate recovery executions in total. */
     std::size_t candidatesRun = 0;
+
+    /** Points the detector pruned and the oracle re-checked. */
+    std::size_t prunedRechecked = 0;
 
     /** Partial-candidate extra classes, by attribution. */
     std::size_t extrasExplained = 0;

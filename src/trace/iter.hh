@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Read-only iteration helpers over trace entries, shared by the
+ * failure planner, the driver and the lint pass so their notions of
+ * "PM mutation", "transaction boundary" and cache-line coverage
+ * cannot drift apart.
+ */
+
+#ifndef XFD_TRACE_ITER_HH
+#define XFD_TRACE_ITER_HH
+
+#include <cstring>
+#include <initializer_list>
+
+#include "trace/buffer.hh"
+#include "trace/entry.hh"
+#include "trace/runtime.hh"
+
+namespace xfd::trace
+{
+
+/**
+ * Does @p e mutate detectable PM state? This is the failure planner's
+ * elision predicate: an interval between ordering points with no such
+ * entry cannot change what a failure exposes.
+ */
+inline bool
+isPmMutation(const TraceEntry &e)
+{
+    return (e.isWrite() || e.isFlush() || e.op == Op::TxAdd ||
+            e.op == Op::Alloc || e.op == Op::Free) &&
+           !e.has(flagImageOnly);
+}
+
+/**
+ * Is @p e a transaction-boundary library call (tx_begin / tx_commit /
+ * tx_abort)? These reset per-transaction analysis state, e.g. the
+ * open TX_ADD set of the duplicate-snapshot checks.
+ */
+inline bool
+isTxBoundary(const TraceEntry &e)
+{
+    return e.op == Op::LibCall &&
+           (std::strcmp(e.label, labels::txBegin) == 0 ||
+            std::strcmp(e.label, labels::txCommit) == 0 ||
+            std::strcmp(e.label, labels::txAbort) == 0);
+}
+
+/**
+ * Visit the base address of every cache line covered by
+ * [@p addr, @p addr + @p size).
+ */
+template <typename Fn>
+void
+forEachLine(Addr addr, std::size_t size, Fn &&fn)
+{
+    if (size == 0)
+        return;
+    Addr last = lineBase(addr + size - 1);
+    for (Addr l = lineBase(addr); l <= last; l += cacheLineSize)
+        fn(l);
+}
+
+/**
+ * Visit every entry of @p buf whose op is one of @p ops, in trace
+ * order.
+ */
+template <typename Fn>
+void
+forEachOp(const TraceBuffer &buf, std::initializer_list<Op> ops,
+          Fn &&fn)
+{
+    for (const auto &e : buf) {
+        for (Op op : ops) {
+            if (e.op == op) {
+                fn(e);
+                break;
+            }
+        }
+    }
+}
+
+} // namespace xfd::trace
+
+#endif // XFD_TRACE_ITER_HH

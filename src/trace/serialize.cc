@@ -32,6 +32,25 @@ get(std::istream &in)
     return v;
 }
 
+/**
+ * Absolute end position of @p in, or ~0 when the stream is not
+ * seekable (a pipe): length fields then fall back to the fixed
+ * plausibility caps instead of exact stream-bounded validation.
+ */
+std::uint64_t
+streamEndPos(std::istream &in)
+{
+    std::istream::pos_type cur = in.tellg();
+    if (cur == std::istream::pos_type(-1))
+        return ~std::uint64_t{0};
+    in.seekg(0, std::ios::end);
+    std::istream::pos_type end = in.tellg();
+    in.seekg(cur);
+    if (end == std::istream::pos_type(-1))
+        return ~std::uint64_t{0};
+    return static_cast<std::uint64_t>(end);
+}
+
 } // namespace
 
 void
@@ -95,16 +114,33 @@ readTrace(std::istream &in)
         throw std::runtime_error("unsupported trace version");
 
     LoadedTrace loaded;
+
+    // Every variable-length field is validated against the bytes
+    // actually left in the stream *before* its buffer is allocated:
+    // a fuzzed length that is individually plausible must still fail
+    // when it overflows the stream. Unseekable streams keep only the
+    // fixed caps.
+    std::uint64_t stream_end = streamEndPos(in);
+    auto remaining = [&]() -> std::uint64_t {
+        if (stream_end == ~std::uint64_t{0})
+            return ~std::uint64_t{0};
+        std::istream::pos_type cur = in.tellg();
+        if (cur == std::istream::pos_type(-1))
+            return ~std::uint64_t{0};
+        auto c = static_cast<std::uint64_t>(cur);
+        return c >= stream_end ? 0 : stream_end - c;
+    };
+
     std::uint32_t nstrings = get<std::uint32_t>(in);
     // Each interned string needs at least its length field in the
     // stream; a fuzzed count must fail before the table allocation.
-    if (nstrings > (1u << 24))
+    if (nstrings > (1u << 24) || nstrings > remaining() / 4)
         throw std::runtime_error("implausible string count");
     std::vector<const char *> table;
     table.reserve(nstrings);
     for (std::uint32_t i = 0; i < nstrings; i++) {
         std::uint32_t len = get<std::uint32_t>(in);
-        if (len > (1u << 20))
+        if (len > (1u << 20) || len > remaining())
             throw std::runtime_error("oversized interned string");
         std::string s(len, '\0');
         in.read(s.data(), len);
@@ -123,7 +159,10 @@ readTrace(std::istream &in)
     std::uint32_t count = get<std::uint32_t>(in);
     for (std::uint32_t i = 0; i < count; i++) {
         TraceEntry e;
-        e.op = static_cast<Op>(get<std::uint8_t>(in));
+        std::uint8_t op = get<std::uint8_t>(in);
+        if (op >= opCount)
+            throw std::runtime_error("bad trace op kind");
+        e.op = static_cast<Op>(op);
         e.flags = get<std::uint16_t>(in);
         e.size = get<std::uint32_t>(in);
         e.addr = get<Addr>(in);
@@ -134,7 +173,7 @@ readTrace(std::istream &in)
         e.loc.func = lookup(get<std::uint32_t>(in));
         e.label = lookup(get<std::uint32_t>(in));
         std::uint32_t dlen = get<std::uint32_t>(in);
-        if (dlen > (1u << 24))
+        if (dlen > (1u << 24) || dlen > remaining())
             throw std::runtime_error("oversized data payload");
         e.data.resize(dlen);
         in.read(reinterpret_cast<char *>(e.data.data()), dlen);

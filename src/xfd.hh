@@ -192,6 +192,25 @@ class Campaign
         return *this;
     }
 
+    /**
+     * Enable the static lint pass: "all" or a comma list of rule ids
+     * (XL01..XL07) or names. Reporting only; see lint::runLint.
+     */
+    Campaign &
+    lintRules(const std::string &rules)
+    {
+        cfg.lintRules = rules;
+        return *this;
+    }
+
+    /** Skip statically redundant failure points (see --lint-prune). */
+    Campaign &
+    lintPrune(bool on = true)
+    {
+        cfg.lintPrune = on;
+        return *this;
+    }
+
     /** @} */
 
     /** Attach observability sinks; must outlive run(). */

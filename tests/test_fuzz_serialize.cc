@@ -172,6 +172,107 @@ TEST(FuzzSerialize, CorruptHeadersAreRejected)
     }
 }
 
+/** readTrace's failure message for @p bytes, or "" if it succeeded. */
+std::string
+rejectionMessage(const std::string &bytes)
+{
+    std::stringstream in(bytes);
+    try {
+        trace::readTrace(in);
+    } catch (const std::runtime_error &e) {
+        return e.what();
+    }
+    return "";
+}
+
+TEST(FuzzSerialize, PlausibleLengthsBeyondStreamEndAreRejected)
+{
+    // A deterministic single-entry trace so the variable-length fields
+    // sit at known offsets: one Write with 8 data bytes means the
+    // entry occupies the last 55 bytes and its dlen field the 4 bytes
+    // before the payload.
+    TraceBuffer buf;
+    TraceEntry e;
+    e.op = Op::Write;
+    e.addr = defaultPoolBase;
+    e.size = 8;
+    e.loc.file = "f.cc";
+    e.loc.func = "fn";
+    e.loc.line = 7;
+    e.label = "";
+    e.data = {1, 2, 3, 4, 5, 6, 7, 8};
+    buf.append(std::move(e));
+    std::stringstream ss;
+    trace::writeTrace(buf, ss);
+    const std::string bytes = ss.str();
+
+    {
+        // Data length under the fixed 16 MiB cap but far past the end
+        // of the stream: must be rejected by the stream-bound check,
+        // before the payload buffer is allocated — not by a failed
+        // read afterwards.
+        std::string bad = bytes;
+        std::uint32_t dlen = 1u << 20;
+        std::memcpy(&bad[bad.size() - 12], &dlen, sizeof(dlen));
+        EXPECT_EQ(rejectionMessage(bad), "oversized data payload");
+    }
+    {
+        // Interned-string length under the 1 MiB cap but larger than
+        // the whole file (first length field sits right after the
+        // 12-byte header).
+        std::string bad = bytes;
+        std::uint32_t slen = 4096;
+        std::memcpy(&bad[12], &slen, sizeof(slen));
+        EXPECT_EQ(rejectionMessage(bad), "oversized interned string");
+    }
+    {
+        // String count under the count cap but needing more length
+        // fields than bytes remain.
+        std::string bad = bytes;
+        std::uint32_t n = 1u << 16;
+        std::memcpy(&bad[8], &n, sizeof(n));
+        EXPECT_EQ(rejectionMessage(bad), "implausible string count");
+    }
+    {
+        // Structurally intact entry with an out-of-range op kind.
+        std::string bad = bytes;
+        bad[bad.size() - 55] = '\x7f';
+        EXPECT_EQ(rejectionMessage(bad), "bad trace op kind");
+    }
+    {
+        // The unmodified bytes still parse, proving the offsets above
+        // hit the intended fields rather than tripping other guards.
+        EXPECT_EQ(rejectionMessage(bytes), "");
+    }
+}
+
+TEST(FuzzSerialize, FuzzedLengthFieldsNeverCrash)
+{
+    // Sweep every 4-byte-aligned offset of a valid stream, splatting a
+    // "plausible but huge" length there: whatever field that lands on,
+    // the reader must either reject cleanly or produce a well-formed
+    // trace — never crash or over-allocate into an OOM kill.
+    TraceBuffer buf = randomTrace(11, 24);
+    std::stringstream ss;
+    trace::writeTrace(buf, ss);
+    const std::string bytes = ss.str();
+
+    const std::uint32_t patterns[] = {1u << 12, 1u << 19, 1u << 23};
+    for (std::uint32_t pat : patterns) {
+        for (std::size_t off = 8; off + 4 <= bytes.size(); off += 4) {
+            std::string bad = bytes;
+            std::memcpy(&bad[off], &pat, sizeof(pat));
+            std::stringstream in(bad);
+            try {
+                LoadedTrace loaded = trace::readTrace(in);
+                (void)loaded;
+            } catch (const std::runtime_error &) {
+                // Clean rejection is the expected common case.
+            }
+        }
+    }
+}
+
 TEST(FuzzSerializeReplay, ReplayFromEnv)
 {
     std::uint64_t s = 0;

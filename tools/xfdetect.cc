@@ -31,6 +31,7 @@
 #include "bugsuite/registry.hh"
 #include "core/config_flags.hh"
 #include "core/prefailure_checker.hh"
+#include "lint/lint.hh"
 #include "mutate/campaign.hh"
 #include "obs/progress.hh"
 #include "oracle/diff.hh"
@@ -76,6 +77,8 @@ usage()
         "trace_event format\n"
         "                         to <f> (load in chrome://tracing)\n"
         "  --report-json <f>      write the findings as JSON to <f>\n"
+        "  --lint-json <f>        write the lint report as JSON to <f>\n"
+        "                         (implies --lint when not given)\n"
         "  --quiet                suppress info output\n"
         "  --list-workloads       print workload names and exit\n"
         "  --list-bugs [wl]       print bug ids (optionally for one "
@@ -119,6 +122,7 @@ main(int argc, char **argv)
     std::string stats_json_path;
     std::string trace_events_path;
     std::string report_json_path;
+    std::string lint_json_path;
 
     auto need_value = [&](int &i) -> const char * {
         if (i + 1 >= argc) {
@@ -174,6 +178,8 @@ main(int argc, char **argv)
             trace_events_path = need_value(i);
         } else if (!std::strcmp(a, "--report-json")) {
             report_json_path = need_value(i);
+        } else if (!std::strcmp(a, "--lint-json")) {
+            lint_json_path = need_value(i);
         } else if (!std::strcmp(a, "--quiet")) {
             setVerbose(false);
         } else {
@@ -203,6 +209,30 @@ main(int argc, char **argv)
             core::applyDetectorFlag(*d, dcfg, value);
         }
     }
+
+    bool lint_on = !dcfg.lintRules.empty() || !lint_json_path.empty();
+    lint::LintConfig lcfg;
+    lcfg.granularity = dcfg.granularity;
+    if (lint_on) {
+        std::string err;
+        if (!lint::parseRuleList(dcfg.lintRules, lcfg.rules, &err)) {
+            std::fprintf(stderr, "--lint: %s\n", err.c_str());
+            return 2;
+        }
+    }
+    auto write_lint_json = [&](const lint::LintReport &lrep) -> bool {
+        std::ofstream out(lint_json_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         lint_json_path.c_str());
+            return false;
+        }
+        obs::JsonWriter w(out);
+        lint::writeLintJson(lrep, w);
+        out << '\n';
+        inform("wrote lint report to %s", lint_json_path.c_str());
+        return true;
+    };
 
     if (!analyze_trace_path.empty()) {
         // Offline analysis of a dumped trace: the decoupled-backend
@@ -244,6 +274,14 @@ main(int argc, char **argv)
             std::printf("baseline findings: %zu\n", findings.size());
             for (const auto &f : findings)
                 std::printf("%s\n", f.str().c_str());
+        }
+        if (lint_on) {
+            core::FailurePlan plan = core::planFailurePoints(buf, dcfg);
+            lint::LintReport lrep =
+                lint::runLint(buf, lcfg, &plan.points);
+            std::printf("%s", lint::renderText(lrep).c_str());
+            if (!lint_json_path.empty() && !write_lint_json(lrep))
+                return 2;
         }
         return 0;
     }
@@ -299,6 +337,21 @@ main(int argc, char **argv)
                               std::size_t bugs) {
         meter.update(done, total, bugs);
     };
+
+    // Lint consumes the campaign's own pre-failure trace, captured
+    // through the observer hook — the pre stage is never re-run.
+    trace::TraceBuffer lint_trace;
+    if (lint_on && !dcfg.mutateOps.empty()) {
+        warn("--lint is ignored in --mutate mode (each mutant traces "
+             "differently; lint one configuration at a time)");
+        lint_on = false;
+    }
+    if (lint_on) {
+        obs.onPreTraceReady = [&lint_trace](
+                                  const trace::TraceBuffer &b) {
+            lint_trace = b;
+        };
+    }
 
     core::CampaignResult res;
     std::vector<core::JsonSection> extra;
@@ -395,6 +448,23 @@ main(int argc, char **argv)
         // (1) and usage errors (2).
         if (!orep.clean())
             exit_code = 3;
+    }
+
+    // Static lint over the captured pre-trace: prunability verdicts
+    // are computed against the full (unpruned) failure plan so the
+    // report shows what --lint-prune would skip even when it is off.
+    lint::LintReport lrep;
+    if (lint_on) {
+        core::FailurePlan lplan =
+            core::planFailurePoints(lint_trace, dcfg);
+        lrep = lint::runLint(lint_trace, lcfg, &lplan.points);
+        std::printf("%s", lint::renderText(lrep).c_str());
+        extra.push_back(core::JsonSection{
+            "lint", [&lrep](obs::JsonWriter &w) {
+                lint::writeLintJson(lrep, w);
+            }});
+        if (!lint_json_path.empty() && !write_lint_json(lrep))
+            return 2;
     }
 
     auto open_out = [](const std::string &path,
