@@ -75,6 +75,29 @@ printTables()
     }
     rule();
 
+    std::printf("\n=== Figure 12a addendum: phase attribution "
+                "(ms per campaign) ===\n");
+    rule();
+    std::printf("%-16s %9s %7s %9s %9s %9s %7s\n", "workload",
+                "capture", "plan", "restore", "recexec", "classify",
+                "attrib");
+    rule();
+    for (const auto &row : rows) {
+        std::printf("%-16s %9.3f %7.3f %9.3f %9.3f %9.3f %6.1f%%\n",
+                    row.name.c_str(),
+                    row.t.phaseSeconds(obs::Phase::TraceCapture) * 1e3,
+                    row.t.phaseSeconds(obs::Phase::Plan) * 1e3,
+                    row.t.phaseSeconds(obs::Phase::Restore) * 1e3,
+                    row.t.phaseSeconds(obs::Phase::RecoveryExec) * 1e3,
+                    row.t.phaseSeconds(obs::Phase::Classify) * 1e3,
+                    row.t.backendAttribution() * 100);
+    }
+    rule();
+    std::printf("attrib = share of the backend(ms) column the "
+                "restore+classify phases account\nfor; the profiler "
+                "wraps exactly the intervals that feed that counter, "
+                "so this\nshould sit at ~100%%.\n");
+
     std::printf("\n=== Figure 12b: slowdown over baselines ===\n");
     rule();
     std::printf("%-16s %16s %16s %14s\n", "workload", "vs trace-only",
@@ -115,6 +138,7 @@ printTables()
             w.field("failure_points",
                     static_cast<std::uint64_t>(
                         row.t.last.stats.failurePoints));
+            writePhaseBreakdownJson(w, row.t);
             w.field("trace_only_ms", row.traced * 1e3);
             w.field("original_ms", row.original * 1e3);
             w.field("slowdown_vs_trace",

@@ -45,6 +45,8 @@ printTable()
         std::size_t failpoints;
         pm::DeltaRestoreStats restore;
         std::uint64_t fullCopyBaseline; // bytes a full-copy run moves
+        std::array<double, obs::phaseCount> phaseSeconds;
+        double attribution; // backend share restore+classify explain
     };
     std::vector<std::pair<std::string, std::vector<Point>>> series;
 
@@ -59,9 +61,9 @@ printTable()
     for (const char *w : kMicro) {
         rule();
         std::printf("%s\n", w);
-        std::printf("  %-8s %10s %12s %14s %14s %10s\n", "#txns",
+        std::printf("  %-8s %10s %12s %14s %14s %10s %8s\n", "#txns",
                     "time(ms)", "#failpoints", "ms/failpoint",
-                    "restored(KB)", "of full");
+                    "restored(KB)", "of full", "attrib");
         std::vector<Point> points;
         for (unsigned txns : txn_set) {
             Timing t = timeCampaign(w, fig13Config(txns), {}, 1);
@@ -79,12 +81,14 @@ printTable()
                                     s.restore.bytesCopied()) /
                                     static_cast<double>(baseline)
                               : 0;
-            std::printf("  %-8u %10.2f %12zu %14.3f %14.1f %9.1f%%\n",
-                        txns, ms, fp, per,
-                        static_cast<double>(s.restore.bytesCopied()) /
-                            1024.0,
-                        frac * 100.0);
-            points.push_back({txns, ms, fp, s.restore, baseline});
+            std::printf(
+                "  %-8u %10.2f %12zu %14.3f %14.1f %9.1f%% %7.1f%%\n",
+                txns, ms, fp, per,
+                static_cast<double>(s.restore.bytesCopied()) / 1024.0,
+                frac * 100.0, t.backendAttribution() * 100.0);
+            points.push_back({txns, ms, fp, s.restore, baseline,
+                              t.meanPhaseSeconds,
+                              t.backendAttribution()});
         }
         series.emplace_back(w, std::move(points));
     }
@@ -111,6 +115,16 @@ printTable()
                         static_cast<std::uint64_t>(p.failpoints));
                 w.field("ms_per_failpoint",
                         p.failpoints ? p.ms / p.failpoints : 0.0);
+                w.key("phases_ms").beginObject();
+                for (std::size_t i = 0; i < obs::phaseCount; i++) {
+                    if (p.phaseSeconds[i] > 0) {
+                        w.field(
+                            obs::phaseName(static_cast<obs::Phase>(i)),
+                            p.phaseSeconds[i] * 1e3);
+                    }
+                }
+                w.endObject();
+                w.field("backend_attribution", p.attribution);
                 w.key("restore").beginObject();
                 w.field("full_copies", p.restore.fullCopies);
                 w.field("delta_restores", p.restore.deltaRestores);

@@ -9,6 +9,8 @@
 #ifndef XFD_BENCH_BENCH_UTIL_HH
 #define XFD_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +20,7 @@
 
 #include "common/logging.hh"
 #include "obs/json.hh"
+#include "obs/phase_profiler.hh"
 #include "workloads/workload.hh"
 #include "xfd.hh"
 
@@ -35,6 +38,28 @@ struct Timing
     double meanPreSeconds = 0;
     double meanPostSeconds = 0;
     double meanBackendSeconds = 0;
+    /** Mean seconds attributed to each obs::Phase. */
+    std::array<double, obs::phaseCount> meanPhaseSeconds{};
+
+    /** Mean seconds of one phase. */
+    double
+    phaseSeconds(obs::Phase p) const
+    {
+        return meanPhaseSeconds[static_cast<std::size_t>(p)];
+    }
+
+    /**
+     * Fraction of the backend component the profiler attributes to
+     * restore + classify (1 when there is no backend time at all).
+     */
+    double
+    backendAttribution() const
+    {
+        double attributed = phaseSeconds(obs::Phase::Restore) +
+                            phaseSeconds(obs::Phase::Classify);
+        double denom = std::max(meanBackendSeconds, attributed);
+        return denom > 0 ? attributed / denom : 1.0;
+    }
 };
 
 /** Run a detection campaign @p reps times and average the timings. */
@@ -56,13 +81,36 @@ timeCampaign(const std::string &workload,
         t.meanPreSeconds += res.stats.preSeconds;
         t.meanPostSeconds += res.stats.postSeconds;
         t.meanBackendSeconds += res.stats.backendSeconds;
+        for (std::size_t p = 0; p < obs::phaseCount; p++)
+            t.meanPhaseSeconds[p] += res.stats.phases.seconds[p];
         t.last = std::move(res);
     }
     t.meanTotalSeconds /= reps;
     t.meanPreSeconds /= reps;
     t.meanPostSeconds /= reps;
     t.meanBackendSeconds /= reps;
+    for (double &p : t.meanPhaseSeconds)
+        p /= reps;
     return t;
+}
+
+/**
+ * Emit the per-phase breakdown of @p t into the open JSON object:
+ * a "phases_ms" object (zero-time phases omitted) and the
+ * "backend_attribution" fraction.
+ */
+inline void
+writePhaseBreakdownJson(obs::JsonWriter &w, const Timing &t)
+{
+    w.key("phases_ms").beginObject();
+    for (std::size_t p = 0; p < obs::phaseCount; p++) {
+        if (t.meanPhaseSeconds[p] > 0) {
+            w.field(obs::phaseName(static_cast<obs::Phase>(p)),
+                    t.meanPhaseSeconds[p] * 1e3);
+        }
+    }
+    w.endObject();
+    w.field("backend_attribution", t.backendAttribution());
 }
 
 /** Time only the pre-failure stage in a baseline mode. */

@@ -17,6 +17,18 @@ bugTypeName(BugType t)
     return "?";
 }
 
+const char *
+bugTypeId(BugType t)
+{
+    switch (t) {
+      case BugType::CrossFailureRace: return "cross_failure_race";
+      case BugType::CrossFailureSemantic: return "cross_failure_semantic";
+      case BugType::Performance: return "performance";
+      case BugType::RecoveryFailure: return "recovery_failure";
+    }
+    return "unknown";
+}
+
 std::string
 BugReport::str() const
 {
@@ -59,6 +71,13 @@ BugSink::merge(const BugSink &other)
 {
     for (const auto &b : other.bugs())
         report(b);
+}
+
+void
+BugSink::annotate(const std::function<void(BugReport &)> &fn)
+{
+    for (auto &b : all)
+        fn(b);
 }
 
 std::size_t

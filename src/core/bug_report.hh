@@ -6,12 +6,14 @@
 #ifndef XFD_CORE_BUG_REPORT_HH
 #define XFD_CORE_BUG_REPORT_HH
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/types.hh"
 #include "trace/entry.hh"
+#include "trace/subset.hh"
 
 namespace xfd::core
 {
@@ -48,6 +50,9 @@ enum class BugType : std::uint8_t
 /** @return human-readable name of @p t. */
 const char *bugTypeName(BugType t);
 
+/** Stable identifier of @p t for JSON keys ("cross_failure_race"). */
+const char *bugTypeId(BugType t);
+
 /** One deduplicated finding. */
 struct BugReport
 {
@@ -66,6 +71,25 @@ struct BugReport
     /** How many reads/failure points hit this same bug. */
     unsigned occurrences = 1;
 
+    /**
+     * @name Finding provenance (the causal chain)
+     *
+     * Captured at the first failure point that exposed the finding:
+     * the in-flight (not-durably-persisted) write seqs at that point
+     * in ascending order, and which of them the post-failure image
+     * actually contained — bit i of the mask corresponds to
+     * frontierSeqs[i], the same identity the crash-state oracle uses
+     * for candidate images. Under the paper's footnote-3 all-updates
+     * image the mask is all ones; under --crash-image it is all
+     * zeros (in-flight means exactly "absent from the durable
+     * image"). Empty for findings that are not tied to a failure
+     * point (performance bugs from the full-trace scan).
+     * @{
+     */
+    std::vector<std::uint32_t> frontierSeqs;
+    trace::SubsetMask persistedMask;
+    /** @} */
+
     /** One-line rendering, paper-style (file:line of reader/writer). */
     std::string str() const;
 };
@@ -82,6 +106,13 @@ class BugSink
 
     /** Fold another sink's findings into this one. */
     void merge(const BugSink &other);
+
+    /**
+     * Apply @p fn to every collected finding — for annotating
+     * non-key fields (provenance) in place. Mutating a dedup-key
+     * field (type, reader, writer, note) would desync the index.
+     */
+    void annotate(const std::function<void(BugReport &)> &fn);
 
     const std::vector<BugReport> &bugs() const { return all; }
 

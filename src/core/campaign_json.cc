@@ -3,6 +3,7 @@
 #include "common/logging.hh"
 #include "core/config_flags.hh"
 #include "obs/json.hh"
+#include "obs/phase_profiler.hh"
 
 namespace xfd::core
 {
@@ -21,9 +22,10 @@ writeSrcLoc(obs::JsonWriter &w, const trace::SrcLoc &loc)
 }
 
 void
-writeBug(obs::JsonWriter &w, const BugReport &b)
+writeBug(obs::JsonWriter &w, const BugReport &b, std::size_t idx)
 {
     w.beginObject();
+    w.field("id", strprintf("F%zu", idx + 1));
     w.field("type", bugTypeId(b.type));
     w.field("addr", strprintf("%#llx",
                               static_cast<unsigned long long>(b.addr)));
@@ -35,22 +37,21 @@ writeBug(obs::JsonWriter &w, const BugReport &b)
     w.field("failure_point", static_cast<std::uint64_t>(b.failurePoint));
     w.field("occurrences", static_cast<std::uint64_t>(b.occurrences));
     w.field("note", b.note);
+    if (!b.frontierSeqs.empty()) {
+        w.key("provenance").beginObject();
+        w.field("frontier_size",
+                static_cast<std::uint64_t>(b.frontierSeqs.size()));
+        w.key("frontier_seqs").beginArray();
+        for (std::uint32_t seq : b.frontierSeqs)
+            w.value(static_cast<std::uint64_t>(seq));
+        w.endArray();
+        w.field("persisted_mask", b.persistedMask.toHex());
+        w.endObject();
+    }
     w.endObject();
 }
 
 } // namespace
-
-const char *
-bugTypeId(BugType t)
-{
-    switch (t) {
-      case BugType::CrossFailureRace: return "cross_failure_race";
-      case BugType::CrossFailureSemantic: return "cross_failure_semantic";
-      case BugType::Performance: return "performance";
-      case BugType::RecoveryFailure: return "recovery_failure";
-    }
-    return "unknown";
-}
 
 void
 writeStatsJson(const CampaignResult &res,
@@ -97,6 +98,10 @@ writeStatsJson(const CampaignResult &res, const DetectorConfig *cfg,
     w.field("post_seconds", s.postSeconds);
     w.field("backend_seconds", s.backendSeconds);
     w.field("total_seconds", s.totalSeconds());
+    w.key("phases");
+    obs::writePhaseJson(s.phases, w);
+    w.field("backend_attribution",
+            s.phases.attributionOf(s.backendSeconds));
     w.endObject();
 
     // Exec-pool restore volume (delta-image engine accounting).
@@ -148,8 +153,8 @@ writeReportJson(const CampaignResult &res, std::ostream &os)
     w.field("checks_skipped",
             static_cast<std::uint64_t>(res.stats.checksSkipped));
     w.key("findings").beginArray();
-    for (const auto &b : res.bugs)
-        writeBug(w, b);
+    for (std::size_t i = 0; i < res.bugs.size(); i++)
+        writeBug(w, res.bugs[i], i);
     w.endArray();
     w.endObject();
     os << '\n';

@@ -27,9 +27,6 @@
 namespace xfd::core
 {
 
-/** Stable identifier of @p t for JSON keys ("cross_failure_race"). */
-const char *bugTypeId(BugType t);
-
 /**
  * One extra top-level object in the xfd-stats-v1 document, supplied
  * by a layer core does not depend on (e.g. the mutation engine's

@@ -167,6 +167,36 @@ struct DetectorConfig
      * oracle differential campaign re-checks every pruned point.
      */
     bool lintPrune = false;
+
+    /**
+     * Live telemetry (src/obs/live): per-second sliding-window rate
+     * counters and latency windows fed from the campaign loop,
+     * snapshottable mid-run. Off by default — a campaign without
+     * --live/--live-port/--live-jsonl pays nothing beyond one atomic
+     * load per failure point.
+     */
+    bool liveTelemetry = false;
+
+    /**
+     * Serve live telemetry over HTTP on 127.0.0.1:<port> (Prometheus
+     * text /metrics, JSON /snapshot). 0 = no server. Implies
+     * liveTelemetry.
+     */
+    std::size_t livePort = 0;
+
+    /**
+     * Stream one live-snapshot JSON line per second (plus one final
+     * line) to this file. Empty = off. Implies liveTelemetry.
+     */
+    std::string liveJsonlPath;
+
+    /** Whether any live-telemetry output was requested. */
+    bool
+    liveRequested() const
+    {
+        return liveTelemetry || livePort != 0 ||
+               !liveJsonlPath.empty();
+    }
 };
 
 } // namespace xfd::core

@@ -16,7 +16,7 @@ namespace xfd::core
  * constant together with the table.
  */
 static_assert(sizeof(DetectorConfig) ==
-                  88 + 4 * sizeof(std::string),
+                  96 + 5 * sizeof(std::string),
               "DetectorConfig changed: add a ConfigFlagDesc row for "
               "the new field, then update this size tripwire");
 
@@ -149,6 +149,19 @@ buildTable()
        "redundant (same ordering-point location, identical frontier "
        "signature)",
        "lint_prune", &C::lintPrune, true);
+    sw("--live",
+       "feed the live per-second telemetry registry during the "
+       "campaign (off by default; implied by --live-port and "
+       "--live-jsonl)",
+       "live_telemetry", &C::liveTelemetry, true);
+    sizef("--live-port", "<port>",
+          "serve live telemetry on 127.0.0.1:<port>: Prometheus "
+          "text /metrics and JSON /snapshot",
+          "live_port", &C::livePort);
+    strf("--live-jsonl", "<file>",
+         "stream one live-snapshot JSON line per second (plus a "
+         "final one) to <file>",
+         "live_jsonl", &C::liveJsonlPath, nullptr);
 
     return t;
 }

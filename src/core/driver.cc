@@ -1,5 +1,6 @@
 #include "core/driver.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -172,10 +173,15 @@ Driver::advanceImage(PreCursor &cur, const trace::TraceBuffer &pre,
         const auto &e = pre[i];
         if (e.isWrite()) {
             cur.image.applyWrite(e.addr, e.data.data(), e.data.size());
-            if (cfg.crashImageMode) {
-                Addr last = lineBase(e.addr + (e.size ? e.size - 1 : 0));
-                for (Addr l = lineBase(e.addr); l <= last;
-                     l += cacheLineSize) {
+            Addr last = lineBase(e.addr + (e.size ? e.size - 1 : 0));
+            for (Addr l = lineBase(e.addr); l <= last;
+                 l += cacheLineSize) {
+                // Frontier bookkeeping (provenance): the write is
+                // in flight until a fence lands its line.
+                cur.inflight[l].push_back(e.seq);
+                if (e.op == Op::NtWrite)
+                    cur.inflightPending.insert(l);
+                if (cfg.crashImageMode) {
                     cur.dirtyLines.insert(l);
                     if (e.op == Op::NtWrite)
                         cur.pendingLines.insert(l);
@@ -183,14 +189,19 @@ Driver::advanceImage(PreCursor &cur, const trace::TraceBuffer &pre,
             }
             continue;
         }
-        if (!cfg.crashImageMode)
-            continue;
         if (e.isFlush()) {
             // Flushing moves the line toward durability; it lands at
             // the next fence.
-            if (cur.dirtyLines.count(e.addr))
+            if (cur.inflight.count(e.addr))
+                cur.inflightPending.insert(e.addr);
+            if (cfg.crashImageMode && cur.dirtyLines.count(e.addr))
                 cur.pendingLines.insert(e.addr);
         } else if (e.isFence()) {
+            for (Addr l : cur.inflightPending)
+                cur.inflight.erase(l);
+            cur.inflightPending.clear();
+            if (!cfg.crashImageMode)
+                continue;
             for (Addr l : cur.pendingLines) {
                 std::size_t off = l - cur.image.base();
                 std::memcpy(cur.durable.data() + off,
@@ -290,12 +301,13 @@ Driver::handleFailurePoint(PreCursor &cur, pm::PmPool &exec_pool,
                                   : std::string(),
                            "fp", wobs.track);
 
-    // With a per-failure-point hook attached, findings collect in a
-    // local sink first: the worker sink dedups across points, which
-    // would hide a finding's recurrence at later points from the hook.
+    // Findings collect in a local sink first, for two reasons: the
+    // per-failure-point hook must see a finding's recurrence at later
+    // points (the worker sink dedups across points), and provenance
+    // (this point's write frontier) is annotated onto exactly the
+    // findings this point produced before they merge.
     BugSink local;
-    bool fp_hook = observer && observer->onFailurePoint;
-    BugSink &fp_sink = fp_hook ? local : sink;
+    BugSink &fp_sink = local;
 
     auto tb0 = std::chrono::steady_clock::now();
     {
@@ -355,7 +367,24 @@ Driver::handleFailurePoint(PreCursor &cur, pm::PmPool &exec_pool,
                   exec_pool.data()[off]);
         }
     }
-    stats.backendSeconds += secondsSince(tb0);
+    // The phase entry reuses the exact interval that feeds
+    // backendSeconds, so restore + classify attribute the backend
+    // identically in a serial campaign.
+    double restore_s = secondsSince(tb0);
+    stats.backendSeconds += restore_s;
+    stats.phases.note(obs::Phase::Restore, restore_s);
+
+    // This point's write frontier: the in-flight (not durably
+    // persisted) write seqs as of fp, in ascending order — the
+    // causal candidates for anything the post-failure stage trips
+    // over. Captured before the post-failure run dirties anything.
+    std::vector<std::uint32_t> frontier;
+    for (const auto &ent : cur.inflight)
+        frontier.insert(frontier.end(), ent.second.begin(),
+                        ent.second.end());
+    std::sort(frontier.begin(), frontier.end());
+    frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                   frontier.end());
 
     trace::TraceBuffer post_trace;
     {
@@ -392,6 +421,7 @@ Driver::handleFailurePoint(PreCursor &cur, pm::PmPool &exec_pool,
         }
         double post_s = secondsSince(t0);
         stats.postSeconds += post_s;
+        stats.phases.note(obs::Phase::RecoveryExec, post_s);
         if (wobs.postLatency)
             wobs.postLatency->push_back(post_s);
         if (wobs.postOps) {
@@ -399,6 +429,8 @@ Driver::handleFailurePoint(PreCursor &cur, pm::PmPool &exec_pool,
             for (std::size_t i = 0; i < ops.size(); i++)
                 (*wobs.postOps)[i] += ops[i];
         }
+        if (wobs.live)
+            wobs.live->sample("post_exec_latency_us", post_s * 1e6);
     }
     stats.postExecutions++;
     stats.postTraceEntries += post_trace.size();
@@ -408,12 +440,53 @@ Driver::handleFailurePoint(PreCursor &cur, pm::PmPool &exec_pool,
         obs::SpanScope span(tl, "replay", "backend", wobs.track);
         replayPost(cur, pre, post_trace, fp, fp_sink);
     }
-    stats.backendSeconds += secondsSince(tb1);
+    double classify_s = secondsSince(tb1);
+    stats.backendSeconds += classify_s;
+    stats.phases.note(obs::Phase::Classify, classify_s);
 
-    if (fp_hook) {
-        observer->onFailurePoint(fp, local);
-        sink.merge(local);
+    // Annotate provenance onto the findings this exact point exposed:
+    // its frontier, plus which frontier writes the post-failure image
+    // contained (all of them under the paper's footnote-3 image, none
+    // under --crash-image, where in flight means absent).
+    trace::SubsetMask mask(frontier.size());
+    if (!cfg.crashImageMode)
+        mask.setAll();
+    local.annotate([&](BugReport &b) {
+        b.frontierSeqs = frontier;
+        b.persistedMask = mask;
+    });
+
+    if (tl) {
+        for (const auto &b : local.bugs()) {
+            std::vector<std::pair<std::string, std::string>> args;
+            args.emplace_back("type", bugTypeId(b.type));
+            args.emplace_back("reader", b.reader.str());
+            args.emplace_back("writer", b.writer.str());
+            args.emplace_back("failure_point", strprintf("%u", fp));
+            std::string seqs;
+            for (std::uint32_t s : frontier) {
+                if (!seqs.empty())
+                    seqs += ',';
+                seqs += strprintf("%u", s);
+            }
+            args.emplace_back("frontier", std::move(seqs));
+            args.emplace_back("persisted_mask", mask.toHex());
+            tl->recordInstant(strprintf("finding@fp#%u", fp), "finding",
+                              wobs.track, tl->nowUs(), std::move(args));
+        }
     }
+
+    if (wobs.live) {
+        wobs.live->count("failure_points");
+        wobs.live->count("restore_us",
+                         static_cast<std::uint64_t>(restore_s * 1e6));
+        wobs.live->count("classify_us",
+                         static_cast<std::uint64_t>(classify_s * 1e6));
+    }
+
+    if (observer && observer->onFailurePoint)
+        observer->onFailurePoint(fp, local);
+    sink.merge(local);
 }
 
 CampaignResult
@@ -434,6 +507,12 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
     obs::Timeline *tl =
         observer && observer->timeline.enabled() ? &observer->timeline
                                                  : nullptr;
+    // The live registry costs one atomic load here; campaigns without
+    // a live output (--live/--live-port/--live-jsonl) never touch it
+    // again.
+    obs::LiveMetrics *live =
+        observer && observer->live.enabled() ? &observer->live
+                                             : nullptr;
 
     pm::PmImage initial = pool.snapshot();
 
@@ -449,9 +528,15 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
         } catch (const trace::StageComplete &) {
         }
         result.stats.preSeconds = secondsSince(t0);
+        result.stats.phases.note(obs::Phase::TraceCapture,
+                                 result.stats.preSeconds);
         pre_ops = rt.opCounts();
     }
     result.stats.preTraceEntries = pre_trace.size();
+    if (live) {
+        live->count("pre_trace_entries", pre_trace.size());
+        live->gauge("pre_seconds", result.stats.preSeconds);
+    }
 
     if (observer && observer->onPreTraceReady)
         observer->onPreTraceReady(pre_trace);
@@ -460,7 +545,9 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
     FailurePlan plan;
     {
         obs::SpanScope span(tl, "plan-failure-points", "phase", 0);
+        auto t0 = std::chrono::steady_clock::now();
         plan = planFailurePoints(pre_trace, cfg);
+        result.stats.phases.note(obs::Phase::Plan, secondsSince(t0));
     }
 
     // Step 2b (--lint-prune): drop points the static frontier
@@ -471,23 +558,32 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
     // re-checks every pruned point against its representative.
     if (cfg.lintPrune && !plan.points.empty()) {
         obs::SpanScope span(tl, "lint-prune", "phase", 0);
+        auto t0 = std::chrono::steady_clock::now();
         lint::PruneVerdicts v = lint::computePruneVerdicts(
             pre_trace, plan.points, cfg.granularity);
         result.stats.lintPrunedPoints = v.pruned.size();
         plan.points = std::move(v.kept);
+        result.stats.phases.note(obs::Phase::LintPrune,
+                                 secondsSince(t0));
     }
     result.stats.failurePoints = plan.points.size();
     result.stats.orderingCandidates = plan.candidates;
     result.stats.elidedPoints = plan.elided;
     result.stats.poolBytes = pool.size();
 
+    if (live)
+        live->gauge("failure_points_planned", plan.points.size());
+
     // Index the write log by page once; workers share it read-only.
+    // Its cost bills to planning: both prepare the per-point loop.
     pm::ImageDeltaStore delta_store;
     if (cfg.deltaImages) {
         obs::SpanScope span(tl, "index-write-log", "phase", 0);
+        auto t0 = std::chrono::steady_clock::now();
         delta_store = trace::buildDeltaStore(
             pre_trace, cfg.deltaPageSize, pool.range());
         deltaStore = &delta_store;
+        result.stats.phases.note(obs::Phase::Plan, secondsSince(t0));
     }
 
     std::uint32_t trace_end =
@@ -542,19 +638,32 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
         }
         if (deltaStore)
             exec_pool->enableDirtyTracking(cfg.deltaPageSize);
-        WorkerObs wobs{tl, tracks[t], &post_latency[t], &post_ops[t]};
+        WorkerObs wobs{tl, tracks[t], &post_latency[t], &post_ops[t],
+                       live};
         std::size_t reported = 0;
         for (std::size_t i = begin; i < end; i++) {
             handleFailurePoint(cursors[t], *exec_pool, pre_trace, post,
                                plan.points[i], sinks[t], stats[t],
                                wobs);
-            if (observer && observer->onProgress) {
-                bugs_found += sinks[t].size() - reported;
+            bool progress = observer && observer->onProgress;
+            if (progress || live) {
+                std::size_t fresh = sinks[t].size() - reported;
                 reported = sinks[t].size();
+                if (fresh) {
+                    bugs_found += fresh;
+                    if (live)
+                        live->count("bugs", fresh);
+                }
                 std::size_t done = ++fps_done;
-                std::lock_guard<std::mutex> lock(progress_lock);
-                observer->onProgress(done, plan.points.size(),
-                                     bugs_found.load());
+                if (live) {
+                    live->gauge("failure_points_done",
+                                static_cast<double>(done));
+                }
+                if (progress) {
+                    std::lock_guard<std::mutex> lock(progress_lock);
+                    observer->onProgress(done, plan.points.size(),
+                                         bugs_found.load());
+                }
             }
         }
         cursors[t].shadow.endPostReplay();
@@ -590,6 +699,9 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
         result.stats.checksSkipped +=
             cursors[t].shadow.checksSkipped();
         result.stats.restore.merge(stats[t].restore);
+        // Phase counts are serial/parallel-invariant; with workers the
+        // summed seconds are CPU time, like the per-worker stats above.
+        result.stats.phases.merge(stats[t].phases);
     }
     deltaStore = nullptr;
     if (threads > 1) {
@@ -610,7 +722,9 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
         auto tb = std::chrono::steady_clock::now();
         advanceShadow(full, pre_trace, trace_end, &merged);
         advanceImage(full, pre_trace, trace_end);
-        result.stats.backendSeconds += secondsSince(tb);
+        double scan_s = secondsSince(tb);
+        result.stats.backendSeconds += scan_s;
+        result.stats.phases.note(obs::Phase::Classify, scan_s);
         full.image.copyTo(pool);
         fsm = full.shadow.fsmCounters();
     }
@@ -807,6 +921,9 @@ Driver::fillObserverStats(
         "post-failure stage latency per failure point (us)");
     for (double sec : post_latency)
         h.sample(sec * 1e6);
+
+    // Per-phase attribution of the campaign loop.
+    obs::exportPhaseStats(reg, s.phases, s.backendSeconds);
 }
 
 } // namespace xfd::core

@@ -26,6 +26,7 @@
 
 #include <array>
 #include <functional>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -35,6 +36,7 @@
 #include "core/failure_planner.hh"
 #include "core/observer.hh"
 #include "core/shadow_pm.hh"
+#include "obs/phase_profiler.hh"
 #include "pm/delta.hh"
 #include "pm/image.hh"
 #include "pm/pool.hh"
@@ -68,6 +70,14 @@ struct CampaignStats
     pm::DeltaRestoreStats restore;
     /** Pool capacity in bytes (baseline for restore-volume ratios). */
     std::size_t poolBytes = 0;
+    /**
+     * Per-phase wall-time attribution of the campaign loop. The
+     * restore/classify entries reuse the exact measured intervals
+     * that feed backendSeconds, so in a serial campaign
+     * phases.backendAttributed() == backendSeconds identically;
+     * phase *counts* are serial/parallel-invariant.
+     */
+    obs::PhaseTotals phases;
 
     double totalSeconds() const
     {
@@ -161,6 +171,23 @@ class Driver
         std::vector<AddrRange> openTxAdds;
 
         /**
+         * @name Frontier tracking (finding provenance)
+         *
+         * Mirrors the line-granular persistency bookkeeping above,
+         * but keyed by write seq: inflight maps each dirty cache
+         * line to the seqs of writes covering it that are not yet
+         * durably persisted; inflightPending holds lines whose
+         * writes have been flushed and persist at the next fence.
+         * The sorted union of inflight's seq lists at a failure
+         * point is that point's write frontier — the same identity
+         * the crash-state oracle enumerates subsets of.
+         * @{
+         */
+        std::map<Addr, std::vector<std::uint32_t>> inflight;
+        std::set<Addr> inflightPending;
+        /** @} */
+
+        /**
          * @name Delta-restore state (meaningful only when the driver
          * runs with an ImageDeltaStore attached)
          * @{
@@ -203,6 +230,8 @@ class Driver
         std::vector<double> *postLatency = nullptr;
         /** Per-op post-trace entry counts, accumulated per point. */
         std::array<std::uint64_t, trace::opCount> *postOps = nullptr;
+        /** Live telemetry registry; null unless live output is on. */
+        obs::LiveMetrics *live = nullptr;
     };
 
     /**

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Finding provenance rendering (xfdetect --explain).
+ *
+ * Turns one finding's causal chain — the pre-failure writer, the
+ * failure point that exposed it, the write frontier in flight at that
+ * point and the persisted-subset mask of the post-failure image —
+ * into a human-readable walkthrough. The same chain is embedded
+ * machine-readably in the xfd-report-v1 "provenance" object and as
+ * timeline "finding" instant args; this is the terminal view.
+ */
+
+#ifndef XFD_CORE_EXPLAIN_HH
+#define XFD_CORE_EXPLAIN_HH
+
+#include <string>
+
+#include "core/driver.hh"
+#include "trace/buffer.hh"
+
+namespace xfd::core
+{
+
+/**
+ * Render the causal chain of the finding(s) @p selector names.
+ *
+ * @param res      the campaign's deduplicated result
+ * @param selector "F3" or "3" for one finding (ids follow report
+ *                 order, 1-based), "all" for every finding
+ * @param pre      the pre-failure trace, for resolving frontier seqs
+ *                 to source locations (may be null: seqs render bare)
+ * @param err      set to a message when the selector does not parse
+ *                 or names no finding
+ * @return the rendering, empty on error
+ */
+std::string renderExplain(const CampaignResult &res,
+                          const std::string &selector,
+                          const trace::TraceBuffer *pre,
+                          std::string *err);
+
+} // namespace xfd::core
+
+#endif // XFD_CORE_EXPLAIN_HH

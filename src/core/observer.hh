@@ -2,13 +2,16 @@
  * @file
  * Campaign observability context.
  *
- * A CampaignObserver owns the three observability channels of one
+ * A CampaignObserver owns the observability channels of one
  * detection campaign:
  *
  *  - stats:      the gem5-style registry Driver/ShadowPM/PmRuntime
  *                counters are aggregated into at campaign end,
  *  - timeline:   per-phase and per-failure-point spans (exportable as
  *                JSONL or Chrome trace_event),
+ *  - live:       the per-second sliding-window registry behind
+ *                --live-port/--live-jsonl (fed mid-run, disabled by
+ *                default),
  *  - onProgress: invoked after every failure point with
  *                (done, total, bugs-so-far) — wire it to an
  *                obs::ProgressMeter for the periodic progress line.
@@ -31,6 +34,7 @@
 #include <functional>
 
 #include "core/bug_report.hh"
+#include "obs/live.hh"
 #include "obs/stats.hh"
 #include "obs/timeline.hh"
 #include "trace/buffer.hh"
@@ -43,6 +47,14 @@ struct CampaignObserver
 {
     obs::StatsRegistry stats;
     obs::Timeline timeline;
+
+    /**
+     * Live per-second telemetry registry. Disabled by default; the
+     * driver feeds it from the per-failure-point loop only while an
+     * obs::LiveSession (or a caller) has enabled it, so campaigns
+     * without live outputs pay one atomic load per failure point.
+     */
+    obs::LiveMetrics live;
 
     /** (failure points done, total planned, distinct bugs so far). */
     using ProgressFn =

@@ -13,9 +13,22 @@ formatProgress(const char *unit, std::size_t done, std::size_t total,
                      total, bugs, eta_seconds);
 }
 
+double
+etaSeconds(double seconds_since_first, std::size_t done,
+           std::size_t done_first, std::size_t total)
+{
+    if (done <= done_first || done >= total ||
+        seconds_since_first <= 0) {
+        return 0;
+    }
+    double rate = static_cast<double>(done - done_first) /
+                  seconds_since_first;
+    return static_cast<double>(total - done) / rate;
+}
+
 ProgressMeter::ProgressMeter(const char *u, double min_interval)
     : unit(u), minInterval(min_interval),
-      start(std::chrono::steady_clock::now()), lastPrint(start)
+      lastPrint(std::chrono::steady_clock::now())
 {
 }
 
@@ -27,14 +40,24 @@ ProgressMeter::update(std::size_t done, std::size_t total,
         return;
     std::lock_guard<std::mutex> guard(lock);
     auto now = std::chrono::steady_clock::now();
+    if (!everUpdated) {
+        // The meter is typically constructed before the campaign
+        // even captures its pre-failure trace; measuring the
+        // per-unit rate from construction would bill trace capture,
+        // planning and lint pruning to the units and inflate the
+        // ETA. Anchor at the first update instead.
+        everUpdated = true;
+        firstUpdate = now;
+        firstDone = done;
+    }
     double since_last =
         std::chrono::duration<double>(now - lastPrint).count();
     bool final = done >= total;
     if (!final && everPrinted && since_last < minInterval)
         return;
-    double elapsed = std::chrono::duration<double>(now - start).count();
-    double eta =
-        done ? elapsed * static_cast<double>(total - done) / done : 0;
+    double since_first =
+        std::chrono::duration<double>(now - firstUpdate).count();
+    double eta = etaSeconds(since_first, done, firstDone, total);
     inform("progress: %s",
            formatProgress(unit, done, total, bugs, eta).c_str());
     lastPrint = now;

@@ -27,6 +27,19 @@ std::string formatProgress(const char *unit, std::size_t done,
                            std::size_t total, std::size_t bugs,
                            double eta_seconds);
 
+/**
+ * ETA from the per-unit rate observed *between updates*: the first
+ * update() anchors (t0, done0) and the remaining work is priced at
+ * (done - done0) / seconds-since-t0. Anchoring at construction
+ * instead would fold the pre-failure stage, failure-point planning
+ * and the --lint-prune analysis pass into the per-point rate and
+ * overestimate the remaining time by exactly that share (the prune
+ * ratio, for campaigns dominated by the prune pass). 0 until a
+ * second distinct done-count arrives.
+ */
+double etaSeconds(double seconds_since_first, std::size_t done,
+                  std::size_t done_first, std::size_t total);
+
 /** Rate-limited campaign progress printer; thread-safe. */
 class ProgressMeter
 {
@@ -51,8 +64,11 @@ class ProgressMeter
   private:
     const char *unit;
     double minInterval;
-    std::chrono::steady_clock::time_point start;
     std::chrono::steady_clock::time_point lastPrint;
+    /** Rate anchor: time and done-count of the first update(). */
+    std::chrono::steady_clock::time_point firstUpdate;
+    std::size_t firstDone = 0;
+    bool everUpdated = false;
     bool everPrinted = false;
     std::size_t printed = 0;
     std::mutex lock;

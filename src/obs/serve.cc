@@ -1,0 +1,256 @@
+#include "obs/serve.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace xfd::obs
+{
+
+LiveServer::LiveServer(LiveMetrics &m, unsigned window_seconds)
+    : metrics(m), windowSeconds(window_seconds)
+{
+}
+
+LiveServer::~LiveServer()
+{
+    stop();
+}
+
+bool
+LiveServer::start(std::uint16_t port, std::string *err)
+{
+    auto fail = [&](const char *what) {
+        if (err)
+            *err = strprintf("%s: %s", what, std::strerror(errno));
+        if (listenFd >= 0) {
+            ::close(listenFd);
+            listenFd = -1;
+        }
+        return false;
+    };
+
+    listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        return fail("socket");
+    int one = 1;
+    ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        return fail("bind");
+    }
+    if (::listen(listenFd, 8) < 0)
+        return fail("listen");
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) < 0) {
+        return fail("getsockname");
+    }
+    boundPort = ntohs(addr.sin_port);
+
+    live.store(true);
+    acceptor = std::thread([this] { serveLoop(); });
+    return true;
+}
+
+void
+LiveServer::stop()
+{
+    if (!live.exchange(false)) {
+        if (acceptor.joinable())
+            acceptor.join();
+        return;
+    }
+    // Unblock accept(): shutdown() makes it return on Linux; close()
+    // finishes the job.
+    ::shutdown(listenFd, SHUT_RDWR);
+    ::close(listenFd);
+    if (acceptor.joinable())
+        acceptor.join();
+    listenFd = -1;
+}
+
+void
+LiveServer::serveLoop()
+{
+    while (live.load()) {
+        int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            // Closed or shut down: we are done.
+            return;
+        }
+        handleClient(fd);
+        ::close(fd);
+    }
+}
+
+std::string
+LiveServer::renderBody(const std::string &path)
+{
+    std::ostringstream body;
+    if (path == "/metrics") {
+        metrics.snapshot(windowSeconds).writePrometheus(body);
+    } else if (path == "/snapshot") {
+        JsonWriter w(body);
+        metrics.snapshot(windowSeconds).writeJson(w);
+        body << '\n';
+    } else if (path == "/") {
+        body << "xfdetect live telemetry\n"
+                "  /metrics   Prometheus text format\n"
+                "  /snapshot  JSON snapshot\n";
+    } else {
+        return "";
+    }
+    return body.str();
+}
+
+void
+LiveServer::handleClient(int fd)
+{
+    // Read until the end of the request head (or a small cap — the
+    // requests we answer have no interesting body).
+    std::string req;
+    char buf[1024];
+    while (req.find("\r\n\r\n") == std::string::npos &&
+           req.size() < 16384) {
+        ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n <= 0)
+            break;
+        req.append(buf, static_cast<std::size_t>(n));
+    }
+
+    std::string method, path;
+    if (std::size_t sp1 = req.find(' '); sp1 != std::string::npos) {
+        method = req.substr(0, sp1);
+        if (std::size_t sp2 = req.find(' ', sp1 + 1);
+            sp2 != std::string::npos) {
+            path = req.substr(sp1 + 1, sp2 - sp1 - 1);
+        }
+    }
+    if (std::size_t q = path.find('?'); q != std::string::npos)
+        path.resize(q);
+
+    std::string status = "200 OK";
+    std::string type = path == "/snapshot"
+                           ? "application/json; charset=utf-8"
+                           : "text/plain; version=0.0.4; "
+                             "charset=utf-8";
+    std::string body;
+    if (method != "GET" && method != "HEAD") {
+        status = "405 Method Not Allowed";
+        body = "only GET is served here\n";
+    } else {
+        body = renderBody(path);
+        if (body.empty()) {
+            status = "404 Not Found";
+            body = "try /metrics or /snapshot\n";
+        }
+    }
+
+    std::string resp = strprintf(
+        "HTTP/1.0 %s\r\n"
+        "Content-Type: %s\r\n"
+        "Content-Length: %zu\r\n"
+        "Connection: close\r\n"
+        "\r\n",
+        status.c_str(), type.c_str(), body.size());
+    if (method != "HEAD")
+        resp += body;
+
+    std::size_t off = 0;
+    while (off < resp.size()) {
+        ssize_t n = ::write(fd, resp.data() + off, resp.size() - off);
+        if (n <= 0)
+            break;
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+LiveSession::LiveSession(LiveMetrics &m, const Options &o)
+    : metrics(m), opts(o)
+{
+    metrics.setEnabled(true);
+    if (opts.serve) {
+        server = std::make_unique<LiveServer>(metrics,
+                                              opts.windowSeconds);
+        std::string err;
+        if (!server->start(opts.port, &err)) {
+            error_ = strprintf("--live-port: %s", err.c_str());
+            server.reset();
+            return;
+        }
+        inform("live telemetry on http://127.0.0.1:%u/metrics",
+               static_cast<unsigned>(server->port()));
+    }
+    if (!opts.jsonlPath.empty()) {
+        jsonl.open(opts.jsonlPath, std::ios::app);
+        if (!jsonl) {
+            error_ = strprintf("--live-jsonl: cannot write %s",
+                               opts.jsonlPath.c_str());
+            return;
+        }
+        streamer = std::thread([this] { streamLoop(); });
+    }
+}
+
+LiveSession::~LiveSession()
+{
+    {
+        std::lock_guard<std::mutex> guard(lock);
+        stopping = true;
+    }
+    wake.notify_all();
+    if (streamer.joinable())
+        streamer.join();
+    if (jsonl.is_open()) {
+        // A final line so campaigns shorter than the streaming period
+        // still leave one complete snapshot behind.
+        writeSnapshotLine();
+        jsonl.close();
+    }
+    if (server)
+        server->stop();
+    metrics.setEnabled(false);
+}
+
+void
+LiveSession::writeSnapshotLine()
+{
+    JsonWriter w(jsonl);
+    metrics.snapshot(opts.windowSeconds).writeJson(w);
+    jsonl << '\n';
+    jsonl.flush();
+}
+
+void
+LiveSession::streamLoop()
+{
+    std::unique_lock<std::mutex> guard(lock);
+    while (!stopping) {
+        wake.wait_for(guard, std::chrono::seconds(1));
+        if (stopping)
+            break;
+        guard.unlock();
+        writeSnapshotLine();
+        guard.lock();
+    }
+}
+
+} // namespace xfd::obs

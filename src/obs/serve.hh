@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Serving live telemetry: a minimal HTTP endpoint and a JSONL
+ * streamer over obs::LiveMetrics.
+ *
+ * LiveServer is a deliberately small HTTP/1.0-style responder on raw
+ * POSIX sockets (no dependencies): one acceptor thread, one request
+ * per connection, Connection: close. Endpoints:
+ *
+ *   GET /metrics   Prometheus text exposition format
+ *   GET /snapshot  one xfd-live-v1 JSON document
+ *   GET /          plain-text index of the above
+ *
+ * LiveSession is what the campaign front ends actually hold: it
+ * enables a LiveMetrics registry, optionally starts a LiveServer
+ * (--live-port) and/or a once-per-second JSONL streamer
+ * (--live-jsonl), and tears all of it down — after emitting one
+ * final snapshot line so even sub-second campaigns leave a stream —
+ * when destroyed.
+ */
+
+#ifndef XFD_OBS_SERVE_HH
+#define XFD_OBS_SERVE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/live.hh"
+
+namespace xfd::obs
+{
+
+/** Minimal HTTP endpoint over one LiveMetrics registry. */
+class LiveServer
+{
+  public:
+    explicit LiveServer(LiveMetrics &metrics,
+                        unsigned window_seconds = 10);
+    ~LiveServer();
+
+    LiveServer(const LiveServer &) = delete;
+    LiveServer &operator=(const LiveServer &) = delete;
+
+    /**
+     * Bind 127.0.0.1:@p port (0 = ephemeral; see port()) and start
+     * the acceptor thread. @return false with *err set on failure.
+     */
+    bool start(std::uint16_t port, std::string *err = nullptr);
+
+    /** The bound port (resolves port 0), 0 when not started. */
+    std::uint16_t port() const { return boundPort; }
+
+    bool running() const { return live.load(); }
+
+    /** Stop accepting and join the acceptor thread (idempotent). */
+    void stop();
+
+    /** Render the response body for @p path ("" = unknown path). */
+    std::string renderBody(const std::string &path);
+
+  private:
+    void serveLoop();
+    void handleClient(int fd);
+
+    LiveMetrics &metrics;
+    unsigned windowSeconds;
+    int listenFd = -1;
+    std::uint16_t boundPort = 0;
+    std::atomic<bool> live{false};
+    std::thread acceptor;
+};
+
+/**
+ * One campaign run's live-telemetry lifetime: enables @p metrics,
+ * starts the configured outputs, and reverses it all on destruction.
+ */
+class LiveSession
+{
+  public:
+    struct Options
+    {
+        /** Serve HTTP when true (port 0 binds an ephemeral port). */
+        bool serve = false;
+        std::uint16_t port = 0;
+        /** Stream one snapshot line per second when non-empty. */
+        std::string jsonlPath;
+        /** Histogram merge window for snapshots. */
+        unsigned windowSeconds = 10;
+    };
+
+    LiveSession(LiveMetrics &metrics, const Options &opts);
+    ~LiveSession();
+
+    LiveSession(const LiveSession &) = delete;
+    LiveSession &operator=(const LiveSession &) = delete;
+
+    /** False when the server failed to bind or the file to open. */
+    bool ok() const { return error_.empty(); }
+    const std::string &error() const { return error_; }
+
+    /** Bound HTTP port (0 when not serving). */
+    std::uint16_t port() const
+    {
+        return server ? server->port() : 0;
+    }
+
+  private:
+    void streamLoop();
+    void writeSnapshotLine();
+
+    LiveMetrics &metrics;
+    Options opts;
+    std::string error_;
+    std::unique_ptr<LiveServer> server;
+    std::ofstream jsonl;
+    std::thread streamer;
+    std::mutex lock;
+    std::condition_variable wake;
+    bool stopping = false;
+};
+
+} // namespace xfd::obs
+
+#endif // XFD_OBS_SERVE_HH

@@ -36,17 +36,19 @@ Timeline::recordSpan(std::string name, const char *cat, int tid,
         return;
     std::lock_guard<std::mutex> guard(lock);
     evs.push_back({std::move(name), cat, tid, ts_us,
-                   dur_us < 0 ? 0 : dur_us});
+                   dur_us < 0 ? 0 : dur_us, {}});
 }
 
 void
-Timeline::recordInstant(std::string name, const char *cat, int tid,
-                        std::int64_t ts_us)
+Timeline::recordInstant(
+    std::string name, const char *cat, int tid, std::int64_t ts_us,
+    std::vector<std::pair<std::string, std::string>> args)
 {
     if (!recording)
         return;
     std::lock_guard<std::mutex> guard(lock);
-    evs.push_back({std::move(name), cat, tid, ts_us, -1});
+    evs.push_back(
+        {std::move(name), cat, tid, ts_us, -1, std::move(args)});
 }
 
 std::vector<TimelineEvent>
@@ -99,6 +101,12 @@ Timeline::writeJsonl(std::ostream &os) const
         w.field("ts_us", e.tsUs);
         if (e.durUs >= 0)
             w.field("dur_us", e.durUs);
+        if (!e.args.empty()) {
+            w.key("args").beginObject();
+            for (const auto &[k, v] : e.args)
+                w.field(k, v);
+            w.endObject();
+        }
         w.endObject();
         os << '\n';
     }
@@ -138,6 +146,12 @@ Timeline::writeChromeTrace(std::ostream &os) const
             w.field("dur", e.durUs);
         else
             w.field("s", "t");
+        if (!e.args.empty()) {
+            w.key("args").beginObject();
+            for (const auto &[k, v] : e.args)
+                w.field(k, v);
+            w.endObject();
+        }
         w.endObject();
     }
 

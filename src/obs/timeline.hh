@@ -35,7 +35,7 @@ namespace xfd::obs
 struct TimelineEvent
 {
     std::string name;
-    /** Category ("phase", "fp", ...); a string literal. */
+    /** Category ("phase", "fp", "finding", ...); a string literal. */
     const char *cat = "";
     /** Track id from Timeline::registerTrack (0 = main). */
     int tid = 0;
@@ -43,6 +43,12 @@ struct TimelineEvent
     std::int64_t tsUs = 0;
     /** Duration in microseconds; < 0 marks an instant event. */
     std::int64_t durUs = -1;
+    /**
+     * Annotation key/value pairs, exported as the Chrome trace_event
+     * "args" object (and an "args" object in the JSONL export).
+     * Finding-provenance instants carry their causal chain here.
+     */
+    std::vector<std::pair<std::string, std::string>> args;
 };
 
 /** Collects spans and instants for one campaign. */
@@ -61,9 +67,10 @@ class Timeline
     void recordSpan(std::string name, const char *cat, int tid,
                     std::int64_t ts_us, std::int64_t dur_us);
 
-    /** Record an instant event. */
-    void recordInstant(std::string name, const char *cat, int tid,
-                       std::int64_t ts_us);
+    /** Record an instant event, optionally with annotation args. */
+    void recordInstant(
+        std::string name, const char *cat, int tid, std::int64_t ts_us,
+        std::vector<std::pair<std::string, std::string>> args = {});
 
     /** Disabled timelines record nothing (default: enabled). */
     void setEnabled(bool on) { recording = on; }

@@ -1,5 +1,6 @@
 #include "oracle/diff.hh"
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -202,6 +203,7 @@ runDifferentialCampaign(pm::PmPool &pool, const core::ProgramFn &pre,
     CrashStateOracle oracle(preTrace, initial, ocfg);
 
     bool wrotePreTrace = false;
+    auto toracle = std::chrono::steady_clock::now();
     for (std::uint32_t fp : plan.points) {
         FpOracleResult ores = oracle.runFailurePoint(fp, post);
 
@@ -277,6 +279,12 @@ runDifferentialCampaign(pm::PmPool &pool, const core::ProgramFn &pre,
         }
         rep.perFp.push_back(std::move(a));
     }
+    rep.oracleSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      toracle)
+            .count();
+    rep.detector.stats.phases.note(obs::Phase::Oracle,
+                                   rep.oracleSeconds);
     return rep;
 }
 
@@ -313,6 +321,9 @@ exportOracleStats(obs::StatsRegistry &reg, const DiffReport &r)
     set("campaign.oracle.extras_unexplained",
         "partial-candidate extra classes without one",
         static_cast<double>(r.extrasUnexplained));
+    set("campaign.phase.oracle_seconds",
+        "oracle enumeration + candidate recovery wall seconds",
+        r.oracleSeconds);
 
     obs::Scalar &points =
         reg.scalar("campaign.oracle.failure_points", "");
@@ -351,6 +362,7 @@ oracleJsonSection(const DiffReport &r)
                     static_cast<std::uint64_t>(r.extrasExplained));
             w.field("extras_unexplained",
                     static_cast<std::uint64_t>(r.extrasUnexplained));
+            w.field("oracle_seconds", r.oracleSeconds);
             w.key("disagreement_fps").beginArray();
             for (const auto &a : r.perFp) {
                 if (!a.agree)

@@ -140,6 +140,13 @@ struct DiffReport
     /** Artifact files written (disagreements only). */
     std::vector<std::string> artifacts;
 
+    /**
+     * Wall seconds the oracle side spent (enumeration + candidate
+     * recovery executions); also noted as Phase::Oracle on the
+     * detector result's phase totals.
+     */
+    double oracleSeconds = 0;
+
     /** The detector campaign's own result (final, deduplicated). */
     core::CampaignResult detector;
 

@@ -36,6 +36,7 @@
 #include "core/config.hh"
 #include "core/driver.hh"
 #include "core/observer.hh"
+#include "obs/serve.hh"
 #include "pm/pool.hh"
 #include "trace/runtime.hh"
 
@@ -211,6 +212,30 @@ class Campaign
         return *this;
     }
 
+    /** Feed the live per-second telemetry registry (see --live). */
+    Campaign &
+    live(bool on = true)
+    {
+        cfg.liveTelemetry = on;
+        return *this;
+    }
+
+    /** Serve live telemetry on 127.0.0.1:<port> (see --live-port). */
+    Campaign &
+    livePort(std::size_t port)
+    {
+        cfg.livePort = port;
+        return *this;
+    }
+
+    /** Stream live snapshots as JSONL (see --live-jsonl). */
+    Campaign &
+    liveJsonl(const std::string &path)
+    {
+        cfg.liveJsonlPath = path;
+        return *this;
+    }
+
     /** @} */
 
     /** Attach observability sinks; must outlive run(). */
@@ -235,8 +260,30 @@ class Campaign
             pool = owned.get();
         }
         core::Driver driver(*pool, cfg);
-        if (obs)
-            driver.setObserver(obs);
+
+        // Live outputs need an observer to host the registry; make an
+        // internal one when the caller did not attach their own. A
+        // caller-managed obs::LiveSession (observer->live already
+        // enabled, as xfdetect does process-wide) takes precedence —
+        // never stack a second server on the same registry.
+        std::unique_ptr<CampaignObserver> internalObs;
+        CampaignObserver *o = obs;
+        if (!o && cfg.liveRequested()) {
+            internalObs = std::make_unique<CampaignObserver>();
+            internalObs->timeline.setEnabled(false);
+            o = internalObs.get();
+        }
+        std::unique_ptr<obs::LiveSession> session;
+        if (o && cfg.liveRequested() && !o->live.enabled()) {
+            obs::LiveSession::Options opt;
+            opt.serve = cfg.livePort != 0;
+            opt.port = static_cast<std::uint16_t>(cfg.livePort);
+            opt.jsonlPath = cfg.liveJsonlPath;
+            session =
+                std::make_unique<obs::LiveSession>(o->live, opt);
+        }
+        if (o)
+            driver.setObserver(o);
         return driver.runParallel(preFn, postFn, nThreads);
     }
 

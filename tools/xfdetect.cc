@@ -30,6 +30,7 @@
 
 #include "bugsuite/registry.hh"
 #include "core/config_flags.hh"
+#include "core/explain.hh"
 #include "core/prefailure_checker.hh"
 #include "lint/lint.hh"
 #include "mutate/campaign.hh"
@@ -79,6 +80,11 @@ usage()
         "  --report-json <f>      write the findings as JSON to <f>\n"
         "  --lint-json <f>        write the lint report as JSON to <f>\n"
         "                         (implies --lint when not given)\n"
+        "  --explain <id>         after the campaign, walk one "
+        "finding's causal chain\n"
+        "                         (\"F2\", \"2\", or \"all\": writer, "
+        "failure point, frontier,\n"
+        "                         persisted-subset mask)\n"
         "  --quiet                suppress info output\n"
         "  --list-workloads       print workload names and exit\n"
         "  --list-bugs [wl]       print bug ids (optionally for one "
@@ -123,6 +129,7 @@ main(int argc, char **argv)
     std::string trace_events_path;
     std::string report_json_path;
     std::string lint_json_path;
+    std::string explain_selector;
 
     auto need_value = [&](int &i) -> const char * {
         if (i + 1 >= argc) {
@@ -180,6 +187,8 @@ main(int argc, char **argv)
             report_json_path = need_value(i);
         } else if (!std::strcmp(a, "--lint-json")) {
             lint_json_path = need_value(i);
+        } else if (!std::strcmp(a, "--explain")) {
+            explain_selector = need_value(i);
         } else if (!std::strcmp(a, "--quiet")) {
             setVerbose(false);
         } else {
@@ -338,18 +347,44 @@ main(int argc, char **argv)
         meter.update(done, total, bugs);
     };
 
-    // Lint consumes the campaign's own pre-failure trace, captured
-    // through the observer hook — the pre stage is never re-run.
-    trace::TraceBuffer lint_trace;
+    // One process-wide live session: serves /metrics + /snapshot and
+    // streams JSONL across every campaign this invocation runs. The
+    // Campaign facade sees obs.live already enabled and does not
+    // stack a second session.
+    std::unique_ptr<obs::LiveSession> live_session;
+    if (dcfg.liveRequested()) {
+        obs::LiveSession::Options lopt;
+        lopt.serve = dcfg.livePort != 0;
+        lopt.port = static_cast<std::uint16_t>(dcfg.livePort);
+        lopt.jsonlPath = dcfg.liveJsonlPath;
+        live_session =
+            std::make_unique<obs::LiveSession>(obs.live, lopt);
+        if (!live_session->ok()) {
+            std::fprintf(stderr, "--live: %s\n",
+                         live_session->error().c_str());
+            return 2;
+        }
+    }
+
+    // Lint and --explain consume the campaign's own pre-failure
+    // trace, captured through the observer hook — the pre stage is
+    // never re-run.
+    trace::TraceBuffer captured_pre;
     if (lint_on && !dcfg.mutateOps.empty()) {
         warn("--lint is ignored in --mutate mode (each mutant traces "
              "differently; lint one configuration at a time)");
         lint_on = false;
     }
-    if (lint_on) {
-        obs.onPreTraceReady = [&lint_trace](
+    if (!explain_selector.empty() && !dcfg.mutateOps.empty()) {
+        warn("--explain is ignored in --mutate mode (the scoreboard "
+             "aggregates many campaigns; explain one configuration "
+             "at a time)");
+        explain_selector.clear();
+    }
+    if (lint_on || !explain_selector.empty()) {
+        obs.onPreTraceReady = [&captured_pre](
                                   const trace::TraceBuffer &b) {
-            lint_trace = b;
+            captured_pre = b;
         };
     }
 
@@ -456,8 +491,8 @@ main(int argc, char **argv)
     lint::LintReport lrep;
     if (lint_on) {
         core::FailurePlan lplan =
-            core::planFailurePoints(lint_trace, dcfg);
-        lrep = lint::runLint(lint_trace, lcfg, &lplan.points);
+            core::planFailurePoints(captured_pre, dcfg);
+        lrep = lint::runLint(captured_pre, lcfg, &lplan.points);
         std::printf("%s", lint::renderText(lrep).c_str());
         extra.push_back(core::JsonSection{
             "lint", [&lrep](obs::JsonWriter &w) {
@@ -497,6 +532,17 @@ main(int argc, char **argv)
             return 2;
         core::writeReportJson(res, out);
         inform("wrote findings report to %s", report_json_path.c_str());
+    }
+    if (!explain_selector.empty()) {
+        std::string err;
+        std::string text = core::renderExplain(
+            res, explain_selector,
+            captured_pre.size() ? &captured_pre : nullptr, &err);
+        if (text.empty()) {
+            std::fprintf(stderr, "--explain: %s\n", err.c_str());
+            return 2;
+        }
+        std::printf("%s", text.c_str());
     }
     return exit_code;
 }
