@@ -47,10 +47,10 @@ main()
             Timing t = timeCampaign(w, cfg, dcfg, 1);
             std::printf("%-16s %-14s %12zu %12zu %12.2f\n", w,
                         mode ? "crash image" : "paper (all)",
-                        t.last.bugs.size(),
+                        t.last.findings().size(),
                         t.last.count(core::BugType::RecoveryFailure),
                         t.meanTotalSeconds * 1e3);
-            clean = clean && t.last.bugs.empty();
+            clean = clean && t.last.findings().empty();
         }
     }
     rule();

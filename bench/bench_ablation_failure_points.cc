@@ -62,8 +62,8 @@ main()
         for (const auto &c : configs) {
             Timing t = timeCampaign(w, config(), c.dcfg, 1);
             std::printf("%-16s %-22s %10zu %10zu %10.2f\n", w, c.label,
-                        t.last.stats.failurePoints,
-                        t.last.stats.elidedPoints,
+                        t.last.statistics().failurePoints,
+                        t.last.statistics().elidedPoints,
                         t.meanTotalSeconds * 1e3);
         }
     }

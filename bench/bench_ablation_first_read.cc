@@ -40,14 +40,14 @@ main()
         Timing t_on = timeCampaign(w, cfg, on, 1);
         Timing t_off = timeCampaign(w, cfg, off, 1);
         std::printf("%-16s %-12s %12zu %12zu %12.3f\n", w, "on",
-                    t_on.last.stats.checksPerformed,
-                    t_on.last.stats.checksSkipped,
+                    t_on.last.statistics().checksPerformed,
+                    t_on.last.statistics().checksSkipped,
                     t_on.meanBackendSeconds * 1e3);
         std::printf("%-16s %-12s %12zu %12zu %12.3f\n", w, "off",
-                    t_off.last.stats.checksPerformed,
-                    t_off.last.stats.checksSkipped,
+                    t_off.last.statistics().checksPerformed,
+                    t_off.last.statistics().checksSkipped,
                     t_off.meanBackendSeconds * 1e3);
-        if (t_on.last.bugs.size() != t_off.last.bugs.size()) {
+        if (t_on.last.findings().size() != t_off.last.findings().size()) {
             std::printf("  !! findings differ between configs\n");
             return 1;
         }
@@ -67,9 +67,9 @@ main()
         Timing base = timeCampaign(w, cfg, {}, 1);
         Timing hard = timeCampaign(w, cfg, strict, 1);
         std::printf("%-16s %17zu bug %17zu bug\n", w,
-                    base.last.bugs.size(), hard.last.bugs.size());
-        clean = clean && base.last.bugs.empty() &&
-                hard.last.bugs.empty();
+                    base.last.findings().size(), hard.last.findings().size());
+        clean = clean && base.last.findings().empty() &&
+                hard.last.findings().empty();
     }
     rule();
     std::printf("\nboth optimizations are result-preserving; strict "

@@ -155,11 +155,11 @@ BM_Scalability(benchmark::State &state)
     unsigned txns = static_cast<unsigned>(state.range(0));
     for (auto _ : state) {
         Timing t = timeCampaign("btree", fig13Config(txns), {}, 1);
-        benchmark::DoNotOptimize(t.last.stats.failurePoints);
+        benchmark::DoNotOptimize(t.last.statistics().failurePoints);
     }
     state.counters["failpoints"] = static_cast<double>(
         timeCampaign("btree", fig13Config(txns), {}, 1)
-            .last.stats.failurePoints);
+            .last.statistics().failurePoints);
 }
 
 BENCHMARK(BM_Scalability)

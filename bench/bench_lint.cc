@@ -3,7 +3,7 @@
  * Lint pruning payoff. Per workload: the planned failure-point count,
  * the share the static pass proves redundant, the cost of the lint
  * pass itself, and the end-to-end campaign wall-clock with and
- * without --lint-prune. Emits BENCH_lint.json for regression
+ * without signature batching. Emits BENCH_lint.json for regression
  * tracking; XFD_BENCH_QUICK shrinks the op counts and repetitions for
  * CI.
  */
@@ -84,7 +84,7 @@ runOne(const std::string &name, const workloads::WorkloadConfig &wcfg,
     row.fullSeconds = timeCampaign(name, wcfg, off, reps)
                           .meanTotalSeconds;
     core::DetectorConfig on;
-    on.lintPrune = true;
+    on.backend = "batched";
     row.prunedSeconds = timeCampaign(name, wcfg, on, reps)
                             .meanTotalSeconds;
     return row;

@@ -72,15 +72,15 @@ main()
         rule();
         std::printf("Bug %d: %s\n", bug_no, c.description.c_str());
         std::printf("  as shipped: %zu finding(s) [%s expected] -> %s\n",
-                    shipped.bugs.size(), expectedName(c.expected),
+                    shipped.findings().size(), expectedName(c.expected),
                     found ? "DETECTED" : "MISSED");
-        for (const auto &b : shipped.bugs) {
+        for (const auto &b : shipped.findings()) {
             std::printf("    [%s] reader %s:%u\n",
                         core::bugTypeName(b.type),
                         b.reader.file, b.reader.line);
         }
         std::printf("  fixed:      %zu finding(s) -> %s\n",
-                    fixed.bugs.size(), clean ? "CLEAN" : "NOT CLEAN");
+                    fixed.findings().size(), clean ? "CLEAN" : "NOT CLEAN");
     }
     rule();
     std::printf("paper: 'XFDetector has detected four new bugs in "

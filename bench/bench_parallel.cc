@@ -44,8 +44,8 @@ runOnce(const char *workload, unsigned threads, std::size_t &findings,
     double secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
-    findings = res.bugs.size();
-    points = res.stats.failurePoints;
+    findings = res.findings().size();
+    points = res.statistics().failurePoints;
     return secs;
 }
 

@@ -77,12 +77,13 @@ timeCampaign(const std::string &workload,
                        .config(dcfg)
                        .poolSize(benchPoolSize)
                        .run();
-        t.meanTotalSeconds += res.stats.totalSeconds();
-        t.meanPreSeconds += res.stats.preSeconds;
-        t.meanPostSeconds += res.stats.postSeconds;
-        t.meanBackendSeconds += res.stats.backendSeconds;
+        const core::CampaignStats &st = res.statistics();
+        t.meanTotalSeconds += st.totalSeconds();
+        t.meanPreSeconds += st.preSeconds;
+        t.meanPostSeconds += st.postSeconds;
+        t.meanBackendSeconds += st.backendSeconds;
         for (std::size_t p = 0; p < obs::phaseCount; p++)
-            t.meanPhaseSeconds[p] += res.stats.phases.seconds[p];
+            t.meanPhaseSeconds[p] += res.phases().seconds[p];
         t.last = std::move(res);
     }
     t.meanTotalSeconds /= reps;

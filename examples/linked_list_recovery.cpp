@@ -116,7 +116,9 @@ runVariant(const char *label, bool log_length, bool alt_recovery)
         })
                    .poolSize(1 << 21)
                    .run();
-    std::printf("---- %s ----\n%s\n", label, res.summary().c_str());
+    // findings() is the structured view of what summary() prints.
+    std::printf("---- %s ----  [%zu finding(s)]\n%s\n", label,
+                res.findings().size(), res.summary().c_str());
 }
 
 } // namespace

@@ -113,7 +113,10 @@ runOnce(const char *label, bool buggy)
         [&](trace::PmRuntime &rt) { recoverAndRead(rt); })
                    .poolSize(1 << 20)
                    .run();
-    std::printf("---- %s ----\n%s\n", label, res.summary().c_str());
+    // statistics() replaces reaching into res.stats directly.
+    std::printf("---- %s ----  [%zu failure point(s)]\n%s\n", label,
+                res.statistics().failurePoints,
+                res.summary().c_str());
 }
 
 } // namespace

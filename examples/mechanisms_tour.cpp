@@ -78,9 +78,9 @@ void
 show(const char *name, const core::CampaignResult &res)
 {
     std::printf("%-22s %3zu failure points, %zu finding(s)%s\n", name,
-                res.stats.failurePoints, res.bugs.size(),
-                res.bugs.empty() ? "" : "  <-- unexpected!");
-    for (const auto &b : res.bugs)
+                res.statistics().failurePoints, res.findings().size(),
+                res.findings().empty() ? "" : "  <-- unexpected!");
+    for (const auto &b : res.findings())
         std::printf("%s\n", b.str().c_str());
 }
 

@@ -94,6 +94,11 @@ runOnce(const char *label, bool fixed)
             .poolSize(1 << 20)
             .run();
     std::printf("---- %s ----\n%s\n", label, res.summary().c_str());
+    // CampaignResult carries the findings as data, not just text:
+    // findings() for the deduplicated reports, fingerprint() for the
+    // schedule-invariant identity xfdetect --fingerprint emits.
+    if (!res.findings().empty())
+        std::printf("fingerprint:\n%s\n", res.fingerprint().c_str());
 }
 
 } // namespace

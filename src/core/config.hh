@@ -17,6 +17,25 @@ namespace xfd::core
 {
 
 /**
+ * How the campaign backend restores and schedules failure points.
+ * Parsed from DetectorConfig::backend ("full", "delta", "batched").
+ */
+enum class BackendMode
+{
+    /** Full-image copy before every post-failure run (ablation). */
+    Full,
+    /** Page-granular delta restores, one run per failure point. */
+    Delta,
+    /**
+     * Delta restores plus frontier-signature batching: failure
+     * points whose lint signature proves them equivalent share one
+     * representative recovery run, and groups are pulled dynamically
+     * by the worker pool.
+     */
+    Batched,
+};
+
+/**
  * Tuning and ablation switches for a detection campaign.
  *
  * This struct is the single source of truth for detector knobs: every
@@ -83,14 +102,25 @@ struct DetectorConfig
     std::size_t maxFailurePoints = 0;
 
     /**
-     * Delta-image engine: restore the exec pool between failure
-     * points by copying only the pages that changed (image writes
-     * since the previous point plus pages the previous post-failure
-     * execution soiled) instead of a full PmImage::copyTo. Identical
-     * exec-pool bytes and findings, O(dirty pages) restore cost; the
-     * equivalence suite (test_delta_image) enforces both.
+     * Backend descriptor: how exec pools are restored and failure
+     * points scheduled. One of
+     *
+     *  - "full":    full-image copy before every post-failure run
+     *               (the ablation baseline, ex --no-delta);
+     *  - "delta":   page-granular delta restores, one recovery run
+     *               per failure point (the former default);
+     *  - "batched": delta restores plus frontier-signature batching —
+     *               failure points the lint pass proves equivalent
+     *               (same ordering-point location, identical frontier
+     *               signature) fold into one representative run, and
+     *               the worker pool pulls groups dynamically
+     *               (subsumes the former --lint-prune switch).
+     *
+     * Findings are byte-identical across all three modes; the
+     * equivalence suites (test_delta_image, test_batch_sched) and the
+     * oracle differential campaign enforce that.
      */
-    bool deltaImages = true;
+    std::string backend = "delta";
 
     /** Delta restore granularity in bytes (power of two >= 64). */
     std::size_t deltaPageSize = 4096;
@@ -160,13 +190,15 @@ struct DetectorConfig
     std::string lintRules;
 
     /**
-     * Skip failure points the lint pass proves statically redundant:
-     * an earlier point at the same ordering-point source location had
-     * an identical frontier signature, so the post-failure execution
-     * can only rediscover the kept representative's findings. The
-     * oracle differential campaign re-checks every pruned point.
+     * Jaaru-style same-value write elision at trace-emit time: a
+     * store whose bytes equal the current memory contents cannot
+     * change any crash image, so the runtime drops its trace entry
+     * (the pool is still written). Off by default — eliding also
+     * drops any *findings* anchored on such writes (arguably false
+     * positives, but a behaviour change), so it is an opt-in
+     * trace-volume optimization.
      */
-    bool lintPrune = false;
+    bool elideSameValueWrites = false;
 
     /**
      * Live telemetry (src/obs/live): per-second sliding-window rate
@@ -196,6 +228,51 @@ struct DetectorConfig
     {
         return liveTelemetry || livePort != 0 ||
                !liveJsonlPath.empty();
+    }
+
+    /**
+     * Parse @p s as a backend descriptor. @return true and set
+     * @p mode on success, false on an unknown descriptor.
+     */
+    static bool
+    parseBackend(const std::string &s, BackendMode &mode)
+    {
+        if (s == "full")
+            mode = BackendMode::Full;
+        else if (s == "delta" || s.empty())
+            mode = BackendMode::Delta;
+        else if (s == "batched")
+            mode = BackendMode::Batched;
+        else
+            return false;
+        return true;
+    }
+
+    /**
+     * The parsed backend descriptor. An unknown string degrades to
+     * Delta here; the driver validates and reports it at campaign
+     * start.
+     */
+    BackendMode
+    backendMode() const
+    {
+        BackendMode m = BackendMode::Delta;
+        parseBackend(backend, m);
+        return m;
+    }
+
+    /** Whether the delta-image engine is on (delta and batched). */
+    bool
+    deltaImagesOn() const
+    {
+        return backendMode() != BackendMode::Full;
+    }
+
+    /** Whether signature batching folds failure points (batched). */
+    bool
+    batchingOn() const
+    {
+        return backendMode() == BackendMode::Batched;
     }
 };
 

@@ -16,7 +16,7 @@ namespace xfd::core
  * constant together with the table.
  */
 static_assert(sizeof(DetectorConfig) ==
-                  96 + 5 * sizeof(std::string),
+                  88 + 6 * sizeof(std::string),
               "DetectorConfig changed: add a ConfigFlagDesc row for "
               "the new field, then update this size tripwire");
 
@@ -74,6 +74,20 @@ buildTable()
         d.impliedValue = implied;
         t.push_back(d);
     };
+    // Deprecated switch spelling that stores a fixed string into a
+    // canonical field's slot ("--no-delta" == "--backend=full").
+    auto alias = [&](const char *flag, const char *help,
+                     std::string C::*field, const char *implied) {
+        ConfigFlagDesc d;
+        d.flag = flag;
+        d.arg = nullptr;
+        d.help = help;
+        d.jsonKey = "";
+        d.stringField = field;
+        d.impliedValue = implied;
+        d.alias = true;
+        t.push_back(d);
+    };
 
     sw("--no-elision",
        "disable empty-interval failure-point elision",
@@ -100,10 +114,15 @@ buildTable()
        "crash_image_mode", &C::crashImageMode, true);
     sizef("--max-failpoints", "<n>", "cap injected failure points",
           "max_failure_points", &C::maxFailurePoints);
-    sw("--no-delta",
-       "restore exec pools with full copies instead of the "
-       "page-granular delta engine",
-       "delta_images", &C::deltaImages, false);
+    strf("--backend", "<full|delta|batched>",
+         "campaign backend: \"full\" copies the whole exec pool per "
+         "failure point, \"delta\" (default) restores only dirtied "
+         "pages, \"batched\" additionally folds failure points with "
+         "identical frontier signatures into one representative "
+         "recovery run",
+         "backend", &C::backend, nullptr);
+    alias("--no-delta", "deprecated alias for --backend=full",
+          &C::backend, "full");
     sizef("--delta-page", "<bytes>",
           "delta restore granularity (power of two >= 64, "
           "default 4096)",
@@ -144,11 +163,13 @@ buildTable()
          "<rules> is \"all\" (default) or a comma list of XL01..XL07 "
          "ids or names (redundant_writeback, duplicate_tx_add, ...)",
          "lint_rules", &C::lintRules, "all");
-    sw("--lint-prune",
-       "skip failure points the lint pass proves statically "
-       "redundant (same ordering-point location, identical frontier "
-       "signature)",
-       "lint_prune", &C::lintPrune, true);
+    alias("--lint-prune", "deprecated alias for --backend=batched",
+          &C::backend, "batched");
+    sw("--elide-same-value",
+       "drop trace entries for stores that write back the bytes "
+       "already in memory (Jaaru-style; cannot change any crash "
+       "image, but also hides findings anchored on such writes)",
+       "elide_same_value_writes", &C::elideSameValueWrites, true);
     sw("--live",
        "feed the live per-second telemetry registry during the "
        "campaign (off by default; implied by --live-port and "
@@ -198,6 +219,14 @@ applyDetectorFlag(const ConfigFlagDesc &d, DetectorConfig &cfg,
             value = d.impliedValue;
         if (!value)
             panic("flag %s requires a value", d.flag);
+        if (d.stringField == &DetectorConfig::backend) {
+            BackendMode m;
+            if (!DetectorConfig::parseBackend(value, m)) {
+                panic("flag %s: unknown backend \"%s\" (expected "
+                      "full, delta or batched)",
+                      d.flag, value);
+            }
+        }
         cfg.*(d.stringField) = value;
         return;
     }
@@ -233,6 +262,8 @@ writeConfigJson(const DetectorConfig &cfg, obs::JsonWriter &w)
 {
     w.beginObject();
     for (const auto &d : detectorFlagTable()) {
+        if (d.alias)
+            continue;
         if (d.boolField)
             w.field(d.jsonKey, cfg.*(d.boolField));
         else if (d.uintField)

@@ -4,13 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
-#include <cstring>
 #include <deque>
+#include <latch>
 #include <mutex>
 #include <thread>
 
 #include "common/logging.hh"
-#include "lint/lint.hh"
 #include "trace/buffer.hh"
 #include "trace/iter.hh"
 #include "trace/page_index.hh"
@@ -44,22 +43,50 @@ CampaignResult::count(BugType t) const
 std::string
 CampaignResult::summary() const
 {
+    std::string batched;
+    if (stats.batchGroups) {
+        batched = strprintf(", batched %zu groups (+%zu folded)",
+                            stats.batchGroups, stats.lintPrunedPoints);
+    } else if (stats.lintPrunedPoints) {
+        batched =
+            strprintf(", lint-pruned %zu", stats.lintPrunedPoints);
+    }
     std::string s = strprintf(
         "=== XFDetector report: %zu finding(s) ===\n"
         "failure points: %zu (candidates %zu, elided %zu%s), "
         "post-failure executions: %zu\n"
         "time: pre %.3fs, post %.3fs, backend %.3fs\n",
         bugs.size(), stats.failurePoints, stats.orderingCandidates,
-        stats.elidedPoints,
-        stats.lintPrunedPoints
-            ? strprintf(", lint-pruned %zu", stats.lintPrunedPoints)
-                  .c_str()
-            : "",
-        stats.postExecutions, stats.preSeconds, stats.postSeconds,
-        stats.backendSeconds);
+        stats.elidedPoints, batched.c_str(), stats.postExecutions,
+        stats.preSeconds, stats.postSeconds, stats.backendSeconds);
     for (const auto &b : bugs)
         s += b.str() + "\n";
     return s;
+}
+
+std::string
+CampaignResult::fingerprint() const
+{
+    // One line per finding, sorted: the same identity the test
+    // harness and the CI batch-smoke job compare. Deliberately
+    // excludes occurrence counts, failure-point seqs and provenance —
+    // those legitimately differ between serial, parallel and batched
+    // schedules; the finding *set* must not.
+    std::vector<std::string> lines;
+    lines.reserve(bugs.size());
+    for (const auto &b : bugs) {
+        lines.push_back(strprintf("%s|%s|%s|%s", bugTypeId(b.type),
+                                  b.reader.str().c_str(),
+                                  b.writer.str().c_str(),
+                                  b.note.c_str()));
+    }
+    std::sort(lines.begin(), lines.end());
+    std::string out;
+    for (const auto &l : lines) {
+        out += l;
+        out += '\n';
+    }
+    return out;
 }
 
 Driver::Driver(pm::PmPool &p, DetectorConfig c) : pool(p), cfg(c)
@@ -72,6 +99,7 @@ Driver::runBaseline(const ProgramFn &pre, bool traced)
     trace::TraceBuffer buf;
     trace::PmRuntime rt(pool, buf, trace::Stage::PreFailure);
     rt.setTracing(traced);
+    rt.setBatching(true);
     auto t0 = std::chrono::steady_clock::now();
     try {
         pre(rt);
@@ -203,9 +231,7 @@ Driver::advanceImage(PreCursor &cur, const trace::TraceBuffer &pre,
             if (!cfg.crashImageMode)
                 continue;
             for (Addr l : cur.pendingLines) {
-                std::size_t off = l - cur.image.base();
-                std::memcpy(cur.durable.data() + off,
-                            cur.image.data() + off, cacheLineSize);
+                cur.durable.copyFrom(cur.image, l, cacheLineSize);
                 cur.dirtyLines.erase(l);
                 if (deltaStore)
                     cur.durablePages.insert(deltaStore->pageOf(l));
@@ -314,10 +340,19 @@ Driver::handleFailurePoint(PreCursor &cur, pm::PmPool &exec_pool,
         obs::SpanScope span(tl, "reconstruct", "backend", wobs.track);
         // Performance bugs are collected by the dedicated full-trace
         // advance, not here (workers would double-report them).
-        advanceShadow(cur, pre, fp, nullptr);
-        advanceImage(cur, pre, fp);
+        {
+            obs::SpanScope s2(tl, "advance-shadow", "backend",
+                              wobs.track);
+            advanceShadow(cur, pre, fp, nullptr);
+        }
+        {
+            obs::SpanScope s2(tl, "advance-image", "backend",
+                              wobs.track);
+            advanceImage(cur, pre, fp);
+        }
+        obs::SpanScope s3(tl, "restore-pool", "backend", wobs.track);
 
-        const pm::PmImage &src =
+        const pm::CowImage &src =
             cfg.crashImageMode ? cur.durable : cur.image;
         bool checkpoint_due =
             cfg.deltaCheckpointInterval != 0 &&
@@ -325,10 +360,17 @@ Driver::handleFailurePoint(PreCursor &cur, pm::PmPool &exec_pool,
         if (!deltaStore) {
             pm::restoreFull(src, exec_pool, stats.restore);
         } else if (!cur.execSynced || checkpoint_due) {
-            // Chunk start or checkpoint cadence: resync with one full
-            // copy so divergence stays bounded.
-            pm::restoreFull(src, exec_pool, stats.restore);
-            exec_pool.clearDirtyPages();
+            // Chunk start or checkpoint cadence: resync from scratch.
+            // A fresh pool is all zeros and any working image can
+            // differ from zero only where the write log landed or the
+            // initial snapshot was nonzero (chunkSyncPages), so
+            // restoring that set plus the exec pool's own dirt is
+            // byte-equivalent to the old full O(pool) copy.
+            std::set<std::uint32_t> pages = *chunkSyncPages;
+            exec_pool.drainDirtyPages(pages);
+            pm::restorePages(src, exec_pool, deltaStore->pageSize(),
+                             pages, stats.restore);
+            stats.restore.syncRestores++;
             cur.durablePages.clear();
             cur.execSynced = true;
             cur.sinceCheckpoint = 0;
@@ -356,15 +398,14 @@ Driver::handleFailurePoint(PreCursor &cur, pm::PmPool &exec_pool,
         // its campaigns under this check.
         static const bool validate =
             std::getenv("XFD_DELTA_VALIDATE") != nullptr;
-        if (validate &&
-            std::memcmp(src.data(), exec_pool.data(), src.size()) != 0) {
-            std::size_t off = 0;
-            while (src.data()[off] == exec_pool.data()[off])
-                off++;
-            panic("delta restore diverged at fp %u: pool offset %#zx "
-                  "(page %zu) image=%02x pool=%02x",
-                  fp, off, off / cfg.deltaPageSize, src.data()[off],
-                  exec_pool.data()[off]);
+        if (validate) {
+            std::size_t off = src.firstMismatch(exec_pool.data());
+            if (off != SIZE_MAX) {
+                panic("delta restore diverged at fp %u: pool offset "
+                      "%#zx (page %zu) pool=%02x",
+                      fp, off, off / cfg.deltaPageSize,
+                      exec_pool.data()[off]);
+            }
         }
     }
     // The phase entry reuses the exact interval that feeds
@@ -392,6 +433,10 @@ Driver::handleFailurePoint(PreCursor &cur, pm::PmPool &exec_pool,
         trace::PmRuntime rt(exec_pool, post_trace,
                             trace::Stage::PostFailure);
         rt.setEntryCap(1u << 20);
+        // Ring-buffered emission; no same-value elision post-failure
+        // (recovery rewriting identical bytes still re-establishes
+        // consistency, so every post write must be traced).
+        rt.setBatching(true);
         auto t0 = std::chrono::steady_clock::now();
         try {
             post(rt);
@@ -419,6 +464,7 @@ Driver::handleFailurePoint(PreCursor &cur, pm::PmPool &exec_pool,
                 static_cast<unsigned long long>(bad.addr));
             fp_sink.report(std::move(r));
         }
+        rt.setBatching(false); // flush the ring before reading counts
         double post_s = secondsSince(t0);
         stats.postSeconds += post_s;
         stats.phases.note(obs::Phase::RecoveryExec, post_s);
@@ -484,8 +530,8 @@ Driver::handleFailurePoint(PreCursor &cur, pm::PmPool &exec_pool,
                          static_cast<std::uint64_t>(classify_s * 1e6));
     }
 
-    if (observer && observer->onFailurePoint)
-        observer->onFailurePoint(fp, local);
+    if (observer)
+        observer->notifyFailurePoint(fp, local);
     sink.merge(local);
 }
 
@@ -502,6 +548,7 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
     if (threads == 0)
         threads = 1;
     CampaignResult result;
+    result.runConfig = cfg;
     result.stats.threads = threads;
 
     obs::Timeline *tl =
@@ -514,7 +561,10 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
         observer && observer->live.enabled() ? &observer->live
                                              : nullptr;
 
-    pm::PmImage initial = pool.snapshot();
+    // The campaign-start snapshot: one O(pool) copy into CoW pages;
+    // every cursor's working/durable image forks it for O(pages)
+    // pointer copies.
+    pm::CowImage initial(pool.snapshot());
 
     // Step 1: pre-failure stage, traced.
     trace::TraceBuffer pre_trace;
@@ -522,15 +572,19 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
     {
         obs::SpanScope span(tl, "pre-failure", "phase", 0);
         trace::PmRuntime rt(pool, pre_trace, trace::Stage::PreFailure);
+        rt.setBatching(true);
+        rt.setSameValueElision(cfg.elideSameValueWrites);
         auto t0 = std::chrono::steady_clock::now();
         try {
             pre(rt);
         } catch (const trace::StageComplete &) {
         }
+        rt.setBatching(false); // flush the ring before reading counts
         result.stats.preSeconds = secondsSince(t0);
         result.stats.phases.note(obs::Phase::TraceCapture,
                                  result.stats.preSeconds);
         pre_ops = rt.opCounts();
+        result.stats.sameValueElided = rt.sameValueElided();
     }
     result.stats.preTraceEntries = pre_trace.size();
     if (live) {
@@ -538,8 +592,8 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
         live->gauge("pre_seconds", result.stats.preSeconds);
     }
 
-    if (observer && observer->onPreTraceReady)
-        observer->onPreTraceReady(pre_trace);
+    if (observer)
+        observer->notifyPreTrace(pre_trace);
 
     // Step 2: plan failure points before each ordering point.
     FailurePlan plan;
@@ -550,39 +604,68 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
         result.stats.phases.note(obs::Phase::Plan, secondsSince(t0));
     }
 
-    // Step 2b (--lint-prune): drop points the static frontier
-    // analysis proves redundant — an earlier kept point at the same
-    // ordering-point source location exposed an identical frontier
-    // signature, so the post-failure stage can only rediscover the
-    // representative's findings. The oracle differential campaign
-    // re-checks every pruned point against its representative.
-    if (cfg.lintPrune && !plan.points.empty()) {
-        obs::SpanScope span(tl, "lint-prune", "phase", 0);
+    // Step 2b (--backend=batched): group planned points by frontier
+    // signature — an earlier kept point at the same ordering-point
+    // source location exposed an identical frontier signature, so the
+    // post-failure stage can only rediscover the representative's
+    // findings. Each group is one scheduling unit; only its
+    // representative executes. The oracle differential campaign
+    // re-checks every folded point against its representative.
+    std::uint32_t total_units =
+        static_cast<std::uint32_t>(plan.points.size());
+    struct WorkItem
+    {
+        std::uint32_t fp;
+        std::uint32_t weight;
+    };
+    std::vector<WorkItem> schedule;
+    if (cfg.batchingOn() && !plan.points.empty()) {
+        obs::SpanScope span(tl, "plan-batches", "phase", 0);
         auto t0 = std::chrono::steady_clock::now();
-        lint::PruneVerdicts v = lint::computePruneVerdicts(
-            pre_trace, plan.points, cfg.granularity);
-        result.stats.lintPrunedPoints = v.pruned.size();
-        plan.points = std::move(v.kept);
+        BatchPlan batches =
+            planBatches(pre_trace, plan.points, cfg.granularity);
+        result.stats.lintPrunedPoints = batches.foldedPoints();
+        result.stats.batchGroups = batches.groups.size();
+        schedule.reserve(batches.groups.size());
+        for (const auto &g : batches.groups) {
+            schedule.push_back(
+                {g.rep, static_cast<std::uint32_t>(g.weight())});
+        }
         result.stats.phases.note(obs::Phase::LintPrune,
                                  secondsSince(t0));
+    } else {
+        schedule.reserve(plan.points.size());
+        for (std::uint32_t fp : plan.points)
+            schedule.push_back({fp, 1});
     }
-    result.stats.failurePoints = plan.points.size();
+    result.stats.failurePoints = schedule.size();
     result.stats.orderingCandidates = plan.candidates;
     result.stats.elidedPoints = plan.elided;
     result.stats.poolBytes = pool.size();
 
     if (live)
-        live->gauge("failure_points_planned", plan.points.size());
+        live->gauge("failure_points_planned", total_units);
 
     // Index the write log by page once; workers share it read-only.
     // Its cost bills to planning: both prepare the per-point loop.
+    // base_sync_pages bounds where any working image can differ from
+    // a zeroed pool (every logged write's page + the initial
+    // snapshot's nonzero pages); chunk starts and checkpoint resyncs
+    // restore that set instead of the whole pool.
     pm::ImageDeltaStore delta_store;
-    if (cfg.deltaImages) {
+    std::set<std::uint32_t> base_sync_pages;
+    if (cfg.deltaImagesOn()) {
         obs::SpanScope span(tl, "index-write-log", "phase", 0);
         auto t0 = std::chrono::steady_clock::now();
         delta_store = trace::buildDeltaStore(
             pre_trace, cfg.deltaPageSize, pool.range());
         deltaStore = &delta_store;
+        delta_store.collectPages(
+            0, static_cast<std::uint32_t>(pre_trace.size()),
+            base_sync_pages);
+        initial.collectNonZeroPages(cfg.deltaPageSize,
+                                    base_sync_pages);
+        chunkSyncPages = &base_sync_pages;
         result.stats.phases.note(obs::Phase::Plan, secondsSince(t0));
     }
 
@@ -590,19 +673,25 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
         static_cast<std::uint32_t>(pre_trace.size());
     threads = static_cast<unsigned>(
         std::min<std::size_t>(threads, std::max<std::size_t>(
-                                           plan.points.size(), 1)));
+                                           schedule.size(), 1)));
 
-    // Steps 3-4: per failure point, reconstruct the image, run the
+    // Steps 3-4: per schedule item (failure point, or signature group
+    // under --backend=batched), reconstruct the image, run the
     // post-failure stage, and check its trace against the shadow PM.
-    // Failure points are split into contiguous chunks per worker.
-    std::deque<BugSink> sinks(threads);
+    // Workers pull items off a shared index — dynamic load balancing
+    // with no handoff of cursors: each worker's won items are still
+    // in ascending seq order, so its shadow/image cursors advance
+    // monotonically. Findings land in per-item sinks and merge in
+    // item order after the join, so the merged result is identical
+    // whatever the worker count or item-to-worker assignment.
+    std::deque<BugSink> item_sinks(schedule.size());
     std::deque<CampaignStats> stats(threads);
     std::deque<PreCursor> cursors;
     for (unsigned t = 0; t < threads; t++)
         cursors.emplace_back(pool.range(), cfg, initial);
 
-    // Per-worker observability sinks, merged deterministically (chunk
-    // order) into the observer after the join.
+    // Per-worker observability sinks, merged deterministically
+    // (worker order) into the observer after the join.
     std::deque<std::vector<double>> post_latency(threads);
     std::deque<std::array<std::uint64_t, trace::opCount>>
         post_ops(threads);
@@ -613,18 +702,18 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
         for (unsigned t = 0; t < threads; t++)
             tracks[t] = tl->registerTrack(strprintf("worker-%u", t));
     }
-    std::atomic<std::size_t> fps_done{0};
+    // Item i < threads is pre-assigned to worker i (every worker is
+    // guaranteed work when there is enough to go around, and each
+    // gets a warm cursor); the rest of the schedule is pulled off
+    // the shared index. A worker's sequence of item indices is
+    // strictly increasing either way, keeping its cursors monotonic.
+    std::atomic<std::size_t> next_item{threads};
+    std::atomic<std::size_t> units_done{0};
     std::atomic<std::size_t> bugs_found{0};
     std::mutex progress_lock;
+    std::latch start_gate(threads);
 
     auto worker = [&](unsigned t) {
-        std::size_t per =
-            (plan.points.size() + threads - 1) / threads;
-        std::size_t begin = t * per;
-        std::size_t end =
-            std::min(plan.points.size(), begin + per);
-        if (begin >= end)
-            return;
         if (threads > 1)
             setThreadLogLabel(strprintf("w%u", t));
         // Each worker executes post-failure stages on its own pool
@@ -640,29 +729,50 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
             exec_pool->enableDirtyTracking(cfg.deltaPageSize);
         WorkerObs wobs{tl, tracks[t], &post_latency[t], &post_ops[t],
                        live};
-        std::size_t reported = 0;
-        for (std::size_t i = begin; i < end; i++) {
+        // All workers start pulling together — otherwise the first
+        // spawned thread can drain a short queue before its peers
+        // finish setting up their pool replicas.
+        start_gate.arrive_and_wait();
+        // Dedup across this worker's items, for progress counting
+        // only (the authoritative dedup is the post-join merge).
+        BugSink seen;
+        bool first = true;
+        for (;;) {
+            std::size_t i;
+            if (first) {
+                first = false;
+                i = t;
+            } else {
+                i = next_item.fetch_add(1, std::memory_order_relaxed);
+            }
+            if (i >= schedule.size())
+                break;
             handleFailurePoint(cursors[t], *exec_pool, pre_trace, post,
-                               plan.points[i], sinks[t], stats[t],
+                               schedule[i].fp, item_sinks[i], stats[t],
                                wobs);
-            bool progress = observer && observer->onProgress;
+            bool progress = observer && observer->wantsProgress();
             if (progress || live) {
-                std::size_t fresh = sinks[t].size() - reported;
-                reported = sinks[t].size();
+                std::size_t before = seen.size();
+                seen.merge(item_sinks[i]);
+                std::size_t fresh = seen.size() - before;
                 if (fresh) {
                     bugs_found += fresh;
                     if (live)
                         live->count("bugs", fresh);
                 }
-                std::size_t done = ++fps_done;
+                // A finished group accounts for all its folded
+                // members, so rates and ETAs track actual coverage.
+                std::size_t done =
+                    units_done.fetch_add(schedule[i].weight) +
+                    schedule[i].weight;
                 if (live) {
                     live->gauge("failure_points_done",
                                 static_cast<double>(done));
                 }
                 if (progress) {
                     std::lock_guard<std::mutex> lock(progress_lock);
-                    observer->onProgress(done, plan.points.size(),
-                                         bugs_found.load());
+                    observer->notifyProgress(
+                        {done, total_units, bugs_found.load()});
                 }
             }
         }
@@ -671,6 +781,14 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
         if (threads > 1)
             setThreadLogLabel("");
     };
+
+    // Zero anchor tick: lets progress consumers (the CLI meter's ETA
+    // in particular) anchor their per-point rate at loop start, so
+    // the first finished item — a whole signature group under
+    // --backend=batched — is priced into the rate instead of lost to
+    // the anchor.
+    if (observer && observer->wantsProgress())
+        observer->notifyProgress({0, total_units, 0});
 
     auto tpar0 = std::chrono::steady_clock::now();
     if (threads == 1) {
@@ -684,10 +802,12 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
     }
     double wall = secondsSince(tpar0);
 
-    // Merge per-worker findings in chunk order (deterministic).
+    // Merge findings in item order: deterministic and identical to
+    // the serial campaign regardless of which worker won which item.
     BugSink merged;
+    for (auto &s : item_sinks)
+        merged.merge(s);
     for (unsigned t = 0; t < threads; t++) {
-        merged.merge(sinks[t]);
         result.stats.postExecutions += stats[t].postExecutions;
         result.stats.postTraceEntries += stats[t].postTraceEntries;
         if (threads == 1) {
@@ -704,6 +824,7 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
         result.stats.phases.merge(stats[t].phases);
     }
     deltaStore = nullptr;
+    chunkSyncPages = nullptr;
     if (threads > 1) {
         // Per-thread CPU times overlap; report the wall time split
         // proportionally like the serial breakdown would be.
@@ -718,7 +839,7 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
     ShadowFsmCounters fsm;
     {
         obs::SpanScope span(tl, "perf-scan", "phase", 0);
-        PreCursor full(pool.range(), cfg, std::move(initial));
+        PreCursor full(pool.range(), cfg, initial);
         auto tb = std::chrono::steady_clock::now();
         advanceShadow(full, pre_trace, trace_end, &merged);
         advanceImage(full, pre_trace, trace_end);
@@ -775,8 +896,17 @@ Driver::fillObserverStats(
         "failure points skipped by trace elision",
         static_cast<double>(s.elidedPoints));
     set("campaign.lint.pruned_points",
-        "failure points skipped by --lint-prune",
+        "failure points folded into batch representatives",
         static_cast<double>(s.lintPrunedPoints));
+    set("campaign.batch.groups",
+        "signature groups scheduled (--backend=batched)",
+        static_cast<double>(s.batchGroups));
+    set("campaign.batch.folded_points",
+        "failure points covered by a group representative's run",
+        static_cast<double>(s.lintPrunedPoints));
+    set("campaign.trace.same_value_elided",
+        "same-value stores elided at emit time (--elide-same-value)",
+        static_cast<double>(s.sameValueElided));
     set("campaign.post_executions",
         "post-failure stage executions",
         static_cast<double>(s.postExecutions));
@@ -823,7 +953,8 @@ Driver::fillObserverStats(
     Scalar &fps = reg.scalar("campaign.failure_points", "");
     Scalar &pruned = reg.scalar("campaign.lint.pruned_points", "");
     reg.formula("campaign.lint.prune_ratio",
-                "fraction of planned points pruned by --lint-prune",
+                "fraction of planned points folded by "
+                "--backend=batched",
                 [&fps, &pruned] {
                     double planned = fps.value() + pruned.value();
                     return planned ? pruned.value() / planned : 0.0;
@@ -849,6 +980,9 @@ Driver::fillObserverStats(
     set("campaign.delta.bytes_full_copy",
         "bytes copied by full-image restores",
         static_cast<double>(s.restore.bytesFullCopy));
+    set("campaign.delta.sync_restores",
+        "from-scratch resyncs done page-granular instead of O(pool)",
+        static_cast<double>(s.restore.syncRestores));
     Scalar &pool_b = reg.scalar("campaign.pool_bytes", "");
     Scalar &full_c = reg.scalar("campaign.delta.full_copies", "");
     Scalar &delta_r = reg.scalar("campaign.delta.delta_restores", "");

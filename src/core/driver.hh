@@ -16,9 +16,13 @@
  * runParallel() implements the future work the paper names in §6.2.1
  * ("the post-failure executions are independent as they operate on a
  * copy of the original PM image, and therefore, can be parallelized"):
- * failure points are partitioned into contiguous chunks, each handled
- * by a worker thread with its own pool replica, shadow PM and replay
- * cursors; findings merge deterministically.
+ * the schedule — one work item per failure point, or per signature
+ * group under --backend=batched — is pulled dynamically off a shared
+ * queue by worker threads, each with its own pool replica, shadow PM
+ * and replay cursors. Items are consumed in ascending seq order, so
+ * every worker's cursors stay monotonic regardless of which items it
+ * wins, and findings collect per item and merge in item order, so
+ * the result is deterministic and identical to the serial run.
  */
 
 #ifndef XFD_CORE_DRIVER_HH
@@ -37,6 +41,7 @@
 #include "core/observer.hh"
 #include "core/shadow_pm.hh"
 #include "obs/phase_profiler.hh"
+#include "pm/cow.hh"
 #include "pm/delta.hh"
 #include "pm/image.hh"
 #include "pm/pool.hh"
@@ -54,8 +59,15 @@ struct CampaignStats
     std::size_t failurePoints = 0;
     std::size_t orderingCandidates = 0;
     std::size_t elidedPoints = 0;
-    /** Points skipped by --lint-prune (0 unless cfg.lintPrune). */
+    /**
+     * Points folded into a signature group's representative and not
+     * executed (0 unless --backend=batched).
+     */
     std::size_t lintPrunedPoints = 0;
+    /** Signature groups scheduled (0 unless --backend=batched). */
+    std::size_t batchGroups = 0;
+    /** Same-value stores elided at emit time (--elide-same-value). */
+    std::size_t sameValueElided = 0;
     std::size_t postExecutions = 0;
     std::size_t preTraceEntries = 0;
     std::size_t postTraceEntries = 0;
@@ -85,11 +97,30 @@ struct CampaignStats
     }
 };
 
-/** Everything a campaign produced. */
+/**
+ * Everything a campaign produced: findings, stats, per-phase timing
+ * and the configuration it ran under — the first-class return object
+ * of Driver::run()/xfd::Campaign::run(). Prefer the accessors
+ * (findings(), statistics(), phases(), config(), fingerprint()) over
+ * reaching into the public members; the members stay public for one
+ * PR of source compatibility (removal schedule: DESIGN.md §13).
+ */
 struct CampaignResult
 {
     std::vector<BugReport> bugs;
     CampaignStats stats;
+
+    /** The deduplicated findings, in deterministic merge order. */
+    const std::vector<BugReport> &findings() const { return bugs; }
+
+    /** Timing/volume statistics of the campaign. */
+    const CampaignStats &statistics() const { return stats; }
+
+    /** Per-phase wall-time attribution of the campaign loop. */
+    const obs::PhaseTotals &phases() const { return stats.phases; }
+
+    /** The DetectorConfig this campaign actually ran with. */
+    const DetectorConfig &config() const { return runConfig; }
 
     /** @return number of distinct findings of type @p t. */
     std::size_t count(BugType t) const;
@@ -98,6 +129,18 @@ struct CampaignResult
 
     /** Multi-line human-readable report. */
     std::string summary() const;
+
+    /**
+     * Order-insensitive identity of the findings: one sorted line
+     * per finding ("type|reader|writer|note"), independent of
+     * scheduling, worker count and backend mode. Byte-comparable
+     * across runs — the batch-equivalence tests and the CI
+     * batch-smoke job diff exactly this string.
+     */
+    std::string fingerprint() const;
+
+    /** Filled by the driver; read through config(). */
+    DetectorConfig runConfig;
 };
 
 /** Orchestrates detection campaigns over a PM pool. */
@@ -148,19 +191,24 @@ class Driver
      */
     struct PreCursor
     {
+        /**
+         * @p initial is the shared campaign-start snapshot; both
+         * images fork it (O(pages) pointer copies — pages physically
+         * split only as writes land).
+         */
         PreCursor(AddrRange range, const DetectorConfig &cfg,
-                  pm::PmImage initial)
+                  const pm::CowImage &initial)
             : shadow(range, cfg), image(initial)
         {
             if (cfg.crashImageMode)
-                durable = std::move(initial);
+                durable = initial;
         }
 
         ShadowPM shadow;
         /** All updates applied (the paper's footnote-3 image). */
-        pm::PmImage image;
+        pm::CowImage image;
         /** Persisted-only image (crashImageMode extension). */
-        pm::PmImage durable;
+        pm::CowImage durable;
         /** Lines written since their last durable copy. */
         std::set<Addr> dirtyLines;
         /** Lines flushed, awaiting the next fence. */
@@ -270,10 +318,18 @@ class Driver
     /**
      * Write-log page index for the campaign in flight; null disables
      * delta restores (handleFailurePoint falls back to full copies).
-     * Set by runParallel() when cfg.deltaImages, cleared before it
-     * returns.
+     * Set by runParallel() for the delta and batched backends,
+     * cleared before it returns.
      */
     const pm::ImageDeltaStore *deltaStore = nullptr;
+    /**
+     * Pages where any working image can differ from a fresh zeroed
+     * pool: the full write-log page set united with the initial
+     * snapshot's nonzero pages. Chunk starts and checkpoint resyncs
+     * restore this set (plus exec-pool dirt) instead of copying the
+     * whole pool. Valid exactly while deltaStore is.
+     */
+    const std::set<std::uint32_t> *chunkSyncPages = nullptr;
 };
 
 } // namespace xfd::core

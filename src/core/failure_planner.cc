@@ -1,5 +1,9 @@
 #include "core/failure_planner.hh"
 
+#include <algorithm>
+#include <map>
+
+#include "lint/lint.hh"
 #include "trace/iter.hh"
 
 namespace xfd::core
@@ -54,6 +58,48 @@ planFailurePoints(const trace::TraceBuffer &pre, const DetectorConfig &cfg)
             break;
         }
     }
+    return plan;
+}
+
+BatchPlan
+planBatches(const trace::TraceBuffer &pre,
+            const std::vector<std::uint32_t> &points,
+            unsigned granularity)
+{
+    // The grouping identity is exactly the lint pass's prunability
+    // relation: each kept point seeds a group, each pruned point
+    // folds into its kept representative's group. The equivalence is
+    // load-bearing — test_lint_e2e proves kept-only campaigns keep
+    // byte-identical findings, which is what lets a representative's
+    // run stand in for its members.
+    lint::PruneVerdicts v =
+        lint::computePruneVerdicts(pre, points, granularity);
+
+    BatchPlan plan;
+    std::map<std::uint32_t, std::size_t> group_of;
+    plan.groups.reserve(v.kept.size());
+    for (std::uint32_t rep : v.kept) {
+        group_of[rep] = plan.groups.size();
+        plan.groups.push_back(BatchGroup{rep, {}});
+    }
+    for (const auto &p : v.pruned) {
+        auto it = group_of.find(p.keptRep);
+        if (it == group_of.end()) {
+            // A pruned point always names a kept representative; be
+            // defensive and promote it rather than lose coverage.
+            group_of[p.fp] = plan.groups.size();
+            plan.groups.push_back(BatchGroup{p.fp, {}});
+            continue;
+        }
+        plan.groups[it->second].folded.push_back(p.fp);
+    }
+    // kept is in plan order (ascending); keep the schedule sorted by
+    // representative so each worker's pulls stay monotonic and the
+    // final merge order matches the serial campaign's.
+    std::sort(plan.groups.begin(), plan.groups.end(),
+              [](const BatchGroup &a, const BatchGroup &b) {
+                  return a.rep < b.rep;
+              });
     return plan;
 }
 

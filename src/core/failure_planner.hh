@@ -43,6 +43,61 @@ struct FailurePlan
 FailurePlan planFailurePoints(const trace::TraceBuffer &pre,
                               const DetectorConfig &cfg);
 
+/**
+ * One scheduling unit of a batched campaign: a representative
+ * failure point plus every later point whose frontier signature the
+ * lint pass proved identical (same ordering-point source location,
+ * same in-flight write set, inconsistency set and commit values).
+ * The representative's recovery run stands in for the whole group —
+ * its findings are, provably, what every member would rediscover.
+ */
+struct BatchGroup
+{
+    /** The failure point actually executed. */
+    std::uint32_t rep = 0;
+    /** Points folded into this group (ascending, excludes rep). */
+    std::vector<std::uint32_t> folded;
+
+    /** Failure points this group accounts for (progress weight). */
+    std::size_t weight() const { return 1 + folded.size(); }
+};
+
+/**
+ * The batched schedule for one campaign: groups ascending by
+ * representative seq, pulled dynamically by the worker pool.
+ */
+struct BatchPlan
+{
+    std::vector<BatchGroup> groups;
+
+    /** Points folded into representatives (not executed). */
+    std::size_t
+    foldedPoints() const
+    {
+        std::size_t n = 0;
+        for (const auto &g : groups)
+            n += g.folded.size();
+        return n;
+    }
+
+    /** Total failure points the schedule accounts for. */
+    std::size_t
+    totalPoints() const
+    {
+        return groups.size() + foldedPoints();
+    }
+};
+
+/**
+ * Group @p points (ascending, from planFailurePoints) by frontier
+ * signature at @p granularity. Every input point appears in exactly
+ * one group; a point whose signature matches no earlier point forms
+ * a new single-member group.
+ */
+BatchPlan planBatches(const trace::TraceBuffer &pre,
+                      const std::vector<std::uint32_t> &points,
+                      unsigned granularity);
+
 } // namespace xfd::core
 
 #endif // XFD_CORE_FAILURE_PLANNER_HH

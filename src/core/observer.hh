@@ -5,22 +5,22 @@
  * A CampaignObserver owns the observability channels of one
  * detection campaign:
  *
- *  - stats:      the gem5-style registry Driver/ShadowPM/PmRuntime
- *                counters are aggregated into at campaign end,
- *  - timeline:   per-phase and per-failure-point spans (exportable as
- *                JSONL or Chrome trace_event),
- *  - live:       the per-second sliding-window registry behind
- *                --live-port/--live-jsonl (fed mid-run, disabled by
- *                default),
- *  - onProgress: invoked after every failure point with
- *                (done, total, bugs-so-far) — wire it to an
- *                obs::ProgressMeter for the periodic progress line.
+ *  - stats:    the gem5-style registry Driver/ShadowPM/PmRuntime
+ *              counters are aggregated into at campaign end,
+ *  - timeline: per-phase and per-failure-point spans (exportable as
+ *              JSONL or Chrome trace_event),
+ *  - live:     the per-second sliding-window registry behind
+ *              --live-port/--live-jsonl (fed mid-run, disabled by
+ *              default),
+ *  - hooks:    one versioned CampaignHooks interface for everything
+ *              event-shaped — progress ticks, the captured pre-trace,
+ *              per-failure-point findings.
  *
- * Two further hooks exist for harnesses that need the campaign's raw
- * material rather than its aggregates (the differential oracle in
- * src/oracle is the canonical consumer): onPreTraceReady hands out the
- * pre-failure trace right after it was captured, and onFailurePoint
- * delivers each failure point's findings before cross-point dedup.
+ * CampaignHooks replaces the three scattered std::function members
+ * that accumulated here across PRs (onProgress, onPreTraceReady,
+ * onFailurePoint). Those members remain as deprecated shims for one
+ * PR — the driver fires both surfaces — and their removal schedule is
+ * documented in DESIGN.md conventions.
  *
  * Attach with Driver::setObserver(); a null observer keeps the
  * driver's hot paths free of observability work.
@@ -42,6 +42,61 @@
 namespace xfd::core
 {
 
+/** One progress tick of the per-failure-point loop. */
+struct ProgressUpdate
+{
+    /**
+     * Failure points accounted for so far. In a batched campaign a
+     * finished group contributes its whole member count, so rates
+     * and ETAs stay comparable with serial runs.
+     */
+    std::size_t done = 0;
+    /** Total planned failure points (pre-batching). */
+    std::size_t total = 0;
+    /** Findings reported so far (per-worker dedup). */
+    std::size_t bugs = 0;
+};
+
+/**
+ * The versioned campaign event interface. Subclass and override what
+ * you need; every default is a no-op. Delivery contract:
+ *
+ *  - onPreTraceReady: once per campaign, from the main thread, after
+ *    the pre-failure stage ran and before planning. The buffer
+ *    reference is valid only for the duration of the call.
+ *  - onFailurePoint: after each executed failure point's replay,
+ *    with the findings that exact point produced (per-point sink, no
+ *    cross-point suppression). Parallel campaigns fire this
+ *    concurrently from worker threads — synchronize yourself.
+ *  - onProgress: after every executed failure point, serialized
+ *    under the driver's progress lock.
+ *
+ * `version` bumps whenever a method is added, removed or changes
+ * meaning, so out-of-tree observers fail loudly at compile time
+ * (static_assert on the value they were written against) instead of
+ * silently missing events.
+ */
+class CampaignHooks
+{
+  public:
+    /** Interface version: 2 (v1 was the std::function trio). */
+    static constexpr int version = 2;
+
+    virtual ~CampaignHooks() = default;
+
+    /** The captured pre-failure trace, before planning. */
+    virtual void onPreTraceReady(const trace::TraceBuffer &) {}
+
+    /** Findings of one executed failure point, pre-dedup. */
+    virtual void onFailurePoint(std::uint32_t /*fp*/,
+                                const BugSink & /*findings*/)
+    {
+    }
+
+    /** Periodic progress; see ProgressUpdate for batched semantics. */
+    virtual void onProgress(const ProgressUpdate &) {}
+};
+
 /** Observability sinks for one (or more) detection campaigns. */
 struct CampaignObserver
 {
@@ -56,31 +111,72 @@ struct CampaignObserver
      */
     obs::LiveMetrics live;
 
-    /** (failure points done, total planned, distinct bugs so far). */
+    /**
+     * The campaign event interface (may be null). Not owned; must
+     * outlive the campaign.
+     */
+    CampaignHooks *hooks = nullptr;
+
+    /**
+     * @name Deprecated functional hooks (v1)
+     * Superseded by CampaignHooks; the driver still fires these when
+     * set, after the hooks-interface call. Removal schedule:
+     * DESIGN.md §13.
+     * @{
+     */
+
+    /** @deprecated (done, total, bugs) — use CampaignHooks. */
     using ProgressFn =
         std::function<void(std::size_t, std::size_t, std::size_t)>;
     ProgressFn onProgress;
 
-    /**
-     * Invoked once per campaign, from the main thread, after the
-     * pre-failure stage ran and before failure points are planned.
-     * The buffer reference is valid only for the duration of the
-     * call — copy it to keep it (TraceEntry is copyable; its string
-     * members point at literals).
-     */
+    /** @deprecated Use CampaignHooks::onPreTraceReady. */
     using PreTraceFn = std::function<void(const trace::TraceBuffer &)>;
     PreTraceFn onPreTraceReady;
 
-    /**
-     * Invoked after each failure point's post-failure replay with the
-     * findings that exact failure point produced (a per-point sink:
-     * no suppression by earlier points, unlike the campaign's merged
-     * result). With a parallel driver this fires concurrently from
-     * worker threads — the callback must synchronize itself.
-     */
+    /** @deprecated Use CampaignHooks::onFailurePoint. */
     using FailurePointFn =
         std::function<void(std::uint32_t fp, const BugSink &findings)>;
     FailurePointFn onFailurePoint;
+
+    /** @} */
+
+    /** Whether any progress consumer is attached. */
+    bool
+    wantsProgress() const
+    {
+        return hooks != nullptr || static_cast<bool>(onProgress);
+    }
+
+    /** Deliver the pre-trace to whichever surfaces are attached. */
+    void
+    notifyPreTrace(const trace::TraceBuffer &pre)
+    {
+        if (hooks)
+            hooks->onPreTraceReady(pre);
+        if (onPreTraceReady)
+            onPreTraceReady(pre);
+    }
+
+    /** Deliver one failure point's findings to attached surfaces. */
+    void
+    notifyFailurePoint(std::uint32_t fp, const BugSink &findings)
+    {
+        if (hooks)
+            hooks->onFailurePoint(fp, findings);
+        if (onFailurePoint)
+            onFailurePoint(fp, findings);
+    }
+
+    /** Deliver a progress tick to attached surfaces. */
+    void
+    notifyProgress(const ProgressUpdate &u)
+    {
+        if (hooks)
+            hooks->onProgress(u);
+        if (onProgress)
+            onProgress(u.done, u.total, u.bugs);
+    }
 };
 
 } // namespace xfd::core

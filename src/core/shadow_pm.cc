@@ -1,5 +1,7 @@
 #include "core/shadow_pm.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace xfd::core
@@ -25,13 +27,26 @@ ShadowPM::ShadowPM(AddrRange pool, const DetectorConfig &c)
         fatal("shadow granularity must be a power of two <= 64");
 }
 
-ShadowPM::Cell &
-ShadowPM::cellAt(std::uint64_t idx)
+ShadowPM::Page &
+ShadowPM::pageAt(std::uint64_t idx)
 {
     auto &page = pages[idx / cellsPerPage];
     if (!page)
         page = std::make_unique<Page>();
-    return (*page)[idx % cellsPerPage];
+    return *page;
+}
+
+ShadowPM::Page *
+ShadowPM::findPage(std::uint64_t idx)
+{
+    auto it = pages.find(idx / cellsPerPage);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+ShadowPM::Cell &
+ShadowPM::cellAt(std::uint64_t idx)
+{
+    return pageAt(idx)[idx % cellsPerPage];
 }
 
 const ShadowPM::Cell *
@@ -43,25 +58,41 @@ ShadowPM::findCell(std::uint64_t idx) const
     return &(*it->second)[idx % cellsPerPage];
 }
 
+ShadowPM::PostPage &
+ShadowPM::postPageAt(std::uint64_t idx)
+{
+    auto &page = postPages[idx / cellsPerPage];
+    if (!page)
+        page = std::make_unique<PostPage>();
+    return *page;
+}
+
 void
 ShadowPM::preWrite(Addr a, std::size_t n, std::uint32_t seq,
                    bool non_temporal)
 {
     if (n == 0)
         return;
-    std::uint64_t first = cellIndex(a);
-    std::uint64_t count = cellCount(a, n);
+    std::uint64_t idx = cellIndex(a);
+    std::uint64_t end = idx + cellCount(a, n);
     PersistState to = non_temporal ? PersistState::WritebackPending
                                    : PersistState::Modified;
-    for (std::uint64_t i = 0; i < count; i++) {
-        Cell &c = cellAt(first + i);
-        noteEdge(c.ps, to);
-        c.ps = to;
-        c.flags &= static_cast<std::uint8_t>(~cellUninit);
-        c.tlast = ts;
-        c.lastWriterSeq = seq;
-        if (non_temporal)
-            pendingCells.push_back(first + i);
+    // Page-chunked: one hash lookup per page run, not per cell.
+    while (idx < end) {
+        std::uint64_t off = idx % cellsPerPage;
+        std::uint64_t run = std::min(end - idx, cellsPerPage - off);
+        Page &pg = pageAt(idx);
+        for (std::uint64_t i = 0; i < run; i++) {
+            Cell &c = pg[off + i];
+            noteEdge(c.ps, to);
+            c.ps = to;
+            c.flags &= static_cast<std::uint8_t>(~cellUninit);
+            c.tlast = ts;
+            c.lastWriterSeq = seq;
+            if (non_temporal)
+                pendingCells.push_back(idx + i);
+        }
+        idx += run;
     }
     // A write that overlaps a commit variable is a commit write Cx:
     // it versions the consistency of the variable's address set.
@@ -78,12 +109,23 @@ ShadowPM::preFlush(Addr line, std::uint32_t seq)
 {
     (void)seq;
     std::uint64_t first = cellIndex(line);
-    std::uint64_t count = cellCount(line, cacheLineSize);
+    std::uint64_t end = first + cellCount(line, cacheLineSize);
+    // Page-chunked in both passes: a line's cells live in at most two
+    // pages, so the scan costs two hash lookups instead of one per
+    // cell. Cells in absent pages are Unmodified by construction.
     bool any_modified = false;
-    for (std::uint64_t i = 0; i < count; i++) {
-        const Cell *c = findCell(first + i);
-        if (c && c->ps == PersistState::Modified)
-            any_modified = true;
+    for (std::uint64_t idx = first; idx < end && !any_modified;) {
+        std::uint64_t off = idx % cellsPerPage;
+        std::uint64_t run = std::min(end - idx, cellsPerPage - off);
+        if (const Page *pg = findPage(idx)) {
+            for (std::uint64_t i = 0; i < run; i++) {
+                if ((*pg)[off + i].ps == PersistState::Modified) {
+                    any_modified = true;
+                    break;
+                }
+            }
+        }
+        idx += run;
     }
     if (!any_modified) {
         // Fig. 9 yellow edges: flushing a line with nothing modified
@@ -92,14 +134,21 @@ ShadowPM::preFlush(Addr line, std::uint32_t seq)
             fsm.redundantFlushes++;
         return true;
     }
-    for (std::uint64_t i = 0; i < count; i++) {
-        Cell &c = cellAt(first + i);
-        if (c.ps == PersistState::Modified) {
-            noteEdge(PersistState::Modified,
-                     PersistState::WritebackPending);
-            c.ps = PersistState::WritebackPending;
-            pendingCells.push_back(first + i);
+    for (std::uint64_t idx = first; idx < end;) {
+        std::uint64_t off = idx % cellsPerPage;
+        std::uint64_t run = std::min(end - idx, cellsPerPage - off);
+        if (Page *pg = findPage(idx)) {
+            for (std::uint64_t i = 0; i < run; i++) {
+                Cell &c = (*pg)[off + i];
+                if (c.ps == PersistState::Modified) {
+                    noteEdge(PersistState::Modified,
+                             PersistState::WritebackPending);
+                    c.ps = PersistState::WritebackPending;
+                    pendingCells.push_back(idx + i);
+                }
+            }
         }
+        idx += run;
     }
     return false;
 }
@@ -108,8 +157,16 @@ void
 ShadowPM::preFence()
 {
     bool retired = false;
+    // pendingCells runs are mostly consecutive (whole lines): cache
+    // the page across iterations.
+    std::uint64_t cached_pg = ~std::uint64_t{0};
+    Page *pg = nullptr;
     for (std::uint64_t idx : pendingCells) {
-        Cell &c = cellAt(idx);
+        if (idx / cellsPerPage != cached_pg) {
+            cached_pg = idx / cellsPerPage;
+            pg = &pageAt(idx);
+        }
+        Cell &c = (*pg)[idx % cellsPerPage];
         if (c.ps == PersistState::WritebackPending) {
             noteEdge(PersistState::WritebackPending,
                      PersistState::Persisted);
@@ -130,30 +187,46 @@ ShadowPM::preFence()
 void
 ShadowPM::preAlloc(Addr a, std::size_t n, std::uint32_t seq)
 {
-    std::uint64_t first = cellIndex(a);
-    std::uint64_t count = cellCount(a, n);
-    for (std::uint64_t i = 0; i < count; i++) {
-        Cell &c = cellAt(first + i);
-        // Freshly allocated cells hold no guaranteed contents: the
-        // pre-failure program "creates an unmodified PM location that
-        // is read by the post-failure execution" (§6.3.2 bug 2).
-        noteEdge(c.ps, PersistState::Modified);
-        c.ps = PersistState::Modified;
-        c.flags |= cellUninit;
-        c.tlast = ts;
-        c.lastWriterSeq = seq;
+    std::uint64_t idx = cellIndex(a);
+    std::uint64_t end = idx + cellCount(a, n);
+    while (idx < end) {
+        std::uint64_t off = idx % cellsPerPage;
+        std::uint64_t run = std::min(end - idx, cellsPerPage - off);
+        Page &pg = pageAt(idx);
+        for (std::uint64_t i = 0; i < run; i++) {
+            Cell &c = pg[off + i];
+            // Freshly allocated cells hold no guaranteed contents: the
+            // pre-failure program "creates an unmodified PM location
+            // that is read by the post-failure execution" (§6.3.2
+            // bug 2).
+            noteEdge(c.ps, PersistState::Modified);
+            c.ps = PersistState::Modified;
+            c.flags |= cellUninit;
+            c.tlast = ts;
+            c.lastWriterSeq = seq;
+        }
+        idx += run;
     }
 }
 
 void
 ShadowPM::preFree(Addr a, std::size_t n)
 {
-    std::uint64_t first = cellIndex(a);
-    std::uint64_t count = cellCount(a, n);
-    for (std::uint64_t i = 0; i < count; i++) {
-        Cell &c = cellAt(first + i);
-        noteEdge(c.ps, PersistState::Unmodified);
-        c = Cell{};
+    std::uint64_t idx = cellIndex(a);
+    std::uint64_t end = idx + cellCount(a, n);
+    while (idx < end) {
+        std::uint64_t off = idx % cellsPerPage;
+        std::uint64_t run = std::min(end - idx, cellsPerPage - off);
+        // Absent pages are already all-Unmodified; skip them rather
+        // than materializing a page just to reset it.
+        if (Page *pg = findPage(idx)) {
+            for (std::uint64_t i = 0; i < run; i++) {
+                Cell &c = (*pg)[off + i];
+                noteEdge(c.ps, PersistState::Unmodified);
+                c = Cell{};
+            }
+        }
+        idx += run;
     }
 }
 
@@ -234,7 +307,7 @@ ShadowPM::consistentUnder(const Cell &c, const CommitVar &var) const
 void
 ShadowPM::beginPostReplay()
 {
-    postFlags.clear();
+    postPages.clear();
     savedCommitVars = commitVars;
     inPostReplay = true;
 }
@@ -254,10 +327,16 @@ ShadowPM::postWrite(Addr a, std::size_t n)
 {
     if (n == 0)
         return;
-    std::uint64_t first = cellIndex(a);
-    std::uint64_t count = cellCount(a, n);
-    for (std::uint64_t i = 0; i < count; i++)
-        postFlags[first + i] |= postOverwritten;
+    std::uint64_t idx = cellIndex(a);
+    std::uint64_t end = idx + cellCount(a, n);
+    while (idx < end) {
+        std::uint64_t off = idx % cellsPerPage;
+        std::uint64_t run = std::min(end - idx, cellsPerPage - off);
+        PostPage &page = postPageAt(idx);
+        for (std::uint64_t i = 0; i < run; i++)
+            page[off + i] |= postOverwritten;
+        idx += run;
+    }
 }
 
 ReadCheckResult
@@ -269,6 +348,12 @@ ShadowPM::checkPostRead(Addr a, std::size_t n)
     std::uint64_t first = cellIndex(a);
     std::uint64_t count = cellCount(a, n);
     bool benign_seen = false;
+    // Reads are nearly always page-local: resolve both the post
+    // overlay page and the pre-state page once per page crossing
+    // rather than once per cell.
+    std::uint64_t cached_pg = ~std::uint64_t{0};
+    PostPage *post_pg = nullptr;
+    const Page *pre_pg = nullptr;
     for (std::uint64_t i = 0; i < count; i++) {
         std::uint64_t idx = first + i;
         Addr cell_addr = poolRange.begin + idx * gran;
@@ -279,17 +364,23 @@ ShadowPM::checkPostRead(Addr a, std::size_t n)
             continue;
         }
 
-        auto pf = postFlags.find(idx);
-        std::uint8_t pflags = pf == postFlags.end() ? 0 : pf->second;
+        if (idx / cellsPerPage != cached_pg) {
+            cached_pg = idx / cellsPerPage;
+            post_pg = &postPageAt(idx);
+            auto it = pages.find(cached_pg);
+            pre_pg = it == pages.end() ? nullptr : it->second.get();
+        }
+        std::uint8_t &pflags = (*post_pg)[idx % cellsPerPage];
         if (pflags & postOverwritten)
             continue;
         if (cfg.firstReadOnly && (pflags & postChecked)) {
             nSkipped++;
             continue;
         }
-        postFlags[idx] |= postChecked;
+        pflags |= postChecked;
 
-        const Cell *c = findCell(idx);
+        const Cell *c = pre_pg ? &(*pre_pg)[idx % cellsPerPage]
+                               : nullptr;
         if (!c || c->ps == PersistState::Unmodified) {
             // Untouched pre-failure: initial data, consistent.
             nChecks++;

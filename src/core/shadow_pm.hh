@@ -225,6 +225,8 @@ class ShadowPM
 
     static constexpr std::size_t cellsPerPage = 4096;
     using Page = std::array<Cell, cellsPerPage>;
+    /** Post-overlay flags, paged like the pre-state cells. */
+    using PostPage = std::array<std::uint8_t, cellsPerPage>;
 
     std::uint64_t
     cellIndex(Addr a) const
@@ -243,6 +245,15 @@ class ShadowPM
 
     Cell &cellAt(std::uint64_t idx);
     const Cell *findCell(std::uint64_t idx) const;
+
+    /** Pre-state page holding cell @p idx, created on demand. */
+    Page &pageAt(std::uint64_t idx);
+
+    /** Pre-state page holding cell @p idx, or nullptr. */
+    Page *findPage(std::uint64_t idx);
+
+    /** Post-overlay page holding cell @p idx, created zeroed. */
+    PostPage &postPageAt(std::uint64_t idx);
 
     /** The commit variable covering @p a, or nullptr. */
     const CommitVar *coveringVar(Addr a) const;
@@ -278,7 +289,13 @@ class ShadowPM
     /** commitVars as of beginPostReplay, restored by endPostReplay. */
     std::vector<CommitVar> savedCommitVars;
     bool inPostReplay = false;
-    std::unordered_map<std::uint64_t, std::uint8_t> postFlags;
+    /**
+     * Post-overlay flag pages, cleared per failure point. Paged so the
+     * classify stage pays one hash lookup per page run instead of one
+     * per byte cell — recovery code touches thousands of cells per
+     * point, which made the flat map the dominant classify cost.
+     */
+    std::unordered_map<std::uint64_t, std::unique_ptr<PostPage>> postPages;
 
     std::size_t nChecks = 0;
     std::size_t nSkipped = 0;

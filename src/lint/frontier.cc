@@ -45,6 +45,15 @@ FrontierState::applyWrite(const trace::TraceEntry &e)
             cv.tprelast = cv.tlast;
             cv.tlast = ts;
             cv.lastVal.clear();
+            if (e.has(trace::flagSameValue) && e.data.empty()) {
+                // Payload-elided write: the actual value is whatever
+                // the image held, which the signature cannot see.
+                // Seed with the entry seq so two points only match
+                // when they share this exact commit write (then the
+                // value is trivially the same) — conservative, never
+                // folds points whose commit values could differ.
+                cv.lastVal = strprintf("sv#%u", e.seq);
+            }
             for (std::size_t i = 0; i < e.data.size() && i < 16; i++)
                 cv.lastVal += strprintf("%02x", e.data[i]);
         }

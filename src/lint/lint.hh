@@ -15,7 +15,8 @@
  *  - prunability: per planned failure point, whether an earlier point
  *    at the same ordering-point source location had an identical
  *    frontier signature, in which case the post-failure execution is
- *    statically redundant and the driver may skip it (--lint-prune).
+ *    statically redundant and the driver may fold it into its
+ *    representative's batch group (--backend=batched).
  *
  * The analysis consumes an in-memory trace::TraceBuffer or a loaded
  * serialized trace; it depends only on trace/ and obs/ (for JSON

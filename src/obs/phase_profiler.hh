@@ -44,7 +44,7 @@ enum class Phase : std::uint8_t
     TraceCapture,
     /** Failure-point planning + write-log page indexing. */
     Plan,
-    /** Static frontier-signature pruning (--lint-prune). */
+    /** Frontier-signature analysis (batch planning). */
     LintPrune,
     /** Shadow/image advance + exec-pool restore (backend half 1). */
     Restore,

@@ -2,8 +2,10 @@
  * @file
  * Periodic progress reporting for long campaigns.
  *
- * The driver invokes an observer callback after every failure point;
- * ProgressMeter rate-limits those calls into an occasional
+ * The driver invokes an observer callback after every scheduled item
+ * (done/total are failure points *covered*, so a batched group's
+ * members all land at once); ProgressMeter rate-limits those calls
+ * into an occasional
  *
  *   progress: [fp 37/214, 12 bugs, ETA 4.1s]
  *
@@ -32,10 +34,13 @@ std::string formatProgress(const char *unit, std::size_t done,
  * update() anchors (t0, done0) and the remaining work is priced at
  * (done - done0) / seconds-since-t0. Anchoring at construction
  * instead would fold the pre-failure stage, failure-point planning
- * and the --lint-prune analysis pass into the per-point rate and
- * overestimate the remaining time by exactly that share (the prune
- * ratio, for campaigns dominated by the prune pass). 0 until a
- * second distinct done-count arrives.
+ * and the batch-plan analysis pass into the per-point rate and
+ * overestimate the remaining time by exactly that share. The driver
+ * fires a zero tick ({0, total, 0}) right before its per-point loop
+ * so the anchor lands at loop start and the first finished unit —
+ * a whole signature group under --backend=batched, whose members
+ * all count at once — contributes to the rate. 0 until a second
+ * distinct done-count arrives.
  */
 double etaSeconds(double seconds_since_first, std::size_t done,
                   std::size_t done_first, std::size_t total);

@@ -150,44 +150,72 @@ runDifferentialCampaign(pm::PmPool &pool, const core::ProgramFn &pre,
     core::CampaignObserver localObs;
     core::CampaignObserver *obsv =
         cfg.observer ? cfg.observer : &localObs;
-    auto savedPre = obsv->onPreTraceReady;
-    auto savedFp = obsv->onFailurePoint;
-    obsv->onPreTraceReady = [&](const trace::TraceBuffer &b) {
-        if (savedPre)
-            savedPre(b);
-        preTrace = b;
-    };
-    obsv->onFailurePoint = [&](std::uint32_t fp,
-                               const core::BugSink &sink) {
-        if (savedFp)
-            savedFp(fp, sink);
-        std::set<core::BugType> classes;
-        for (const auto &b : sink.bugs()) {
-            // Performance bugs are a full-trace property and never
-            // appear in per-point sinks; filter defensively anyway.
-            if (b.type != core::BugType::Performance)
-                classes.insert(b.type);
+
+    // Interpose on the campaign event interface, chaining to
+    // whatever hooks the caller installed.
+    struct OracleCapture : core::CampaignHooks
+    {
+        core::CampaignHooks *inner = nullptr;
+        trace::TraceBuffer *preTrace = nullptr;
+        std::map<std::uint32_t, std::set<core::BugType>> *byFp =
+            nullptr;
+        std::mutex *lock = nullptr;
+
+        void
+        onPreTraceReady(const trace::TraceBuffer &b) override
+        {
+            if (inner)
+                inner->onPreTraceReady(b);
+            *preTrace = b;
         }
-        std::lock_guard<std::mutex> lock(fpLock);
-        detectorByFp[fp] = std::move(classes);
-    };
+
+        void
+        onFailurePoint(std::uint32_t fp,
+                       const core::BugSink &sink) override
+        {
+            if (inner)
+                inner->onFailurePoint(fp, sink);
+            std::set<core::BugType> classes;
+            for (const auto &b : sink.bugs()) {
+                // Performance bugs are a full-trace property and
+                // never appear in per-point sinks; filter
+                // defensively anyway.
+                if (b.type != core::BugType::Performance)
+                    classes.insert(b.type);
+            }
+            std::lock_guard<std::mutex> guard(*lock);
+            (*byFp)[fp] = std::move(classes);
+        }
+
+        void
+        onProgress(const core::ProgressUpdate &u) override
+        {
+            if (inner)
+                inner->onProgress(u);
+        }
+    } capture;
+    capture.inner = obsv->hooks;
+    capture.preTrace = &preTrace;
+    capture.byFp = &detectorByFp;
+    capture.lock = &fpLock;
+    obsv->hooks = &capture;
 
     core::Driver driver(pool, dcfg);
     driver.setObserver(obsv);
     rep.detector = driver.runParallel(pre, post, cfg.threads);
-    obsv->onPreTraceReady = std::move(savedPre);
-    obsv->onFailurePoint = std::move(savedFp);
+    obsv->hooks = capture.inner;
 
     // The plan is deterministic over (trace, config); re-derive it so
     // the oracle visits exactly the points the detector failed at —
-    // including, under --lint-prune, the points the detector skipped:
-    // the oracle runs those for real and their anchor classes must
-    // match what the detector reported at the kept representative.
+    // including, under --backend=batched, the points the detector
+    // folded into representatives: the oracle runs those for real and
+    // their anchor classes must match what the detector reported at
+    // the kept representative.
     core::FailurePlan plan = core::planFailurePoints(preTrace, dcfg);
     rep.failurePoints = plan.points.size();
 
     std::map<std::uint32_t, std::uint32_t> prunedRep;
-    if (dcfg.lintPrune && !plan.points.empty()) {
+    if (dcfg.batchingOn() && !plan.points.empty()) {
         lint::PruneVerdicts v = lint::computePruneVerdicts(
             preTrace, plan.points, dcfg.granularity);
         for (const auto &p : v.pruned)

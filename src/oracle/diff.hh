@@ -100,7 +100,8 @@ struct FpAgreement
     bool agree = false;
 
     /**
-     * The detector pruned this point (--lint-prune); detectorClasses
+     * The detector folded this point into a batch representative
+     * (--backend=batched); detectorClasses
      * holds the classes of its kept representative, which the prune
      * rule guarantees are the classes this point would have produced.
      * The oracle runs the pruned point for real, so a disagreement

@@ -303,6 +303,12 @@ CrashStateOracle::applyMask(
         const auto &e = pre[frontier[b].seq];
         if (e.size == 0)
             continue;
+        if (e.data.empty()) {
+            // Payload-elided same-value write (flagSameValue): the
+            // bytes it would land equal the image content at emit
+            // time, so there is nothing to materialize.
+            continue;
+        }
         std::uint64_t first = cellIndex(e.addr);
         std::uint64_t count = cellCount(e.addr, e.size);
         for (std::uint64_t i = 0; i < count; i++) {

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "pm/cow.hh"
 #include "pm/image.hh"
 #include "pm/pool.hh"
 
@@ -86,6 +87,64 @@ restoreFull(const PmImage &src, PmPool &pool, DeltaRestoreStats &stats)
     src.copyTo(pool);
     stats.fullCopies++;
     stats.bytesFullCopy += src.size();
+}
+
+void
+restorePages(const CowImage &src, PmPool &pool, std::size_t pageSize,
+             const std::set<std::uint32_t> &pages,
+             DeltaRestoreStats &stats)
+{
+    if (pool.size() != src.size() || pool.base() != src.base())
+        panic("delta-restoring mismatched cow image into pool");
+    stats.deltaRestores++;
+    auto it = pages.begin();
+    while (it != pages.end()) {
+        std::uint32_t first = *it;
+        std::uint32_t last = first;
+        ++it;
+        while (it != pages.end() && *it == last + 1) {
+            last = *it;
+            ++it;
+        }
+        std::size_t off = static_cast<std::size_t>(first) * pageSize;
+        if (off >= src.size())
+            continue;
+        std::size_t len = std::min(
+            (static_cast<std::size_t>(last - first) + 1) * pageSize,
+            src.size() - off);
+        src.copyRange(off, len, pool.data() + off);
+        stats.pagesRestored += last - first + 1;
+        stats.bytesRestored += len;
+    }
+}
+
+void
+restoreFull(const CowImage &src, PmPool &pool, DeltaRestoreStats &stats)
+{
+    src.copyTo(pool);
+    stats.fullCopies++;
+    stats.bytesFullCopy += src.size();
+}
+
+void
+collectNonZeroPages(const PmImage &img, std::size_t pageSize,
+                    std::set<std::uint32_t> &out)
+{
+    const std::uint8_t *d = img.data();
+    std::size_t n = img.size();
+    for (std::size_t off = 0; off < n; off += pageSize) {
+        std::size_t len = std::min(pageSize, n - off);
+        const std::uint8_t *p = d + off;
+        bool zero = true;
+        for (std::size_t i = 0; i < len; i++) {
+            if (p[i]) {
+                zero = false;
+                break;
+            }
+        }
+        if (!zero)
+            out.insert(static_cast<std::uint32_t>(off / pageSize));
+    }
 }
 
 } // namespace xfd::pm

@@ -30,6 +30,7 @@
 namespace xfd::pm
 {
 
+class CowImage;
 class PmImage;
 class PmPool;
 
@@ -40,6 +41,12 @@ struct DeltaRestoreStats
     std::uint64_t fullCopies = 0;
     /** Page-granular partial restores. */
     std::uint64_t deltaRestores = 0;
+    /**
+     * Of the delta restores, ones that (re)synced an exec pool from
+     * scratch via the exact written∪nonzero page set instead of a
+     * full O(pool) copy (chunk starts, checkpoint cadence).
+     */
+    std::uint64_t syncRestores = 0;
     /** Pages copied by partial restores. */
     std::uint64_t pagesRestored = 0;
     /** Bytes copied by partial restores. */
@@ -58,6 +65,7 @@ struct DeltaRestoreStats
     {
         fullCopies += o.fullCopies;
         deltaRestores += o.deltaRestores;
+        syncRestores += o.syncRestores;
         pagesRestored += o.pagesRestored;
         bytesRestored += o.bytesRestored;
         bytesFullCopy += o.bytesFullCopy;
@@ -134,6 +142,26 @@ void restorePages(const PmImage &src, PmPool &pool,
 /** Full-image checkpoint restore, accounted into @p stats. */
 void restoreFull(const PmImage &src, PmPool &pool,
                  DeltaRestoreStats &stats);
+
+/** @name CowImage sources (the campaign driver's working images) @{ */
+void restorePages(const CowImage &src, PmPool &pool,
+                  std::size_t pageSize,
+                  const std::set<std::uint32_t> &pages,
+                  DeltaRestoreStats &stats);
+void restoreFull(const CowImage &src, PmPool &pool,
+                 DeltaRestoreStats &stats);
+/** @} */
+
+/**
+ * Union into @p out the indices (at @p pageSize granularity) of
+ * every page of @p img containing a nonzero byte. Together with an
+ * ImageDeltaStore's full write-log page set this bounds where any
+ * campaign working image can differ from a fresh zeroed pool, which
+ * is what lets chunk starts restore a page subset instead of the
+ * whole pool (see Driver::handleFailurePoint).
+ */
+void collectNonZeroPages(const PmImage &img, std::size_t pageSize,
+                         std::set<std::uint32_t> &out);
 
 } // namespace xfd::pm
 

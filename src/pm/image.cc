@@ -16,6 +16,8 @@ PmImage::PmImage(Addr base, std::vector<std::uint8_t> b)
 void
 PmImage::applyWrite(Addr a, const void *src, std::size_t n)
 {
+    if (n == 0)
+        return; // payload-elided same-value write
     if (a < baseAddr || a + n > baseAddr + bytes.size())
         panic("image write [%#llx,+%zu) out of range",
               static_cast<unsigned long long>(a), n);

@@ -13,6 +13,18 @@ TraceBuffer::append(TraceEntry e)
 }
 
 void
+TraceBuffer::appendBatch(TraceEntry *batch, std::size_t n)
+{
+    entries.reserve(entries.size() + n);
+    for (std::size_t i = 0; i < n; i++) {
+        TraceEntry &e = batch[i];
+        e.seq = static_cast<std::uint32_t>(entries.size());
+        payload += e.data.size();
+        entries.push_back(std::move(e));
+    }
+}
+
+void
 TraceBuffer::clear()
 {
     entries.clear();

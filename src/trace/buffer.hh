@@ -25,6 +25,14 @@ class TraceBuffer
     /** Append @p e, assigning its sequence number. @return the seq. */
     std::uint32_t append(TraceEntry e);
 
+    /**
+     * Bulk-append @p n entries from @p batch (moved from), assigning
+     * contiguous sequence numbers: the retire half of PmRuntime's
+     * fixed-slot emit ring — one reservation and one call per ring
+     * instead of per entry.
+     */
+    void appendBatch(TraceEntry *batch, std::size_t n);
+
     std::size_t size() const { return entries.size(); }
     bool empty() const { return entries.empty(); }
 

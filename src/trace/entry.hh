@@ -9,6 +9,11 @@
  * runtime records the same information, with std::source_location in
  * place of the raw instruction pointer, plus the written bytes so the
  * failure injector can reconstruct the PM image at any failure point.
+ *
+ * In memory an entry is this plain struct; on the wire the v2 format
+ * (trace/serialize.hh) stores it compactly — interned location and
+ * label ids, presence-byte field elision, varints, implicit seq —
+ * so the struct can stay convenient without bloating dumped traces.
  */
 
 #ifndef XFD_TRACE_ENTRY_HH
@@ -71,6 +76,15 @@ enum EntryFlags : std::uint16_t
      * bug 2), so the zeroing is invisible to the detector.
      */
     flagImageOnly = 1 << 4,
+    /**
+     * Same-value write: the stored bytes equal the PM content at emit
+     * time, so the capture elided the payload (--elide-same-value).
+     * The entry itself still flows through the detector — a redundant
+     * store still dirties its line and still marks the location
+     * initialized — but image replay is a content no-op (empty data),
+     * which is exactly right: the image already holds those bytes.
+     */
+    flagSameValue = 1 << 5,
 };
 
 /**

@@ -10,6 +10,52 @@ PmRuntime::PmRuntime(pm::PmPool &pool, TraceBuffer &buf, Stage stage)
 {
 }
 
+PmRuntime::~PmRuntime()
+{
+    if (ring && ringTail)
+        ringRetire();
+}
+
+void
+PmRuntime::retireLocked()
+{
+    if (ring && ringTail) {
+        trace.appendBatch(ring->data(), ringTail);
+        ringTail = 0;
+        if (obs::statsCompiledIn) {
+            for (std::size_t i = 0; i < opCount; i++) {
+                emitted[i] += ringEmitted[i];
+                ringEmitted[i] = 0;
+            }
+        }
+    }
+    ringBase = trace.size();
+}
+
+void
+PmRuntime::ringRetire()
+{
+    std::lock_guard<std::mutex> guard(emitLock);
+    retireLocked();
+}
+
+void
+PmRuntime::setBatching(bool on)
+{
+    std::lock_guard<std::mutex> guard(emitLock);
+    if (on) {
+        if (!ring)
+            ring = std::make_unique<std::array<TraceEntry, ringSlots>>();
+        ringOwner = std::this_thread::get_id();
+        ownerScopes = &threadScopes[ringOwner];
+        ringBase = trace.size();
+        batching = true;
+    } else {
+        batching = false;
+        retireLocked();
+    }
+}
+
 PmRuntime::ThreadScopes &
 PmRuntime::myScopes()
 {
@@ -46,7 +92,45 @@ PmRuntime::push(TraceEntry e)
 {
     if (done || !tracing)
         return;
+    if (batching && std::this_thread::get_id() == ringOwner) {
+        // Owner-thread fast path: stage into the ring without the
+        // lock. ringBase + ringTail tracks the logical trace length
+        // (exact while the owner is the only emitter).
+        if (ringBase + ringTail >= entryCap) {
+            done = true;
+            if (stg == Stage::PostFailure) {
+                throw PostFailureAbort{
+                    "post-failure stage exceeded the trace limit "
+                    "(likely looping over corrupted persistent data)",
+                    e.loc};
+            }
+            fatal("pre-failure trace exceeded %zu entries", entryCap);
+        }
+        std::uint16_t f = 0;
+        if (ownerScopes->lib > 0)
+            f |= flagInternal;
+        if (roiDepth > 0)
+            f |= flagInRoi;
+        if (ownerScopes->skipFailure > 0)
+            f |= flagSkipFailure;
+        if (ownerScopes->skipDetection > 0)
+            f |= flagSkipDetection;
+        e.flags |= f;
+        if (mutHook && stg == Stage::PreFailure && !mutHook->onEmit(e))
+            return;
+        if (obs::statsCompiledIn)
+            ringEmitted[static_cast<std::size_t>(e.op)]++;
+        (*ring)[ringTail++] = std::move(e);
+        if (ringTail == ringSlots)
+            ringRetire();
+        return;
+    }
     std::lock_guard<std::mutex> guard(emitLock);
+    if (batching) {
+        // A non-owner thread emits while the ring is armed: retire
+        // first so this entry lands after everything already staged.
+        retireLocked();
+    }
     if (trace.size() >= entryCap) {
         // A post-failure stage looping over corrupted pointers would
         // otherwise never terminate; surface it as a crash.
@@ -95,6 +179,19 @@ PmRuntime::emitWrite(Op op, Addr a, const void *bytes, std::size_t n,
 }
 
 void
+PmRuntime::emitSameValueWrite(Op op, Addr a, std::size_t n, SrcLoc loc)
+{
+    elided.fetch_add(1, std::memory_order_relaxed);
+    TraceEntry e;
+    e.op = op;
+    e.addr = a;
+    e.size = static_cast<std::uint32_t>(n);
+    e.loc = loc;
+    e.flags = flagSameValue; // push() ORs in the context flags
+    push(std::move(e));
+}
+
+void
 PmRuntime::copyToPm(void *dst, const void *src, std::size_t n, SrcLoc loc)
 {
     if (n == 0)
@@ -102,6 +199,10 @@ PmRuntime::copyToPm(void *dst, const void *src, std::size_t n, SrcLoc loc)
     Addr a = pmPool.toAddr(dst);
     if (!pmPool.contains(a, n))
         panic("copyToPm overruns pool");
+    if (elideSame && std::memcmp(dst, src, n) == 0) {
+        emitSameValueWrite(Op::Write, a, n, loc);
+        return;
+    }
     std::memmove(dst, src, n);
     pmPool.markDirty(a, n);
     emitWrite(Op::Write, a, dst, n, loc);
@@ -116,6 +217,10 @@ PmRuntime::ntCopyToPm(void *dst, const void *src, std::size_t n,
     Addr a = pmPool.toAddr(dst);
     if (!pmPool.contains(a, n))
         panic("ntCopyToPm overruns pool");
+    if (elideSame && std::memcmp(dst, src, n) == 0) {
+        emitSameValueWrite(Op::NtWrite, a, n, loc);
+        return;
+    }
     std::memmove(dst, src, n);
     pmPool.markDirty(a, n);
     emitWrite(Op::NtWrite, a, dst, n, loc);
@@ -129,6 +234,17 @@ PmRuntime::setPm(void *dst, int value, std::size_t n, SrcLoc loc)
     Addr a = pmPool.toAddr(dst);
     if (!pmPool.contains(a, n))
         panic("setPm overruns pool");
+    if (elideSame) {
+        const auto *b = static_cast<const std::uint8_t *>(dst);
+        const auto v = static_cast<std::uint8_t>(value);
+        std::size_t i = 0;
+        while (i < n && b[i] == v)
+            i++;
+        if (i == n) {
+            emitSameValueWrite(Op::Write, a, n, loc);
+            return;
+        }
+    }
     std::memset(dst, value, n);
     pmPool.markDirty(a, n);
     emitWrite(Op::Write, a, dst, n, loc);

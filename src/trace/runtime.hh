@@ -24,6 +24,7 @@
 #include <array>
 #include <atomic>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <source_location>
 #include <thread>
@@ -83,6 +84,9 @@ class PmRuntime
   public:
     PmRuntime(pm::PmPool &pool, TraceBuffer &buf, Stage stage);
 
+    /** Flushes any entries still staged in the emit ring. */
+    ~PmRuntime();
+
     PmRuntime(const PmRuntime &) = delete;
     PmRuntime &operator=(const PmRuntime &) = delete;
 
@@ -101,6 +105,37 @@ class PmRuntime
 
     /** Bound the trace length (runaway-loop backstop). */
     void setEntryCap(std::size_t cap) { entryCap = cap; }
+
+    /**
+     * Batch trace emission through a fixed-slot ring. Enabled by the
+     * campaign driver for its single-owner-thread stages: the thread
+     * that called setBatching(true) stages entries lock-free and the
+     * ring retires into the buffer in bulk — one lock acquisition and
+     * one vector reservation per ringSlots entries instead of per
+     * entry. Any other thread keeps the locked per-entry slow path
+     * (and forces a retire first, preserving cross-thread order).
+     * Disabling — or destroying the runtime — flushes staged entries;
+     * disable before reading buffer() or opCounts() mid-run.
+     */
+    void setBatching(bool on);
+
+    /**
+     * Jaaru-style same-value write elision (--elide-same-value): a
+     * store whose bytes equal what PM already holds cannot change any
+     * crash image, so the store, its dirty-line tracking and its
+     * trace entry are all skipped. The driver enables this for the
+     * pre-failure capture only — post-failure writes must stay exact,
+     * because recovery rewriting a location with the same bytes still
+     * re-establishes its consistency.
+     */
+    void setSameValueElision(bool on) { elideSame = on; }
+
+    /** Writes skipped by same-value elision. */
+    std::uint64_t
+    sameValueElided() const
+    {
+        return elided.load(std::memory_order_relaxed);
+    }
 
     /**
      * Install a fault-injection hook (src/mutate). Consulted for
@@ -148,6 +183,10 @@ class PmRuntime
     {
         static_assert(std::is_trivially_copyable_v<T>);
         Addr a = pmPool.toAddr(&field);
+        if (elideSame && std::memcmp(&field, &value, sizeof(T)) == 0) {
+            emitSameValueWrite(Op::Write, a, sizeof(T), loc);
+            return;
+        }
         field = value;
         pmPool.markDirty(a, sizeof(T));
         emitWrite(Op::Write, a, &field, sizeof(T), loc);
@@ -160,6 +199,10 @@ class PmRuntime
     {
         static_assert(std::is_trivially_copyable_v<T>);
         Addr a = pmPool.toAddr(&field);
+        if (elideSame && std::memcmp(&field, &value, sizeof(T)) == 0) {
+            emitSameValueWrite(Op::NtWrite, a, sizeof(T), loc);
+            return;
+        }
         field = value;
         pmPool.markDirty(a, sizeof(T));
         emitWrite(Op::NtWrite, a, &field, sizeof(T), loc);
@@ -306,7 +349,19 @@ class PmRuntime
     void emitWrite(Op op, Addr a, const void *bytes, std::size_t n,
                    SrcLoc loc);
 
+    /**
+     * Append a payload-elided same-value write (flagSameValue, no
+     * data bytes) and bump the elision counter.
+     */
+    void emitSameValueWrite(Op op, Addr a, std::size_t n, SrcLoc loc);
+
     void push(TraceEntry e);
+
+    /** Retire the emit ring into the buffer; emitLock must be held. */
+    void retireLocked();
+
+    /** Locking wrapper around retireLocked(). */
+    void ringRetire();
 
     pm::PmPool &pmPool;
     TraceBuffer &trace;
@@ -341,6 +396,31 @@ class PmRuntime
     std::mutex emitLock;
     /** Per-op emission counters (guarded by emitLock). */
     std::array<std::uint64_t, opCount> emitted{};
+
+    /** Emit-ring capacity; sized so a retire amortizes the lock and
+     * reservation without holding many payload vectors alive. */
+    static constexpr std::size_t ringSlots = 64;
+
+    /**
+     * Fixed-slot emit ring (allocated on first setBatching(true)).
+     * Only the owner thread touches ring/ringTail/ringEmitted without
+     * the lock; ringBase caches trace.size() as of the last retire so
+     * the owner's entry-cap check never reads the buffer unlocked.
+     * Owner-thread scope flags come from ownerScopes (unordered_map
+     * references are stable, and a thread's scopes are only mutated
+     * by that thread), so staging reads no shared mutable state.
+     */
+    std::unique_ptr<std::array<TraceEntry, ringSlots>> ring;
+    std::size_t ringTail = 0;
+    std::size_t ringBase = 0;
+    std::array<std::uint64_t, opCount> ringEmitted{};
+    bool batching = false;
+    std::thread::id ringOwner;
+    ThreadScopes *ownerScopes = nullptr;
+
+    /** Same-value write elision (setSameValueElision). */
+    bool elideSame = false;
+    std::atomic<std::uint64_t> elided{0};
 };
 
 /** RAII region-of-interest marker. */

@@ -121,11 +121,25 @@ class Campaign
 
     /** @name Named DetectorConfig setters @{ */
 
-    /** Toggle the page-granular delta-image engine (default on). */
+    /**
+     * Select the campaign backend: "full", "delta" (default) or
+     * "batched". See DetectorConfig::backend.
+     */
+    Campaign &
+    backend(const std::string &mode)
+    {
+        cfg.backend = mode;
+        return *this;
+    }
+
+    /**
+     * @deprecated Use backend("delta") / backend("full"); kept one PR
+     * for source compatibility (removal schedule: DESIGN.md §13).
+     */
     Campaign &
     deltaImages(bool on = true)
     {
-        cfg.deltaImages = on;
+        cfg.backend = on ? "delta" : "full";
         return *this;
     }
 
@@ -204,11 +218,22 @@ class Campaign
         return *this;
     }
 
-    /** Skip statically redundant failure points (see --lint-prune). */
+    /**
+     * @deprecated Use backend("batched"); kept one PR for source
+     * compatibility (removal schedule: DESIGN.md §13).
+     */
     Campaign &
     lintPrune(bool on = true)
     {
-        cfg.lintPrune = on;
+        cfg.backend = on ? "batched" : "delta";
+        return *this;
+    }
+
+    /** Elide same-value stores at trace-emit time (default off). */
+    Campaign &
+    elideSameValueWrites(bool on = true)
+    {
+        cfg.elideSameValueWrites = on;
         return *this;
     }
 

@@ -294,10 +294,10 @@ expectEquivalent(const std::string &name, unsigned threads,
     wcfg.postOps = 2;
 
     DetectorConfig full;
-    full.deltaImages = false;
+    full.backend = "full";
     full.crashImageMode = crashImage;
     DetectorConfig delta;
-    delta.deltaImages = true;
+    delta.backend = "delta";
     delta.crashImageMode = crashImage;
     // A small cadence exercises the resync path inside one campaign.
     delta.deltaCheckpointInterval = 3;
@@ -348,9 +348,9 @@ TEST(DeltaEquivalence, CrashImageMode)
 TEST(DeltaEquivalence, FullBugsuiteFindsTheSameBugs)
 {
     DetectorConfig full;
-    full.deltaImages = false;
+    full.backend = "full";
     DetectorConfig delta;
-    delta.deltaImages = true;
+    delta.backend = "delta";
     delta.deltaCheckpointInterval = 5;
 
     for (const auto &c : bugsuite::allBugCases()) {
@@ -442,7 +442,7 @@ TEST_P(DeltaFuzz, MatchesFullCopyAcrossKnobSettings)
     };
 
     DetectorConfig oracle;
-    oracle.deltaImages = false;
+    oracle.backend = "full";
     oracle.elideEmptyFailurePoints = false; // every fence tested
     auto want = run(oracle);
 
@@ -451,7 +451,7 @@ TEST_P(DeltaFuzz, MatchesFullCopyAcrossKnobSettings)
         for (std::size_t pageSize : {std::size_t{256},
                                      std::size_t{4096}}) {
             DetectorConfig dcfg = oracle;
-            dcfg.deltaImages = true;
+            dcfg.backend = "delta";
             dcfg.deltaPageSize = pageSize;
             dcfg.deltaCheckpointInterval = interval;
             auto got = run(dcfg);

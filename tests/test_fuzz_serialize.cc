@@ -1,11 +1,13 @@
 /**
  * @file
- * Round-trip fuzz for the trace wire format (trace/serialize): random
- * entry streams covering every Op kind must survive
- * writeTrace/readTrace byte-for-byte, and every torn tail or
- * corrupted prefix of a valid stream must be rejected with a clean
- * std::runtime_error — never a crash, hang, or silently short trace.
- * Seeded like the other fuzz suites; XFD_FUZZ_SEED replays one case.
+ * Round-trip fuzz for the trace wire formats (trace/serialize):
+ * random entry streams covering every Op kind must survive
+ * writeTrace/readTrace byte-for-byte in both the v2 (current) and v1
+ * (legacy) framings, a v1 stream and a v2 stream of the same trace
+ * must replay identically, and every torn tail or corrupted prefix
+ * of a valid stream must be rejected with a clean std::runtime_error
+ * — never a crash, hang, or silently short trace. Seeded like the
+ * other fuzz suites; XFD_FUZZ_SEED replays one case.
  */
 
 #include <gtest/gtest.h>
@@ -106,10 +108,31 @@ roundTripOne(std::uint64_t seed)
 {
     Rng sizes(seed ^ 0x5eedull);
     TraceBuffer buf = randomTrace(seed, 1 + sizes.below(200));
-    std::stringstream ss;
-    trace::writeTrace(buf, ss);
-    LoadedTrace loaded = trace::readTrace(ss);
-    expectEqualTraces(buf, loaded.buffer(), seed);
+
+    // Current v2 framing round-trips byte-for-byte...
+    std::stringstream v2;
+    trace::writeTrace(buf, v2);
+    LoadedTrace l2 = trace::readTrace(v2);
+    EXPECT_EQ(l2.formatVersion(), trace::traceFormatVersion);
+    expectEqualTraces(buf, l2.buffer(), seed);
+
+    // ...and so does the legacy v1 framing through the same reader.
+    std::stringstream v1;
+    trace::writeTraceV1(buf, v1);
+    LoadedTrace l1 = trace::readTrace(v1);
+    EXPECT_EQ(l1.formatVersion(), trace::traceFormatVersionV1);
+    expectEqualTraces(buf, l1.buffer(), seed);
+
+    // Cross-version replay: both framings decode to the same trace
+    // and the same alloc-site inventory (v2 reads it from its table,
+    // v1 reconstructs it by scanning).
+    expectEqualTraces(l1.buffer(), l2.buffer(), seed);
+    ASSERT_EQ(l1.allocSites().size(), l2.allocSites().size())
+        << "XFD_FUZZ_SEED=" << seed;
+    for (std::size_t i = 0; i < l1.allocSites().size(); i++) {
+        EXPECT_STREQ(l1.allocSites()[i].file, l2.allocSites()[i].file);
+        EXPECT_EQ(l1.allocSites()[i].line, l2.allocSites()[i].line);
+    }
 }
 
 TEST(FuzzSerialize, RandomStreamsRoundTrip)
@@ -122,10 +145,12 @@ TEST(FuzzSerialize, RandomStreamsRoundTrip)
 
 TEST(FuzzSerialize, TornTailsFailCleanly)
 {
+    using WriteFn = void (*)(const TraceBuffer &, std::ostream &);
+    const WriteFn writers[] = {&trace::writeTrace, &trace::writeTraceV1};
     for (std::uint64_t seed = 1; seed <= 10; seed++) {
         TraceBuffer buf = randomTrace(seed, 40);
         std::stringstream ss;
-        trace::writeTrace(buf, ss);
+        writers[seed % 2](buf, ss);
         const std::string bytes = ss.str();
 
         // Every proper prefix is a torn write of the trace file; the
@@ -187,10 +212,10 @@ rejectionMessage(const std::string &bytes)
 
 TEST(FuzzSerialize, PlausibleLengthsBeyondStreamEndAreRejected)
 {
-    // A deterministic single-entry trace so the variable-length fields
-    // sit at known offsets: one Write with 8 data bytes means the
-    // entry occupies the last 55 bytes and its dlen field the 4 bytes
-    // before the payload.
+    // The fixed-width v1 framing puts the variable-length fields at
+    // known offsets (v2's varints would shift with the values): one
+    // Write with 8 data bytes means the entry occupies the last 55
+    // bytes and its dlen field the 4 bytes before the payload.
     TraceBuffer buf;
     TraceEntry e;
     e.op = Op::Write;
@@ -203,7 +228,7 @@ TEST(FuzzSerialize, PlausibleLengthsBeyondStreamEndAreRejected)
     e.data = {1, 2, 3, 4, 5, 6, 7, 8};
     buf.append(std::move(e));
     std::stringstream ss;
-    trace::writeTrace(buf, ss);
+    trace::writeTraceV1(buf, ss);
     const std::string bytes = ss.str();
 
     {

@@ -148,7 +148,7 @@ TEST(LintE2E, SerialAndParallelCampaignsLintIdentically)
     EXPECT_EQ(ja.str(), jb.str());
 }
 
-/** Campaign over @p wcfg, with or without --lint-prune. */
+/** Campaign over @p wcfg, with or without signature batching. */
 core::CampaignResult
 runPruned(const std::string &workload,
           const workloads::WorkloadConfig &wcfg, bool prune,
@@ -156,7 +156,7 @@ runPruned(const std::string &workload,
 {
     RunOptions opt;
     opt.threads = threads;
-    opt.detector.lintPrune = prune;
+    opt.detector.backend = prune ? "batched" : "delta";
     return xfdtest::runWorkload(workload, wcfg, opt);
 }
 
@@ -201,7 +201,7 @@ TEST(LintE2E, PruningPreservesFindingsAcrossBugSuite)
         core::CampaignResult full = bugsuite::runBugCase(c, off);
 
         core::DetectorConfig on;
-        on.lintPrune = true;
+        on.backend = "batched";
         core::CampaignResult pruned = bugsuite::runBugCase(c, on);
 
         EXPECT_EQ(xfdtest::fingerprint(full),
@@ -262,7 +262,7 @@ TEST(LintOracle, PrunedPointsRecheckedAtFullAgreement)
             workloads::makeWorkload(name, smallConfig(name));
         pm::PmPool pool(xfdtest::defaultPoolBytes);
         oracle::DiffConfig cfg;
-        cfg.detector.lintPrune = true;
+        cfg.detector.backend = "batched";
         oracle::DiffReport rep = oracle::runDifferentialCampaign(
             pool, [w](PmRuntime &rt) { w->pre(rt); },
             [w](PmRuntime &rt) { w->post(rt); }, cfg);

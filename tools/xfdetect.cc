@@ -78,6 +78,12 @@ usage()
         "trace_event format\n"
         "                         to <f> (load in chrome://tracing)\n"
         "  --report-json <f>      write the findings as JSON to <f>\n"
+        "  --fingerprint <f>      write the findings fingerprint (one "
+        "sorted\n"
+        "                         type|reader|writer|note line per "
+        "finding) to <f>,\n"
+        "                         \"-\" for stdout — byte-comparable "
+        "across backends\n"
         "  --lint-json <f>        write the lint report as JSON to <f>\n"
         "                         (implies --lint when not given)\n"
         "  --explain <id>         after the campaign, walk one "
@@ -128,6 +134,7 @@ main(int argc, char **argv)
     std::string stats_json_path;
     std::string trace_events_path;
     std::string report_json_path;
+    std::string fingerprint_path;
     std::string lint_json_path;
     std::string explain_selector;
 
@@ -185,6 +192,8 @@ main(int argc, char **argv)
             trace_events_path = need_value(i);
         } else if (!std::strcmp(a, "--report-json")) {
             report_json_path = need_value(i);
+        } else if (!std::strcmp(a, "--fingerprint")) {
+            fingerprint_path = need_value(i);
         } else if (!std::strcmp(a, "--lint-json")) {
             lint_json_path = need_value(i);
         } else if (!std::strcmp(a, "--explain")) {
@@ -252,7 +261,8 @@ main(int argc, char **argv)
                          analyze_trace_path.c_str());
             return 2;
         }
-        trace::LoadedTrace loaded = trace::readTrace(in);
+        trace::Reader reader(in); // sniffs v1/v2 framing
+        trace::LoadedTrace loaded = reader.read();
         const trace::TraceBuffer &buf = loaded.buffer();
         std::map<std::string, std::size_t> histogram;
         Addr lo = ~static_cast<Addr>(0), hi = 0;
@@ -263,10 +273,18 @@ main(int argc, char **argv)
                 hi = std::max(hi, e.addr + e.size);
             }
         }
-        std::printf("trace: %zu entries, %zu bytes of write payload\n",
-                    buf.size(), buf.payloadBytes());
+        std::printf("trace: %zu entries, %zu bytes of write payload "
+                    "(format v%u)\n",
+                    buf.size(), buf.payloadBytes(),
+                    loaded.formatVersion());
         for (const auto &[name, n] : histogram)
             std::printf("  %-14s %8zu\n", name.c_str(), n);
+        if (!loaded.allocSites().empty()) {
+            std::printf("allocation sites: %zu\n",
+                        loaded.allocSites().size());
+            for (const auto &l : loaded.allocSites())
+                std::printf("  %s\n", l.str().c_str());
+        }
         if (hi > lo) {
             std::printf("touched PM range: [%#llx, %#llx)\n",
                         static_cast<unsigned long long>(lo),
@@ -341,11 +359,31 @@ main(int argc, char **argv)
 
     core::CampaignObserver obs;
     obs.timeline.setEnabled(!trace_events_path.empty());
-    obs::ProgressMeter meter("fp");
-    obs.onProgress = [&meter](std::size_t done, std::size_t total,
-                              std::size_t bugs) {
-        meter.update(done, total, bugs);
-    };
+
+    // All campaign events arrive through one CampaignHooks interface:
+    // the progress meter, and (when lint/--explain need it) the
+    // captured pre-failure trace.
+    struct CliHooks : core::CampaignHooks
+    {
+        obs::ProgressMeter meter{"fp"};
+        trace::TraceBuffer *capture = nullptr;
+
+        void
+        onProgress(const core::ProgressUpdate &u) override
+        {
+            meter.update(u.done, u.total, u.bugs);
+        }
+
+        void
+        onPreTraceReady(const trace::TraceBuffer &b) override
+        {
+            if (capture)
+                *capture = b;
+        }
+    } hooks;
+    static_assert(core::CampaignHooks::version == 2,
+                  "campaign hook interface changed; re-audit CliHooks");
+    obs.hooks = &hooks;
 
     // One process-wide live session: serves /metrics + /snapshot and
     // streams JSONL across every campaign this invocation runs. The
@@ -381,12 +419,8 @@ main(int argc, char **argv)
              "at a time)");
         explain_selector.clear();
     }
-    if (lint_on || !explain_selector.empty()) {
-        obs.onPreTraceReady = [&captured_pre](
-                                  const trace::TraceBuffer &b) {
-            captured_pre = b;
-        };
-    }
+    if (lint_on || !explain_selector.empty())
+        hooks.capture = &captured_pre;
 
     core::CampaignResult res;
     std::vector<core::JsonSection> extra;
@@ -487,7 +521,7 @@ main(int argc, char **argv)
 
     // Static lint over the captured pre-trace: prunability verdicts
     // are computed against the full (unpruned) failure plan so the
-    // report shows what --lint-prune would skip even when it is off.
+    // report shows what --backend=batched would fold even when off.
     lint::LintReport lrep;
     if (lint_on) {
         core::FailurePlan lplan =
@@ -532,6 +566,18 @@ main(int argc, char **argv)
             return 2;
         core::writeReportJson(res, out);
         inform("wrote findings report to %s", report_json_path.c_str());
+    }
+    if (!fingerprint_path.empty()) {
+        if (fingerprint_path == "-") {
+            std::printf("%s", res.fingerprint().c_str());
+        } else {
+            std::ofstream out;
+            if (!open_out(fingerprint_path, out))
+                return 2;
+            out << res.fingerprint();
+            inform("wrote findings fingerprint to %s",
+                   fingerprint_path.c_str());
+        }
     }
     if (!explain_selector.empty()) {
         std::string err;
