@@ -25,10 +25,10 @@ using namespace xfd::bench;
 namespace
 {
 
-const char *const kWorkloads[] = {"btree",          "ctree",
-                                  "rbtree",         "hashmap_tx",
-                                  "hashmap_atomic", "redis",
-                                  "memcached"};
+const char *const kWorkloads[] = {"btree",          "wal_btree",
+                                  "ctree",          "rbtree",
+                                  "hashmap_tx",     "hashmap_atomic",
+                                  "redis",          "memcached"};
 
 workloads::WorkloadConfig
 fig12Config()
@@ -198,7 +198,7 @@ BM_DetectionCampaign(benchmark::State &state)
     state.SetLabel(w);
 }
 
-BENCHMARK(BM_DetectionCampaign)->DenseRange(0, 6)->Unit(
+BENCHMARK(BM_DetectionCampaign)->DenseRange(0, 7)->Unit(
     benchmark::kMillisecond);
 
 } // namespace

@@ -21,8 +21,8 @@ using namespace xfd::bench;
 namespace
 {
 
-const char *const kMicro[] = {"btree", "ctree", "rbtree", "hashmap_tx",
-                              "hashmap_atomic"};
+const char *const kMicro[] = {"btree", "wal_btree", "ctree", "rbtree",
+                              "hashmap_tx", "hashmap_atomic"};
 const unsigned kTxns[] = {1, 10, 20, 30, 40, 50};
 
 workloads::WorkloadConfig

@@ -238,6 +238,23 @@ buildRegistry()
     add("memcached.race.evict_plain_store", "memcached", E::Race,
         O::Extra, "eviction unlink without persist", 20, 20, 6);
 
+    // ----------------------------------------------------------
+    // Write-ahead-log family: defects in the redo-log protocol
+    // itself (pmlib/wal), driven through the WAL B-Tree.
+    // ----------------------------------------------------------
+    add("wal.race.torn_record_accepted", "wal_btree", E::Race,
+        O::Extra, "record sealed before its payload writeback");
+    add("wal.race.commit_before_payload", "wal_btree", E::Race,
+        O::Extra, "group-commit seal ordered before batch payload");
+    add("wal.recovery.missing_crc_check", "wal_btree", E::Race,
+        O::Extra, "replay scans raw frames without CRC validation");
+    add("wal.race.truncate_before_apply", "wal_btree", E::Race,
+        O::Extra, "log truncated while applied pages are unflushed");
+    add("wal.sem.replay_past_checkpoint", "wal_btree", E::Semantic,
+        O::Extra, "recovery reads the dead checkpoint descriptor");
+    add("wal.race.unflushed_log_head", "wal_btree", E::Race,
+        O::Extra, "first record of the batch left out of writeback");
+
     return r;
 }
 

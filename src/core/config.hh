@@ -36,6 +36,27 @@ enum class BackendMode
 };
 
 /**
+ * Persistency model the shadow PM (and everything downstream of it)
+ * assumes of the hardware. Parsed from DetectorConfig::pmModel
+ * ("clwb", "eadr").
+ */
+enum class PersistencyModel
+{
+    /**
+     * ADR-era x86: stores persist only after an explicit CLWB/CLFLUSH
+     * writeback followed by an SFENCE (the paper's model, Fig. 9).
+     */
+    Clwb,
+    /**
+     * eADR / CXL flush-free persistency: the persistence domain
+     * covers the caches, so every store is durable on arrival.
+     * Flush-omission ceases to be a bug class; ordering and semantic
+     * (commit-protocol) bugs remain.
+     */
+    Eadr,
+};
+
+/**
  * Tuning and ablation switches for a detection campaign.
  *
  * This struct is the single source of truth for detector knobs: every
@@ -121,6 +142,27 @@ struct DetectorConfig
      * oracle differential campaign enforce that.
      */
     std::string backend = "delta";
+
+    /**
+     * Persistency-model descriptor: what the hardware guarantees
+     * about store durability. One of
+     *
+     *  - "clwb": ADR-era x86 — stores persist only after an explicit
+     *            writeback (CLWB/CLFLUSH) plus SFENCE. The paper's
+     *            model and the default.
+     *  - "eadr": eADR / CXL flush-free persistency — the persistence
+     *            domain covers the caches, so stores are durable on
+     *            arrival. Flushes become no-ops (neither required nor
+     *            reported as redundant) and flush-omission findings
+     *            vanish; ordering and commit-protocol semantic bugs
+     *            are preserved.
+     *
+     * Threads through the shadow-PM FSM, the crash-image builder, the
+     * failure planner, the lint frontier rules, and the oracle's
+     * per-cell tail model; the oracle differential campaign enforces
+     * agreement under both models.
+     */
+    std::string pmModel = "clwb";
 
     /** Delta restore granularity in bytes (power of two >= 64). */
     std::size_t deltaPageSize = 4096;
@@ -273,6 +315,41 @@ struct DetectorConfig
     batchingOn() const
     {
         return backendMode() == BackendMode::Batched;
+    }
+
+    /**
+     * Parse @p s as a persistency-model descriptor. @return true and
+     * set @p model on success, false on an unknown descriptor.
+     */
+    static bool
+    parsePmModel(const std::string &s, PersistencyModel &model)
+    {
+        if (s == "clwb" || s.empty())
+            model = PersistencyModel::Clwb;
+        else if (s == "eadr")
+            model = PersistencyModel::Eadr;
+        else
+            return false;
+        return true;
+    }
+
+    /**
+     * The parsed persistency model. An unknown string degrades to
+     * Clwb here; flag parsing rejects it before it can get this far.
+     */
+    PersistencyModel
+    pmModelEnum() const
+    {
+        PersistencyModel m = PersistencyModel::Clwb;
+        parsePmModel(pmModel, m);
+        return m;
+    }
+
+    /** Whether the flush-free eADR/CXL model is selected. */
+    bool
+    eadrOn() const
+    {
+        return pmModelEnum() == PersistencyModel::Eadr;
     }
 };
 

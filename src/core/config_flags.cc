@@ -16,7 +16,7 @@ namespace xfd::core
  * constant together with the table.
  */
 static_assert(sizeof(DetectorConfig) ==
-                  88 + 6 * sizeof(std::string),
+                  88 + 7 * sizeof(std::string),
               "DetectorConfig changed: add a ConfigFlagDesc row for "
               "the new field, then update this size tripwire");
 
@@ -123,6 +123,12 @@ buildTable()
          "backend", &C::backend, nullptr);
     alias("--no-delta", "deprecated alias for --backend=full",
           &C::backend, "full");
+    strf("--pm-model", "<clwb|eadr>",
+         "persistency model: \"clwb\" (default) requires explicit "
+         "writeback + fence for durability, \"eadr\" is flush-free "
+         "(eADR/CXL: stores are durable on arrival, flushes are "
+         "no-ops and flush-omission is not a bug class)",
+         "pm_model", &C::pmModel, nullptr);
     sizef("--delta-page", "<bytes>",
           "delta restore granularity (power of two >= 64, "
           "default 4096)",
@@ -224,6 +230,14 @@ applyDetectorFlag(const ConfigFlagDesc &d, DetectorConfig &cfg,
             if (!DetectorConfig::parseBackend(value, m)) {
                 panic("flag %s: unknown backend \"%s\" (expected "
                       "full, delta or batched)",
+                      d.flag, value);
+            }
+        }
+        if (d.stringField == &DetectorConfig::pmModel) {
+            PersistencyModel m;
+            if (!DetectorConfig::parsePmModel(value, m)) {
+                panic("flag %s: unknown persistency model \"%s\" "
+                      "(expected clwb or eadr)",
                       d.flag, value);
             }
         }

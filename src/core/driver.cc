@@ -197,11 +197,29 @@ Driver::advanceImage(PreCursor &cur, const trace::TraceBuffer &pre,
 {
     using trace::Op;
 
+    const bool eadr = cfg.eadrOn();
     for (std::uint32_t &i = cur.imageCursor; i < to; i++) {
         const auto &e = pre[i];
         if (e.isWrite()) {
             cur.image.applyWrite(e.addr, e.data.data(), e.data.size());
             Addr last = lineBase(e.addr + (e.size ? e.size - 1 : 0));
+            if (eadr) {
+                // Flush-free persistency: the store is durable on
+                // arrival, so it is never part of a write frontier
+                // (provenance stays empty) and a realistic crash
+                // image carries it immediately.
+                if (cfg.crashImageMode) {
+                    for (Addr l = lineBase(e.addr); l <= last;
+                         l += cacheLineSize) {
+                        cur.durable.copyFrom(cur.image, l,
+                                             cacheLineSize);
+                        if (deltaStore)
+                            cur.durablePages.insert(
+                                deltaStore->pageOf(l));
+                    }
+                }
+                continue;
+            }
             for (Addr l = lineBase(e.addr); l <= last;
                  l += cacheLineSize) {
                 // Frontier bookkeeping (provenance): the write is
@@ -622,8 +640,8 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
     if (cfg.batchingOn() && !plan.points.empty()) {
         obs::SpanScope span(tl, "plan-batches", "phase", 0);
         auto t0 = std::chrono::steady_clock::now();
-        BatchPlan batches =
-            planBatches(pre_trace, plan.points, cfg.granularity);
+        BatchPlan batches = planBatches(pre_trace, plan.points,
+                                        cfg.granularity, cfg.eadrOn());
         result.stats.lintPrunedPoints = batches.foldedPoints();
         result.stats.batchGroups = batches.groups.size();
         schedule.reserve(batches.groups.size());

@@ -103,7 +103,7 @@ struct CampaignStats
  * of Driver::run()/xfd::Campaign::run(). Prefer the accessors
  * (findings(), statistics(), phases(), config(), fingerprint()) over
  * reaching into the public members; the members stay public for one
- * PR of source compatibility (removal schedule: DESIGN.md §13).
+ * PR of source compatibility (removal schedule: DESIGN.md §14).
  */
 struct CampaignResult
 {

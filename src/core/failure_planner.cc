@@ -18,10 +18,15 @@ planFailurePoints(const trace::TraceBuffer &pre, const DetectorConfig &cfg)
     // PM operations observed since the previous ordering point; a
     // failure point is useless if nothing could have changed state.
     std::size_t ops_since = 0;
+    // Under the flush-free model a writeback changes no persistence
+    // state, so an interval holding only flushes is as empty as one
+    // holding nothing.
+    const bool eadr = cfg.eadrOn();
 
     for (const auto &e : pre) {
         if (trace::isPmMutation(e)) {
-            ops_since++;
+            if (!(eadr && e.isFlush()))
+                ops_since++;
             continue;
         }
 
@@ -64,7 +69,7 @@ planFailurePoints(const trace::TraceBuffer &pre, const DetectorConfig &cfg)
 BatchPlan
 planBatches(const trace::TraceBuffer &pre,
             const std::vector<std::uint32_t> &points,
-            unsigned granularity)
+            unsigned granularity, bool flushFree)
 {
     // The grouping identity is exactly the lint pass's prunability
     // relation: each kept point seeds a group, each pruned point
@@ -73,7 +78,7 @@ planBatches(const trace::TraceBuffer &pre,
     // byte-identical findings, which is what lets a representative's
     // run stand in for its members.
     lint::PruneVerdicts v =
-        lint::computePruneVerdicts(pre, points, granularity);
+        lint::computePruneVerdicts(pre, points, granularity, flushFree);
 
     BatchPlan plan;
     std::map<std::uint32_t, std::size_t> group_of;

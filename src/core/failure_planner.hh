@@ -92,11 +92,13 @@ struct BatchPlan
  * Group @p points (ascending, from planFailurePoints) by frontier
  * signature at @p granularity. Every input point appears in exactly
  * one group; a point whose signature matches no earlier point forms
- * a new single-member group.
+ * a new single-member group. @p flushFree selects the eADR frontier
+ * semantics (must match the campaign's persistency model so the
+ * grouping relation stays sound).
  */
 BatchPlan planBatches(const trace::TraceBuffer &pre,
                       const std::vector<std::uint32_t> &points,
-                      unsigned granularity);
+                      unsigned granularity, bool flushFree = false);
 
 } // namespace xfd::core
 

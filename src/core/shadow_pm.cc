@@ -21,7 +21,7 @@ persistStateName(PersistState s)
 
 ShadowPM::ShadowPM(AddrRange pool, const DetectorConfig &c)
     : poolRange(pool), cfg(c), gran(c.granularity),
-      collect(c.collectStats)
+      collect(c.collectStats), eadr(c.eadrOn())
 {
     if (gran == 0 || (gran & (gran - 1)) != 0 || gran > cacheLineSize)
         fatal("shadow granularity must be a power of two <= 64");
@@ -75,8 +75,12 @@ ShadowPM::preWrite(Addr a, std::size_t n, std::uint32_t seq,
         return;
     std::uint64_t idx = cellIndex(a);
     std::uint64_t end = idx + cellCount(a, n);
-    PersistState to = non_temporal ? PersistState::WritebackPending
-                                   : PersistState::Modified;
+    // Under eADR the persistence domain covers the caches: every
+    // store is durable the moment it lands, so the Modified and
+    // WritebackPending states are skipped entirely.
+    PersistState to = eadr ? PersistState::Persisted
+                     : non_temporal ? PersistState::WritebackPending
+                                    : PersistState::Modified;
     // Page-chunked: one hash lookup per page run, not per cell.
     while (idx < end) {
         std::uint64_t off = idx % cellsPerPage;
@@ -89,7 +93,7 @@ ShadowPM::preWrite(Addr a, std::size_t n, std::uint32_t seq,
             c.flags &= static_cast<std::uint8_t>(~cellUninit);
             c.tlast = ts;
             c.lastWriterSeq = seq;
-            if (non_temporal)
+            if (non_temporal && !eadr)
                 pendingCells.push_back(idx + i);
         }
         idx += run;
@@ -108,6 +112,11 @@ bool
 ShadowPM::preFlush(Addr line, std::uint32_t seq)
 {
     (void)seq;
+    // Flush-free model: a writeback neither persists anything new nor
+    // counts as redundant — the instruction is simply dead weight the
+    // program carries for clwb portability, not a performance bug.
+    if (eadr)
+        return false;
     std::uint64_t first = cellIndex(line);
     std::uint64_t end = first + cellCount(line, cacheLineSize);
     // Page-chunked in both passes: a line's cells live in at most two

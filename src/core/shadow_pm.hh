@@ -279,6 +279,14 @@ class ShadowPM
     unsigned gran;
     /** Cached cfg.collectStats (hot-path branch on a plain bool). */
     bool collect;
+    /**
+     * Cached cfg.eadrOn(). Under the flush-free eADR/CXL model every
+     * store is durable on arrival: writes land directly in Persisted,
+     * flushes are no-ops (neither required nor redundant), and the
+     * Modified/WritebackPending states are reachable only through
+     * allocation (uninitialized cells).
+     */
+    bool eadr;
     ShadowFsmCounters fsm;
     std::int32_t ts = 0;
 

@@ -8,7 +8,8 @@
 namespace xfd::lint
 {
 
-FrontierState::FrontierState(unsigned granularity) : gran(granularity)
+FrontierState::FrontierState(unsigned granularity, bool flushFree)
+    : gran(granularity), eadr(flushFree)
 {
     if (gran == 0 || (gran & (gran - 1)) != 0 || gran > cacheLineSize)
         fatal("lint granularity must be a power of two <= 64");
@@ -22,8 +23,11 @@ FrontierState::applyWrite(const trace::TraceEntry &e)
     bool non_temporal = e.op == trace::Op::NtWrite;
     std::uint64_t first = cellIndex(e.addr);
     std::uint64_t count = cellCount(e.addr, e.size);
-    CellState to = non_temporal ? CellState::WritebackPending
-                                : CellState::Modified;
+    // Flush-free model: every store is durable on arrival, mirroring
+    // ShadowPM::preWrite under eADR.
+    CellState to = eadr            ? CellState::Persisted
+                   : non_temporal ? CellState::WritebackPending
+                                  : CellState::Modified;
     for (std::uint64_t i = 0; i < count; i++) {
         FrontierCell &c = cells[first + i];
         c.st = to;
@@ -31,7 +35,7 @@ FrontierState::applyWrite(const trace::TraceEntry &e)
         c.writerSeq = e.seq;
         c.tlast = ts;
         c.uninit = false;
-        if (non_temporal)
+        if (non_temporal && !eadr)
             pendingCells.push_back(first + i);
     }
     // A write overlapping a commit variable is a commit write: it
@@ -63,6 +67,9 @@ FrontierState::applyWrite(const trace::TraceEntry &e)
 void
 FrontierState::applyFlush(Addr line)
 {
+    // Flush-free model: a writeback changes no persistence state.
+    if (eadr)
+        return;
     std::uint64_t first = cellIndex(line);
     std::uint64_t count = cellCount(line, cacheLineSize);
     for (std::uint64_t i = 0; i < count; i++) {

@@ -53,7 +53,15 @@ struct FrontierCell
 class FrontierState
 {
   public:
-    explicit FrontierState(unsigned granularity);
+    /**
+     * @p flushFree selects the eADR/CXL persistency semantics (the
+     * lint-side mirror of ShadowPM's model switch): writes land
+     * directly in Persisted, flushes are no-ops, and fences only
+     * advance the timestamp. Must match the campaign's --pm-model for
+     * prune verdicts to stay sound.
+     */
+    explicit FrontierState(unsigned granularity,
+                           bool flushFree = false);
 
     /** Advance the state past @p e. */
     void apply(const trace::TraceEntry &e);
@@ -111,6 +119,9 @@ class FrontierState
 
     unsigned granularity() const { return gran; }
 
+    /** Whether the eADR/CXL flush-free semantics are selected. */
+    bool flushFree() const { return eadr; }
+
   private:
     /** Commit variable with its address set and commit timestamps. */
     struct CommitVar
@@ -148,6 +159,8 @@ class FrontierState
     std::string regionTag(Addr a) const;
 
     unsigned gran;
+    /** eADR/CXL flush-free semantics (see the constructor). */
+    bool eadr;
     /** Ordered so signatures and exit scans are deterministic. */
     std::map<std::uint64_t, FrontierCell> cells;
     /** Live allocations: begin -> (end, alloc site). */

@@ -113,6 +113,15 @@ struct LintConfig
     std::uint32_t rules = allRules;
     /** Frontier cell granularity in bytes (match the detector's). */
     unsigned granularity = 1;
+    /**
+     * eADR/CXL flush-free persistency semantics (match the detector's
+     * --pm-model). Stores are durable on arrival: the flush-centric
+     * rules (XL01 redundant writeback, XL03 flush-unmodified, XL04
+     * no-op fence, XL07 epoch order) are suppressed — every flush is
+     * equally dead weight, not a persistency mistake — and the
+     * frontier dataflow mirrors the flush-free shadow PM.
+     */
+    bool flushFree = false;
 };
 
 /**
@@ -183,10 +192,13 @@ LintReport runLint(const trace::TraceBuffer &pre, const LintConfig &cfg,
 /**
  * Compute only the prunability verdicts for @p points (ascending seq
  * order, as produced by core::planFailurePoints) at @p granularity.
+ * @p flushFree selects the eADR frontier semantics and must match the
+ * campaign's persistency model.
  */
 PruneVerdicts computePruneVerdicts(const trace::TraceBuffer &pre,
                                    const std::vector<std::uint32_t> &points,
-                                   unsigned granularity);
+                                   unsigned granularity,
+                                   bool flushFree = false);
 
 /** Multi-line human-readable report (the lint scoreboard). */
 std::string renderText(const LintReport &rep);

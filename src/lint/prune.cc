@@ -27,13 +27,13 @@ namespace xfd::lint
 PruneVerdicts
 computePruneVerdicts(const trace::TraceBuffer &pre,
                      const std::vector<std::uint32_t> &points,
-                     unsigned granularity)
+                     unsigned granularity, bool flushFree)
 {
     PruneVerdicts v;
     if (points.empty())
         return v;
 
-    FrontierState st(granularity);
+    FrontierState st(granularity, flushFree);
     // Ordering-point location -> signature -> kept representative.
     std::map<std::string, std::map<std::string, std::uint32_t>> seen;
 

@@ -92,10 +92,22 @@ runLint(const trace::TraceBuffer &pre, const LintConfig &cfg,
     using trace::Op;
 
     LintReport rep;
-    rep.rules = cfg.rules;
-    DiagSink sink(rep, cfg.rules);
+    // The flush-centric rules assume a writeback is how data becomes
+    // durable; under the flush-free model every flush is equally dead
+    // weight (and every fence retires nothing), so those rules would
+    // only generate noise. Suppress them at the mask level so the
+    // report's `rules` field records what actually ran.
+    std::uint32_t effective = cfg.rules;
+    if (cfg.flushFree) {
+        effective &= ~(ruleBit(Rule::RedundantWriteback) |
+                       ruleBit(Rule::FlushUnmodified) |
+                       ruleBit(Rule::FenceNoPending) |
+                       ruleBit(Rule::EpochOrder));
+    }
+    rep.rules = effective;
+    DiagSink sink(rep, effective);
 
-    FrontierState st(cfg.granularity);
+    FrontierState st(cfg.granularity, cfg.flushFree);
     std::vector<OpenAdd> openAdds;
 
     for (const auto &e : pre) {
@@ -222,8 +234,8 @@ runLint(const trace::TraceBuffer &pre, const LintConfig &cfg,
 
     if (plannedPoints) {
         rep.pointsConsidered = plannedPoints->size();
-        rep.prune =
-            computePruneVerdicts(pre, *plannedPoints, cfg.granularity);
+        rep.prune = computePruneVerdicts(pre, *plannedPoints,
+                                         cfg.granularity, cfg.flushFree);
     }
     return rep;
 }

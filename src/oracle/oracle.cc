@@ -16,6 +16,7 @@ CrashStateOracle::CrashStateOracle(const trace::TraceBuffer &p,
                                    const pm::PmImage &initial,
                                    const OracleConfig &c)
     : pre(p), cfg(c), gran(c.detector.granularity),
+      eadr(c.detector.eadrOn()),
       execPool(initial.size(), initial.base()), working(initial),
       durable(initial)
 {
@@ -98,6 +99,18 @@ CrashStateOracle::advance(std::uint32_t to)
             std::uint64_t count = cellCount(e.addr, e.size);
             for (std::uint64_t i = 0; i < count; i++) {
                 OCell &c = cells[first + i];
+                if (eadr) {
+                    // Flush-free: durable on arrival. The tail stays
+                    // empty, so the cell never joins a frontier and
+                    // its bytes land in the durable image at once.
+                    c.state = CellState::Persisted;
+                    c.touched = true;
+                    c.uninit = false;
+                    c.tlast = ts;
+                    c.tail.clear();
+                    persistCellBytes(first + i);
+                    continue;
+                }
                 c.state = nt ? CellState::Pending
                              : CellState::Modified;
                 c.touched = true;
@@ -121,7 +134,10 @@ CrashStateOracle::advance(std::uint32_t to)
           case Op::ClflushOpt:
           case Op::Clflush: {
             // Writeback starts for every modified cell in the line;
-            // durability lands at the next fence.
+            // durability lands at the next fence. Flush-free model:
+            // nothing to start, everything is already durable.
+            if (eadr)
+                break;
             std::uint64_t first = cellIndex(e.addr);
             std::uint64_t count = cellCount(e.addr, cacheLineSize);
             for (std::uint64_t i = 0; i < count; i++) {

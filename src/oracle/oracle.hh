@@ -247,6 +247,14 @@ class CrashStateOracle
     const trace::TraceBuffer &pre;
     OracleConfig cfg;
     unsigned gran;
+    /**
+     * Cached cfg.detector.eadrOn(). Under the flush-free model every
+     * store is guaranteed durable on arrival: cells never carry a
+     * tail, so every frontier is empty and the all-updates anchor is
+     * the only crash state — the oracle's independent restatement of
+     * "flush omission is not a bug class under eADR".
+     */
+    bool eadr;
 
     pm::PmPool execPool;
     /** All updates applied (mirrors the footnote-3 image). */

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Redo-only write-ahead log — the third crash-consistency mechanism
+ * next to the undo-log transaction (pmlib/tx) and the redo
+ * micro-log (pmlib/redo).
+ *
+ * The log is a flat byte arena of CRC32-framed records. Writers stage
+ * full-page after-images with append() — plain stores, no ordering —
+ * and make a whole batch durable with one commit() (group commit):
+ *
+ *   payload writeback + fence;  headOff := stagedEnd + fence (seal);
+ *   apply each record to its home page + fence.
+ *
+ * Persisting headOff is the commit point: recovery replays exactly
+ * the records below it, so a failure anywhere re-applies the sealed
+ * prefix (idempotent full-page writes) and discards the unsealed
+ * tail. checkpoint() bounds replay work: once every sealed record is
+ * durable in place it advances an alternating-slot descriptor
+ * (pmlib/checkpoint.hh's generation idiom) and truncates the log.
+ *
+ * Home pages are owned by the log: registerPage() allocates them and
+ * records their addresses in a persistent page table, so recovery can
+ * chase pageId -> address without the caller's volatile state.
+ *
+ * The WalOptions flags plant the wal.* bug-suite defects; all default
+ * to off (the correct protocol).
+ */
+
+#ifndef XFD_PMLIB_WAL_HH
+#define XFD_PMLIB_WAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pmlib/objpool.hh"
+#include "trace/runtime.hh"
+
+namespace xfd::pmlib
+{
+
+/** "XFDWAL1\0", little-endian. */
+constexpr std::uint64_t walMagic = 0x00314c4157444658ull;
+
+/**
+ * CRC32 (reflected, poly 0xEDB88320 — the zlib/PMDK polynomial),
+ * bitwise so it needs no table. Exposed for tests that forge or
+ * corrupt frames.
+ */
+inline std::uint32_t
+crc32(const void *data, std::size_t n, std::uint32_t seed = 0)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t c = ~seed;
+    for (std::size_t i = 0; i < n; i++) {
+        c ^= p[i];
+        for (int b = 0; b < 8; b++)
+            c = (c >> 1) ^ (0xEDB88320u & (0u - (c & 1u)));
+    }
+    return ~c;
+}
+
+/** Persistent log header (start of the WAL area). */
+struct WalHeader
+{
+    std::uint64_t magic;
+    /** Committed log bytes — the log's commit variable. */
+    std::uint64_t headOff;
+    /** Checkpoint generation — selects the live descriptor slot. */
+    std::uint64_t ckptGen;
+    /** Alternating descriptor slots: last checkpointed LSN. */
+    std::uint64_t ckptLsn[2];
+};
+
+/** Frame header preceding each record's payload in the log. */
+struct WalRecordHeader
+{
+    std::uint64_t lsn;    ///< 1-based; 0 never occurs in a valid frame
+    std::uint64_t pageId; ///< home page the payload re-images
+    std::uint32_t dataLen;
+    std::uint32_t crc; ///< walRecordCrc() over the fields + payload
+};
+
+/** The checksum a well-formed frame must carry. */
+inline std::uint32_t
+walRecordCrc(std::uint64_t lsn, std::uint64_t page_id,
+             const void *data, std::uint32_t len)
+{
+    std::uint32_t c = crc32(&lsn, sizeof(lsn));
+    c = crc32(&page_id, sizeof(page_id), c);
+    c = crc32(&len, sizeof(len), c);
+    return crc32(data, len, c);
+}
+
+/** Planted-defect switches for the wal.* bug-suite family. */
+struct WalOptions
+{
+    /** append() seals each record before its payload is written back. */
+    bool tornRecordAccepted = false;
+    /** commit() persists the seal before the batch payload. */
+    bool commitBeforePayload = false;
+    /** recover() scans raw frames, ignoring headOff and the CRC. */
+    bool missingCrcCheck = false;
+    /** commit() skips home writeback; checkpoint() truncates anyway. */
+    bool truncateBeforeApply = false;
+    /** recover() reads the dead descriptor slot. */
+    bool replayPastCheckpoint = false;
+    /** commit() leaves the first record of the batch out of the
+        payload writeback range. */
+    bool unflushedLogHead = false;
+};
+
+/**
+ * One write-ahead log instance over an area inside an ObjPool.
+ *
+ * The handle itself is volatile (one per execution stage). A fresh
+ * area is initialized with format(); after a failure, recover()
+ * replays the sealed log and rebuilds the volatile cursors. Both
+ * stages must call annotate() before any post-failure-visible reads
+ * so the detector knows headOff/ckptGen are commit variables.
+ */
+class Wal
+{
+  public:
+    /**
+     * @param pool pool the area lives in
+     * @param area_addr PM address of an areaSize() byte region
+     * @param log_capacity log arena bytes
+     * @param page_size fixed home-page (and record payload) size
+     * @param max_pages page-table capacity
+     */
+    Wal(ObjPool &pool, Addr area_addr, std::size_t log_capacity,
+        std::size_t page_size, std::size_t max_pages,
+        WalOptions opts = {});
+
+    /** Area bytes: header + page table + log arena. */
+    static std::size_t
+    areaSize(std::size_t log_capacity, std::size_t max_pages)
+    {
+        return sizeof(WalHeader) + max_pages * sizeof(std::uint64_t) +
+               log_capacity;
+    }
+
+    /** Initialize a fresh area (magic is persisted last). */
+    void format(trace::SrcLoc loc = trace::here());
+
+    /** Register headOff/ckptGen as commit variables. */
+    void annotate(trace::SrcLoc loc = trace::here());
+
+    /**
+     * Allocate a home page and persist-stage its page-table entry
+     * (made durable by the next commit()). @return the page address.
+     */
+    Addr registerPage(std::uint64_t page_id,
+                      trace::SrcLoc loc = trace::here());
+
+    /** Traced page-table lookup. @return 0 for an unregistered page. */
+    Addr pageAddr(std::uint64_t page_id,
+                  trace::SrcLoc loc = trace::here());
+
+    /** Stage one full-page after-image (no ordering until commit). */
+    void append(std::uint64_t page_id, const void *img,
+                trace::SrcLoc loc = trace::here());
+
+    /** Group commit: seal the staged batch and apply it in place. */
+    void commit(trace::SrcLoc loc = trace::here());
+
+    /** Advance the descriptor and truncate the applied log. */
+    void checkpoint(trace::SrcLoc loc = trace::here());
+
+    /**
+     * Post-failure replay. Walks the sealed log, validates each frame
+     * (torn or corrupt frames throw trace::PostFailureAbort), applies
+     * records above the checkpointed LSN to their home pages, and
+     * rebuilds the volatile cursors.
+     *
+     * Deliberately *not* LibScope-wrapped: its reads are the
+     * cross-failure reads the detector classifies.
+     *
+     * @return false when the area holds no formatted log (failure
+     *         before creation finished) — nothing to replay.
+     */
+    bool recover(trace::SrcLoc loc = trace::here());
+
+    /** Highest LSN made durable by a commit (0 before the first). */
+    std::uint64_t lastCommittedLsn() const { return lastLsn; }
+
+    /** LSN the next append() will frame. */
+    std::uint64_t nextLsn() const { return nextLsn_; }
+
+    /** Committed log bytes (mirror of the persistent headOff). */
+    std::uint64_t committedBytes() const { return committedEnd; }
+
+    /** Staged-but-unsealed log bytes past committedBytes(). */
+    std::uint64_t stagedBytes() const { return stagedEnd; }
+
+    /** Checkpoint generation (mirror). */
+    std::uint64_t generation() const { return gen; }
+
+    /** Records applied by the last recover(). */
+    std::uint64_t recordsReplayed() const { return replayed; }
+
+    /** Bytes one record with @p data_len payload occupies. */
+    static std::size_t
+    frameSize(std::uint32_t data_len)
+    {
+        return sizeof(WalRecordHeader) + ((data_len + 7u) & ~7u);
+    }
+
+    Addr headerAddr() const { return areaAddr; }
+    Addr tableAddr() const { return areaAddr + sizeof(WalHeader); }
+    Addr logAddr() const
+    {
+        return tableAddr() + maxPages * sizeof(std::uint64_t);
+    }
+
+  private:
+    WalHeader *hdr();
+    std::uint64_t *table();
+    std::uint8_t *log();
+
+    /** One staged record awaiting commit (volatile bookkeeping). */
+    struct Staged
+    {
+        std::uint64_t off;
+        std::uint64_t pageId;
+        std::uint32_t len;
+    };
+
+    ObjPool &pool;
+    Addr areaAddr;
+    std::size_t logCapacity;
+    std::size_t pageSize;
+    std::size_t maxPages;
+    WalOptions opts;
+
+    std::uint64_t nextLsn_ = 1;
+    std::uint64_t lastLsn = 0;
+    std::uint64_t gen = 0;
+    std::uint64_t describedLsn = 0;
+    std::uint64_t committedEnd = 0;
+    std::uint64_t stagedEnd = 0;
+    std::uint64_t replayed = 0;
+    std::vector<Staged> staged;
+    std::vector<std::uint64_t> dirtyTable;
+};
+
+} // namespace xfd::pmlib
+
+#endif // XFD_PMLIB_WAL_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Page-based persistent B-Tree over the redo-only write-ahead log
+ * (pmlib/wal) — the WAL-family counterpart of the undo-log btree.
+ *
+ * Mutations run against a volatile buffer pool of fixed-size page
+ * images; a group commit every few operations stages the dirty pages
+ * as CRC32-framed after-images and seals them with one WAL commit,
+ * and a periodic checkpoint truncates the applied log. Recovery
+ * replays the sealed log before the tree is read. The wal.* bug-suite
+ * family perturbs the log protocol itself (see pmlib/wal.hh).
+ */
+
+#ifndef XFD_WORKLOADS_WAL_BTREE_HH
+#define XFD_WORKLOADS_WAL_BTREE_HH
+
+#include "workloads/workload.hh"
+
+namespace xfd::workloads
+{
+
+/** The write-ahead-logging B-Tree workload. */
+class WalBTree : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "WAL-B-Tree"; }
+    void pre(trace::PmRuntime &rt) override;
+    void post(trace::PmRuntime &rt) override;
+    std::string verify(trace::PmRuntime &rt) override;
+};
+
+} // namespace xfd::workloads
+
+#endif // XFD_WORKLOADS_WAL_BTREE_HH

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "workloads/btree.hh"
+#include "workloads/wal_btree.hh"
 #include "workloads/ctree.hh"
 #include "workloads/hashmap_atomic.hh"
 #include "workloads/hashmap_tx.hh"
@@ -68,8 +69,8 @@ kvExpected(const WorkloadConfig &cfg, unsigned total)
 std::vector<std::string>
 workloadNames()
 {
-    return {"btree",  "ctree", "rbtree",    "hashmap_tx",
-            "hashmap_atomic", "redis", "memcached"};
+    return {"btree",  "wal_btree", "ctree",     "rbtree",
+            "hashmap_tx", "hashmap_atomic", "redis", "memcached"};
 }
 
 std::unique_ptr<Workload>
@@ -77,6 +78,8 @@ makeWorkload(const std::string &name, WorkloadConfig cfg)
 {
     if (name == "btree")
         return std::make_unique<BTree>(std::move(cfg));
+    if (name == "wal_btree")
+        return std::make_unique<WalBTree>(std::move(cfg));
     if (name == "ctree")
         return std::make_unique<CTree>(std::move(cfg));
     if (name == "rbtree")

@@ -120,9 +120,9 @@ INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadParamTest,
                              return n;
                          });
 
-TEST(WorkloadFactory, RejectsUnknownNamesListsSeven)
+TEST(WorkloadFactory, ListsEightWorkloads)
 {
-    EXPECT_EQ(workloads::workloadNames().size(), 7u);
+    EXPECT_EQ(workloads::workloadNames().size(), 8u);
 }
 
 TEST(WorkloadScaling, MoreOpsMoreTraceEntries)

@@ -231,6 +231,7 @@ main(int argc, char **argv)
     bool lint_on = !dcfg.lintRules.empty() || !lint_json_path.empty();
     lint::LintConfig lcfg;
     lcfg.granularity = dcfg.granularity;
+    lcfg.flushFree = dcfg.eadrOn();
     if (lint_on) {
         std::string err;
         if (!lint::parseRuleList(dcfg.lintRules, lcfg.rules, &err)) {
