@@ -70,10 +70,14 @@ printTables()
     {
         std::string name;
         Timing t;
+        Timing cs; ///< same campaign with --crash-states=sample:16
         double traced;
         double original;
     };
     std::vector<Row> rows;
+
+    core::DetectorConfig cs_dcfg = fig12Detector();
+    cs_dcfg.crashStates = "sample:16";
 
     // Discarded warmup: fault in the allocator arenas and code paths
     // so the first measured workload is not charged for them.
@@ -83,6 +87,7 @@ printTables()
         Row row;
         row.name = w;
         row.t = timeCampaign(w, fig12Config(), fig12Detector(), 5);
+        row.cs = timeCampaign(w, fig12Config(), cs_dcfg, 1);
         row.traced = timeBaseline(w, fig12Config(), true);
         row.original = timeBaseline(w, fig12Config(), false);
         // failurePoints counts executed representatives in batched
@@ -120,6 +125,26 @@ printTables()
                 "restore+classify phases account\nfor; the profiler "
                 "wraps exactly the intervals that feed that counter, "
                 "so this\nshould sit at ~100%%.\n");
+
+    std::printf("\n=== Figure 12a addendum: --crash-states=sample:16 "
+                "exploration cost ===\n");
+    rule();
+    std::printf("%-16s %10s %10s %10s %10s\n", "workload", "total(ms)",
+                "explored", "pruned", "prune%");
+    rule();
+    for (const auto &row : rows) {
+        const core::CampaignStats &cst = row.cs.last.statistics();
+        std::size_t enumd = cst.crashStatesEnumerated;
+        std::printf("%-16s %10.3f %10zu %10zu %9.1f%%\n",
+                    row.name.c_str(), row.cs.meanTotalSeconds * 1e3,
+                    cst.crashStatesExplored, cst.crashStatesPruned,
+                    enumd ? 100.0 * cst.crashStatesPruned / enumd : 0.0);
+    }
+    rule();
+    std::printf("partial crash-state exploration multiplies recovery "
+                "executions; the pruned\ncolumn counts candidates the "
+                "equivalence classes folded into an already-run\n"
+                "representative.\n");
 
     std::printf("\n=== Figure 12b: slowdown over baselines ===\n");
     rule();
@@ -167,6 +192,13 @@ printTables()
                     static_cast<std::uint64_t>(st.batchGroups));
             w.field("same_value_elided",
                     static_cast<std::uint64_t>(st.sameValueElided));
+            const core::CampaignStats &cst = row.cs.last.statistics();
+            w.field("crash_states_ms",
+                    row.cs.meanTotalSeconds * 1e3);
+            w.field("crash_states_explored",
+                    static_cast<std::uint64_t>(cst.crashStatesExplored));
+            w.field("candidates_pruned",
+                    static_cast<std::uint64_t>(cst.crashStatesPruned));
             writePhaseBreakdownJson(w, row.t);
             w.field("trace_only_ms", row.traced * 1e3);
             w.field("original_ms", row.original * 1e3);

@@ -43,6 +43,8 @@ printTable()
         unsigned txns;
         double ms;
         std::size_t failpoints;
+        std::size_t csExplored; // --crash-states=sample:16 run
+        std::size_t csPruned;
         pm::DeltaRestoreStats restore;
         std::uint64_t fullCopyBaseline; // bytes a full-copy run moves
         std::array<double, obs::phaseCount> phaseSeconds;
@@ -65,8 +67,12 @@ printTable()
                     "time(ms)", "#failpoints", "ms/failpoint",
                     "restored(KB)", "of full", "attrib");
         std::vector<Point> points;
+        core::DetectorConfig cs_dcfg;
+        cs_dcfg.crashStates = "sample:16";
         for (unsigned txns : txn_set) {
             Timing t = timeCampaign(w, fig13Config(txns), {}, 1);
+            Timing cs = timeCampaign(w, fig13Config(txns), cs_dcfg, 1);
+            const core::CampaignStats &cst = cs.last.statistics();
             double ms = t.meanTotalSeconds * 1e3;
             const auto &s = t.last.stats;
             std::size_t fp = s.failurePoints;
@@ -86,8 +92,9 @@ printTable()
                 txns, ms, fp, per,
                 static_cast<double>(s.restore.bytesCopied()) / 1024.0,
                 frac * 100.0, t.backendAttribution() * 100.0);
-            points.push_back({txns, ms, fp, s.restore, baseline,
-                              t.meanPhaseSeconds,
+            points.push_back({txns, ms, fp, cst.crashStatesExplored,
+                              cst.crashStatesPruned, s.restore,
+                              baseline, t.meanPhaseSeconds,
                               t.backendAttribution()});
         }
         series.emplace_back(w, std::move(points));
@@ -115,6 +122,10 @@ printTable()
                         static_cast<std::uint64_t>(p.failpoints));
                 w.field("ms_per_failpoint",
                         p.failpoints ? p.ms / p.failpoints : 0.0);
+                w.field("crash_states_explored",
+                        static_cast<std::uint64_t>(p.csExplored));
+                w.field("candidates_pruned",
+                        static_cast<std::uint64_t>(p.csPruned));
                 w.key("phases_ms").beginObject();
                 for (std::size_t i = 0; i < obs::phaseCount; i++) {
                     if (p.phaseSeconds[i] > 0) {

@@ -45,9 +45,10 @@ buildRegistry()
     auto add = [&](const char *id, const char *wl, E e, O o,
                    const char *desc, unsigned init = 10,
                    unsigned test = 12, unsigned post = 6,
-                   bool roi_start = false) {
+                   bool roi_start = false,
+                   const char *crash_states = "") {
         r.push_back(BugCase{id, wl, e, o, desc, init, test, post,
-                            roi_start});
+                            roi_start, crash_states});
     };
 
     // ----------------------------------------------------------
@@ -255,6 +256,25 @@ buildRegistry()
     add("wal.race.unflushed_log_head", "wal_btree", E::Race,
         O::Extra, "first record of the batch left out of writeback");
 
+    // ----------------------------------------------------------
+    // Ring-Log: defects only partial crash images reach. Both pair
+    // their stores inside one fence epoch, so the all-updates anchor
+    // image never tears them — the --crash-states tier is what
+    // executes the recovery paths that fail.
+    // ----------------------------------------------------------
+    add("ringlog.recovery.mirror_mismatch_abort", "ringlog",
+        E::RecoveryFailure, O::Extra,
+        "recovery aborts when the mirrored cursors diverge (torn "
+        "same-epoch pair; anchor-invisible)", 4, 12, 4, false,
+        "sample:64");
+    // initOps=2 keeps the first-ever checkpoint (the only one whose
+    // superseded descriptor pointer is still null) inside the RoI.
+    add("ringlog.recovery.torn_pair_wild", "ringlog",
+        E::RecoveryFailure, O::Extra,
+        "checkpoint valid-flag raised before its pointer; recovery "
+        "derefs a torn install (anchor-invisible)", 2, 12, 4, false,
+        "sample:64");
+
     return r;
 }
 
@@ -281,6 +301,8 @@ bugCasesFor(const std::string &workload)
 core::CampaignResult
 runBugCase(const BugCase &c, core::DetectorConfig cfg)
 {
+    if (!c.crashStates.empty() && cfg.crashStates.empty())
+        cfg.crashStates = c.crashStates;
     if (c.workload == "pool_create") {
         // §6.3.2 bug 4 lives in the library, not in a workload.
         return Campaign::forProgram(

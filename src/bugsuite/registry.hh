@@ -56,6 +56,12 @@ struct BugCase
     unsigned testOps = 12;
     unsigned postOps = 6;
     bool roiFromStart = false;
+    /**
+     * Crash-state tier the defect needs (--crash-states spelling);
+     * empty for anchor-detectable cases. runBugCase() applies it
+     * unless the caller's config already picked a tier.
+     */
+    std::string crashStates;
 };
 
 /** The full registry. */

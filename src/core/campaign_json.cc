@@ -98,6 +98,19 @@ writeStatsJson(const CampaignResult &res, const DetectorConfig *cfg,
     w.field("post_seconds", s.postSeconds);
     w.field("backend_seconds", s.backendSeconds);
     w.field("total_seconds", s.totalSeconds());
+    if (s.crashStatesEnumerated || s.crashStatesExplored ||
+        s.crashStatesPruned) {
+        w.key("crash_states").beginObject();
+        w.field("enumerated",
+                static_cast<std::uint64_t>(s.crashStatesEnumerated));
+        w.field("explored",
+                static_cast<std::uint64_t>(s.crashStatesExplored));
+        w.field("pruned",
+                static_cast<std::uint64_t>(s.crashStatesPruned));
+        w.field("partial_findings",
+                static_cast<std::uint64_t>(res.partialImageFindings()));
+        w.endObject();
+    }
     w.key("phases");
     obs::writePhaseJson(s.phases, w);
     w.field("backend_attribution",

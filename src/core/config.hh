@@ -10,6 +10,7 @@
 #define XFD_CORE_CONFIG_HH
 
 #include <cstddef>
+#include <cstdlib>
 #include <limits>
 #include <string>
 
@@ -224,6 +225,32 @@ struct DetectorConfig
     std::string oracleArtifactDir;
 
     /**
+     * Crash-state exploration mode: which candidate crash images the
+     * driver executes recovery on per failure point. One of
+     *
+     *  - "anchor" (or empty): only the paper's footnote-3 all-updates
+     *    image — the classic single-candidate campaign;
+     *  - "sample:<n>": additionally up to <n> seeded-random legal
+     *    persisted-subsets of the write frontier (per-cell prefix
+     *    closure, same enumeration as the oracle);
+     *  - "exhaustive": every legal subset for frontiers within
+     *    oracleFrontierLimit, sampling above it.
+     *
+     * Findings only reachable on a partial image carry partial-image
+     * provenance (persistedMask with cleared bits) and surface as
+     * campaign.crashstates.* stats. Structurally identical candidates
+     * across failure points (same ordering-point location, same lint
+     * frontier signature, same mask) execute once. Incompatible with
+     * crashImageMode (which pins one alternative materialization);
+     * under the eADR model frontiers are empty, so the mode
+     * degenerates to the anchor.
+     */
+    std::string crashStates;
+
+    /** Seed for the per-failure-point crash-state sampler. */
+    std::size_t crashStatesSeed = 42;
+
+    /**
      * Static lint pass (src/lint): empty = off. "all" enables every
      * rule; otherwise a comma-separated list of rule ids (XL01..XL07)
      * or names (redundant_writeback, ...). Reporting only — campaign
@@ -350,6 +377,47 @@ struct DetectorConfig
     eadrOn() const
     {
         return pmModelEnum() == PersistencyModel::Eadr;
+    }
+
+    /**
+     * Parse @p s as a crash-states descriptor. @return true (setting
+     * @p exhaustive / @p sampleCount for the non-anchor modes) on
+     * success, false on an unknown descriptor.
+     */
+    static bool
+    parseCrashStates(const std::string &s, bool &exhaustive,
+                     std::size_t &sampleCount)
+    {
+        if (s.empty() || s == "anchor") {
+            exhaustive = false;
+            sampleCount = 0;
+            return true;
+        }
+        if (s == "exhaustive") {
+            exhaustive = true;
+            return true;
+        }
+        if (s.rfind("sample:", 0) == 0) {
+            const std::string arg = s.substr(7);
+            if (arg.empty())
+                return false;
+            char *end = nullptr;
+            unsigned long n =
+                std::strtoul(arg.c_str(), &end, 10);
+            if (end == nullptr || *end != '\0' || n == 0)
+                return false;
+            exhaustive = false;
+            sampleCount = n;
+            return true;
+        }
+        return false;
+    }
+
+    /** Whether partial crash-state exploration is requested. */
+    bool
+    crashStatesOn() const
+    {
+        return !crashStates.empty() && crashStates != "anchor";
     }
 };
 

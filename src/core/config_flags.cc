@@ -16,7 +16,7 @@ namespace xfd::core
  * constant together with the table.
  */
 static_assert(sizeof(DetectorConfig) ==
-                  88 + 7 * sizeof(std::string),
+                  96 + 8 * sizeof(std::string),
               "DetectorConfig changed: add a ConfigFlagDesc row for "
               "the new field, then update this size tripwire");
 
@@ -164,6 +164,18 @@ buildTable()
          "write replayable disagreement artifacts (pre-trace + "
          "failure point + subset mask) into <dir>",
          "oracle_artifact_dir", &C::oracleArtifactDir, nullptr);
+    strf("--crash-states", "<anchor|sample:<n>|exhaustive>",
+         "crash-state exploration per failure point: \"anchor\" "
+         "(default) runs recovery only on the all-updates image, "
+         "\"sample:<n>\" additionally on up to <n> seeded-random "
+         "legal persisted subsets of the write frontier, "
+         "\"exhaustive\" on every legal subset within the "
+         "--oracle-frontier bound",
+         "crash_states", &C::crashStates, nullptr);
+    sizef("--crash-seed", "<n>",
+          "seed for the per-failure-point crash-state sampler "
+          "(default 42)",
+          "crash_states_seed", &C::crashStatesSeed);
     strf("--lint", "[=<rules>]",
          "run the static lint pass over the pre-failure trace; "
          "<rules> is \"all\" (default) or a comma list of XL01..XL07 "
@@ -238,6 +250,16 @@ applyDetectorFlag(const ConfigFlagDesc &d, DetectorConfig &cfg,
             if (!DetectorConfig::parsePmModel(value, m)) {
                 panic("flag %s: unknown persistency model \"%s\" "
                       "(expected clwb or eadr)",
+                      d.flag, value);
+            }
+        }
+        if (d.stringField == &DetectorConfig::crashStates) {
+            bool exhaustive = false;
+            std::size_t n = 0;
+            if (!DetectorConfig::parseCrashStates(value, exhaustive,
+                                                  n)) {
+                panic("flag %s: bad crash-states mode \"%s\" "
+                      "(expected anchor, sample:<n> or exhaustive)",
                       d.flag, value);
             }
         }

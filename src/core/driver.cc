@@ -4,13 +4,16 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <latch>
 #include <mutex>
 #include <thread>
 
 #include "common/logging.hh"
+#include "lint/frontier.hh"
 #include "trace/buffer.hh"
+#include "trace/candidates.hh"
 #include "trace/iter.hh"
 #include "trace/page_index.hh"
 
@@ -28,6 +31,88 @@ secondsSince(std::chrono::steady_clock::time_point t0)
 }
 
 } // namespace
+
+/**
+ * Cell-granular persistency mirror for --crash-states. Semantics
+ * replicate the oracle's per-cell model (oracle/oracle.cc advance())
+ * exactly: the driver's write frontiers, prefix chains and candidate
+ * images must agree with the oracle's byte for byte, or the
+ * conformance tier could never hold agreement at 1.0.
+ */
+struct Driver::PreCursor::CsState
+{
+    enum class St : std::uint8_t
+    {
+        Modified,  ///< dirty in cache, no writeback in flight
+        Pending,   ///< writeback issued, fence not reached
+        Persisted, ///< last write guaranteed durable
+    };
+
+    struct Cell
+    {
+        St state = St::Modified;
+        /** Write seqs applied since the last guaranteed persist,
+            ascending — empty iff the cell's bytes are decided. */
+        std::vector<std::uint32_t> tail;
+    };
+
+    explicit CsState(const DetectorConfig &cfg)
+        : gran(cfg.granularity), lint(cfg.granularity, cfg.eadrOn())
+    {
+    }
+
+    unsigned gran;
+    std::map<std::uint64_t, Cell> cells;
+    /** Cells awaiting the next fence (stale entries re-checked). */
+    std::vector<std::uint64_t> pending;
+    /** Registered commit variables (dropped-commit suppression). */
+    std::vector<AddrRange> commitVars;
+    /**
+     * Lint frontier state advanced to lintCursor — the equivalence
+     * signature feeding the candidate pruning key and the sampler
+     * stream (the same identity --backend=batched folds points by).
+     */
+    lint::FrontierState lint;
+    std::uint32_t lintCursor = 0;
+
+    std::uint64_t cellIndex(Addr a) const { return a / gran; }
+    std::uint64_t cellCount(Addr a, std::size_t n) const
+    {
+        return (a + n - 1) / gran - a / gran + 1;
+    }
+    Addr cellAddr(std::uint64_t idx) const { return idx * gran; }
+};
+
+Driver::PreCursor::PreCursor(AddrRange range,
+                             const DetectorConfig &cfg,
+                             const pm::CowImage &initial)
+    : shadow(range, cfg), image(initial)
+{
+    // Crash-state exploration needs the durable twin too: a partial
+    // candidate materializes as durable image + masked frontier
+    // events. Under eADR every frontier is empty and the mode
+    // degenerates to the anchor, so the extra bookkeeping is skipped.
+    bool cs_on = cfg.crashStatesOn() && !cfg.eadrOn();
+    if (cfg.crashImageMode || cs_on)
+        durable = initial;
+    if (cs_on)
+        cs = std::make_unique<CsState>(cfg);
+}
+
+Driver::PreCursor::~PreCursor() = default;
+
+/**
+ * Campaign-global crash-state context: parsed --crash-states knobs
+ * plus the equivalence-class pruning set all workers share.
+ */
+struct Driver::CrashStateCtx
+{
+    bool exhaustive = false;
+    std::size_t sampleCount = 0;
+    std::mutex lock;
+    /** Equivalence key -> failure point whose run represents it. */
+    std::map<std::string, std::uint32_t> seen;
+};
 
 std::size_t
 CampaignResult::count(BugType t) const
@@ -59,9 +144,28 @@ CampaignResult::summary() const
         bugs.size(), stats.failurePoints, stats.orderingCandidates,
         stats.elidedPoints, batched.c_str(), stats.postExecutions,
         stats.preSeconds, stats.postSeconds, stats.backendSeconds);
+    if (stats.crashStatesExplored || stats.crashStatesPruned) {
+        s += strprintf(
+            "crash states: %zu partial candidate(s) explored "
+            "(+%zu pruned as equivalent), partial-image findings: "
+            "%zu\n",
+            stats.crashStatesExplored, stats.crashStatesPruned,
+            partialImageFindings());
+    }
     for (const auto &b : bugs)
         s += b.str() + "\n";
     return s;
+}
+
+std::size_t
+CampaignResult::partialImageFindings() const
+{
+    std::size_t n = 0;
+    for (const auto &b : bugs) {
+        if (b.persistedMask.size() && !b.persistedMask.all())
+            n++;
+    }
+    return n;
 }
 
 std::string
@@ -198,10 +302,50 @@ Driver::advanceImage(PreCursor &cur, const trace::TraceBuffer &pre,
     using trace::Op;
 
     const bool eadr = cfg.eadrOn();
+    using St = PreCursor::CsState::St;
+    PreCursor::CsState *cs = cur.cs.get();
+    // The oracle's persistCellBytes: a retired or freed cell's
+    // content is decided, so the durable image takes its bytes and
+    // partial candidates build on them.
+    auto persistCell = [&](std::uint64_t idx) {
+        Addr a = cs->cellAddr(idx);
+        cur.durable.copyFrom(cur.image, a, cs->gran);
+        if (deltaStore)
+            cur.durablePages.insert(deltaStore->pageOf(a));
+    };
     for (std::uint32_t &i = cur.imageCursor; i < to; i++) {
         const auto &e = pre[i];
         if (e.isWrite()) {
             cur.image.applyWrite(e.addr, e.data.data(), e.data.size());
+            if (cs) {
+                if (e.has(trace::flagImageOnly)) {
+                    // Allocator zero-fill and friends: image data with
+                    // no persistence semantics. Both images take it at
+                    // once, so it is never part of any frontier.
+                    cur.durable.applyWrite(e.addr, e.data.data(),
+                                           e.data.size());
+                    if (deltaStore && !e.data.empty()) {
+                        Addr end = e.addr + e.data.size() - 1;
+                        std::size_t ps = deltaStore->pageSize();
+                        for (Addr a = e.addr; a <= end;
+                             a = (a / ps + 1) * ps) {
+                            cur.durablePages.insert(
+                                deltaStore->pageOf(a));
+                        }
+                    }
+                } else if (e.size != 0) {
+                    bool nt = e.op == Op::NtWrite;
+                    std::uint64_t first = cs->cellIndex(e.addr);
+                    std::uint64_t n = cs->cellCount(e.addr, e.size);
+                    for (std::uint64_t c = 0; c < n; c++) {
+                        auto &cell = cs->cells[first + c];
+                        cell.state = nt ? St::Pending : St::Modified;
+                        cell.tail.push_back(e.seq);
+                        if (nt)
+                            cs->pending.push_back(first + c);
+                    }
+                }
+            }
             Addr last = lineBase(e.addr + (e.size ? e.size - 1 : 0));
             if (eadr) {
                 // Flush-free persistency: the store is durable on
@@ -236,6 +380,21 @@ Driver::advanceImage(PreCursor &cur, const trace::TraceBuffer &pre,
             continue;
         }
         if (e.isFlush()) {
+            if (cs) {
+                // Writeback starts for every modified cell in the
+                // line; durability lands at the next fence.
+                std::uint64_t first = cs->cellIndex(e.addr);
+                std::uint64_t n = cs->cellCount(e.addr, cacheLineSize);
+                for (std::uint64_t c = 0; c < n; c++) {
+                    auto it = cs->cells.find(first + c);
+                    if (it == cs->cells.end() ||
+                        it->second.state != St::Modified) {
+                        continue;
+                    }
+                    it->second.state = St::Pending;
+                    cs->pending.push_back(first + c);
+                }
+            }
             // Flushing moves the line toward durability; it lands at
             // the next fence.
             if (cur.inflight.count(e.addr))
@@ -243,6 +402,21 @@ Driver::advanceImage(PreCursor &cur, const trace::TraceBuffer &pre,
             if (cfg.crashImageMode && cur.dirtyLines.count(e.addr))
                 cur.pendingLines.insert(e.addr);
         } else if (e.isFence()) {
+            if (cs) {
+                // The fence retires cells still pending (a cached
+                // write after the flush keeps the cell in flight).
+                for (std::uint64_t idx : cs->pending) {
+                    auto it = cs->cells.find(idx);
+                    if (it == cs->cells.end() ||
+                        it->second.state != St::Pending) {
+                        continue;
+                    }
+                    it->second.state = St::Persisted;
+                    persistCell(idx);
+                    it->second.tail.clear();
+                }
+                cs->pending.clear();
+            }
             for (Addr l : cur.inflightPending)
                 cur.inflight.erase(l);
             cur.inflightPending.clear();
@@ -255,6 +429,49 @@ Driver::advanceImage(PreCursor &cur, const trace::TraceBuffer &pre,
                     cur.durablePages.insert(deltaStore->pageOf(l));
             }
             cur.pendingLines.clear();
+        } else if (cs) {
+            // Ops the line model ignores but the cell model mirrors
+            // from the oracle.
+            switch (e.op) {
+              case Op::Alloc: {
+                std::uint64_t first = cs->cellIndex(e.addr);
+                std::uint64_t n = cs->cellCount(e.addr, e.size);
+                for (std::uint64_t c = 0; c < n; c++)
+                    cs->cells[first + c].state = St::Modified;
+                break;
+              }
+              case Op::Free: {
+                std::uint64_t first = cs->cellIndex(e.addr);
+                std::uint64_t n = cs->cellCount(e.addr, e.size);
+                for (std::uint64_t c = 0; c < n; c++) {
+                    auto it = cs->cells.find(first + c);
+                    if (it == cs->cells.end())
+                        continue;
+                    // Freed cells leave the frontier; pin their bytes
+                    // at the last written value so the anchor stays
+                    // byte-identical to the footnote-3 image.
+                    if (!it->second.tail.empty())
+                        persistCell(first + c);
+                    cs->cells.erase(it);
+                }
+                break;
+              }
+              case Op::CommitVar: {
+                AddrRange r{e.addr, e.addr + e.size};
+                bool known = false;
+                for (const auto &cv : cs->commitVars) {
+                    if (cv == r) {
+                        known = true;
+                        break;
+                    }
+                }
+                if (!known)
+                    cs->commitVars.push_back(r);
+                break;
+              }
+              default:
+                break;
+            }
         }
     }
 }
@@ -262,7 +479,7 @@ Driver::advanceImage(PreCursor &cur, const trace::TraceBuffer &pre,
 void
 Driver::replayPost(PreCursor &cur, const trace::TraceBuffer &pre,
                    const trace::TraceBuffer &post, std::uint32_t fp,
-                   BugSink &sink)
+                   BugSink &sink, bool suppressSemantic)
 {
     using trace::Op;
 
@@ -296,13 +513,14 @@ Driver::replayPost(PreCursor &cur, const trace::TraceBuffer &pre,
                 break;
             }
             if (res.verdict == ReadCheck::SemanticBug &&
-                cfg.crashImageMode) {
+                (cfg.crashImageMode || suppressSemantic)) {
                 // The commit-variable timestamps assume recovery
                 // observes the *latest* commit write, which only the
                 // paper's all-updates image guarantees; under a
-                // realistic crash image the recovery may be acting on
-                // an older committed version, so the semantic verdict
-                // is not sound here.
+                // realistic crash image — or a partial candidate that
+                // dropped a commit write — the recovery may be acting
+                // on an older committed version, so the semantic
+                // verdict is not sound here.
                 break;
             }
             BugReport r;
@@ -437,13 +655,23 @@ Driver::handleFailurePoint(PreCursor &cur, pm::PmPool &exec_pool,
     // persisted) write seqs as of fp, in ascending order — the
     // causal candidates for anything the post-failure stage trips
     // over. Captured before the post-failure run dirties anything.
+    // Crash-states campaigns take it from the cell model so the bit
+    // order of every candidate mask matches the oracle's exactly;
+    // otherwise the line-granular bookkeeping supplies it.
     std::vector<std::uint32_t> frontier;
-    for (const auto &ent : cur.inflight)
-        frontier.insert(frontier.end(), ent.second.begin(),
-                        ent.second.end());
-    std::sort(frontier.begin(), frontier.end());
-    frontier.erase(std::unique(frontier.begin(), frontier.end()),
-                   frontier.end());
+    if (cur.cs) {
+        std::set<std::uint32_t> seqs;
+        for (const auto &[idx, c] : cur.cs->cells)
+            seqs.insert(c.tail.begin(), c.tail.end());
+        frontier.assign(seqs.begin(), seqs.end());
+    } else {
+        for (const auto &ent : cur.inflight)
+            frontier.insert(frontier.end(), ent.second.begin(),
+                            ent.second.end());
+        std::sort(frontier.begin(), frontier.end());
+        frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                       frontier.end());
+    }
 
     trace::TraceBuffer post_trace;
     {
@@ -548,9 +776,293 @@ Driver::handleFailurePoint(PreCursor &cur, pm::PmPool &exec_pool,
                          static_cast<std::uint64_t>(classify_s * 1e6));
     }
 
+    // Partial crash-state exploration rides after the anchor so its
+    // findings merge into the same per-point sink (each annotated
+    // with its own persisted mask) before the hook fires.
+    if (csCtx && cur.cs)
+        exploreCrashStates(cur, exec_pool, pre, post, fp, local,
+                           stats, wobs);
+
     if (observer)
         observer->notifyFailurePoint(fp, local);
     sink.merge(local);
+}
+
+void
+Driver::exploreCrashStates(PreCursor &cur, pm::PmPool &exec_pool,
+                           const trace::TraceBuffer &pre,
+                           const ProgramFn &post, std::uint32_t fp,
+                           BugSink &local, CampaignStats &stats,
+                           const WorkerObs &wobs)
+{
+    PreCursor::CsState &cs = *cur.cs;
+
+    // Frontier + per-cell prefix chains from the cell model — the
+    // identical inputs the oracle derives, so enumeration agrees with
+    // it candidate for candidate.
+    std::set<std::uint32_t> seqs;
+    for (const auto &[idx, c] : cs.cells)
+        seqs.insert(c.tail.begin(), c.tail.end());
+    if (seqs.empty())
+        return;
+    std::vector<trace::FrontierEvent> events;
+    events.reserve(seqs.size());
+    std::map<std::uint32_t, std::size_t> bitOf;
+    for (std::uint32_t s : seqs) {
+        bitOf[s] = events.size();
+        events.push_back(trace::FrontierEvent{s, pre[s].addr,
+                                              pre[s].size});
+    }
+    std::size_t k = events.size();
+    std::vector<std::vector<std::size_t>> chains;
+    for (const auto &[idx, c] : cs.cells) {
+        if (c.tail.empty())
+            continue;
+        std::vector<std::size_t> chain;
+        chain.reserve(c.tail.size());
+        for (std::uint32_t s : c.tail)
+            chain.push_back(bitOf.at(s));
+        chains.push_back(std::move(chain));
+    }
+    trace::CandidateSet cset(std::move(events), std::move(chains));
+    const auto &frontier_ev = cset.frontier();
+
+    // Candidate equivalence class: ordering-point source location +
+    // lint frontier signature — the identity --backend=batched folds
+    // failure points by. It keys both the sampler stream (equivalent
+    // points sample identical mask sequences, keeping full, delta and
+    // batched schedules fingerprint-identical) and the campaign-global
+    // pruning set.
+    for (; cs.lintCursor < fp; cs.lintCursor++)
+        cs.lint.apply(pre[cs.lintCursor]);
+    std::string group = pre[fp].loc.str() + '|' + cs.lint.signature();
+    std::uint64_t stream = 1469598103934665603ull; // FNV-1a 64
+    for (char ch : group)
+        stream = (stream ^ static_cast<unsigned char>(ch)) *
+                 1099511628211ull;
+
+    trace::CandidateSet::EnumerateOptions eopt;
+    eopt.exhaustive = csCtx->exhaustive;
+    eopt.frontierLimit = cfg.oracleFrontierLimit;
+    eopt.sampleCount = csCtx->sampleCount;
+    eopt.seed = cfg.crashStatesSeed;
+    eopt.stream = stream;
+    auto en = cset.enumerate(eopt);
+    if (en.masks.size() <= 1)
+        return;
+    stats.crashStatesEnumerated += en.masks.size() - 1;
+
+    std::vector<std::uint32_t> frontier(seqs.begin(), seqs.end());
+
+    obs::Timeline *tl = wobs.timeline;
+    obs::SpanScope span(tl,
+                        tl ? strprintf("crash-states@fp#%u", fp)
+                           : std::string(),
+                        "crash-states", wobs.track);
+
+    bool first_restore = true;
+    std::set<std::uint32_t> touched;
+    for (std::size_t ci = 1; ci < en.masks.size(); ci++) {
+        const trace::SubsetMask &mask = en.masks[ci];
+        {
+            // Structurally identical candidates execute once per
+            // campaign: recovery is a function of the crash image,
+            // which this key determines up to batching equivalence.
+            std::string key =
+                group + '|' + strprintf("%zu:", k) + mask.toHex();
+            std::lock_guard<std::mutex> lock(csCtx->lock);
+            auto [it, fresh] = csCtx->seen.emplace(key, fp);
+            if (!fresh) {
+                stats.crashStatesPruned++;
+                stats.crashPruned.push_back(
+                    {fp, it->second, mask.toHex()});
+                continue;
+            }
+        }
+        stats.crashStatesExplored++;
+
+        auto tb0 = std::chrono::steady_clock::now();
+        // Materialize: durable image + masked frontier events. The
+        // pool holds the previous run's aftermath; restore only what
+        // can differ from durable — the pool's own dirt plus, before
+        // the first candidate, the pages of in-flight cells (the only
+        // places the anchor image diverges from durable).
+        if (!deltaStore) {
+            pm::restoreFull(cur.durable, exec_pool, stats.restore);
+        } else {
+            std::set<std::uint32_t> pages;
+            if (first_restore) {
+                for (const auto &[idx, c] : cs.cells) {
+                    if (!c.tail.empty())
+                        pages.insert(
+                            deltaStore->pageOf(cs.cellAddr(idx)));
+                }
+            }
+            exec_pool.drainDirtyPages(pages);
+            pm::restorePages(cur.durable, exec_pool,
+                             deltaStore->pageSize(), pages,
+                             stats.restore);
+            touched.insert(pages.begin(), pages.end());
+        }
+        first_restore = false;
+
+        // Apply the persisted subset in ascending seq order; only
+        // cells still carrying the event are undecided (mirrors the
+        // oracle's applyMask byte for byte). Payload-elided same-value
+        // writes (empty data) have nothing to materialize.
+        for (std::size_t b = 0; b < k; b++) {
+            if (!mask.test(b))
+                continue;
+            const auto &e = pre[frontier_ev[b].seq];
+            if (e.size == 0 || e.data.empty())
+                continue;
+            std::uint64_t first = cs.cellIndex(e.addr);
+            std::uint64_t n = cs.cellCount(e.addr, e.size);
+            for (std::uint64_t c = 0; c < n; c++) {
+                std::uint64_t idx = first + c;
+                auto it = cs.cells.find(idx);
+                if (it == cs.cells.end())
+                    continue;
+                const auto &tail = it->second.tail;
+                if (std::find(tail.begin(), tail.end(), e.seq) ==
+                    tail.end()) {
+                    continue;
+                }
+                Addr lo = std::max(cs.cellAddr(idx), e.addr);
+                Addr hi =
+                    std::min(cs.cellAddr(idx) + cs.gran,
+                             static_cast<Addr>(e.addr + e.size));
+                if (lo >= hi)
+                    continue;
+                std::size_t len = hi - lo;
+                std::memcpy(exec_pool.data() +
+                                (lo - exec_pool.base()),
+                            e.data.data() + (lo - e.addr), len);
+                exec_pool.markDirty(lo, len);
+            }
+        }
+        double restore_s = secondsSince(tb0);
+        stats.backendSeconds += restore_s;
+        stats.phases.note(obs::Phase::Restore, restore_s);
+
+        // A candidate that drops a commit-variable write shows
+        // recovery the previous committed epoch: commit-window
+        // (condition (3)) verdicts on it describe a legitimate older
+        // state, not a bug.
+        bool dropped_commit = false;
+        for (std::size_t b = 0; b < k && !dropped_commit; b++) {
+            if (mask.test(b))
+                continue;
+            AddrRange ev{frontier_ev[b].addr,
+                         frontier_ev[b].addr + frontier_ev[b].size};
+            for (const auto &cv : cs.commitVars) {
+                if (cv.overlaps(ev)) {
+                    dropped_commit = true;
+                    break;
+                }
+            }
+        }
+
+        BugSink cand;
+        trace::TraceBuffer post_trace;
+        {
+            obs::SpanScope s2(tl, "post-exec", "post", wobs.track);
+            trace::PmRuntime rt(exec_pool, post_trace,
+                                trace::Stage::PostFailure);
+            rt.setEntryCap(1u << 20);
+            rt.setBatching(true);
+            auto t0 = std::chrono::steady_clock::now();
+            try {
+                post(rt);
+            } catch (const trace::StageComplete &) {
+            } catch (const trace::PostFailureAbort &abort) {
+                BugReport r;
+                r.type = BugType::RecoveryFailure;
+                r.reader = abort.loc;
+                r.writer = pre[fp].loc;
+                r.failurePoint = fp;
+                r.note = abort.reason;
+                cand.report(std::move(r));
+            } catch (const pm::BadPmAccess &bad) {
+                BugReport r;
+                r.type = BugType::RecoveryFailure;
+                r.addr = bad.addr;
+                r.size = static_cast<std::uint32_t>(bad.size);
+                r.writer = pre[fp].loc;
+                r.failurePoint = fp;
+                r.note = strprintf(
+                    "post-failure crash: wild PM access at %#llx",
+                    static_cast<unsigned long long>(bad.addr));
+                cand.report(std::move(r));
+            }
+            rt.setBatching(false);
+            double post_s = secondsSince(t0);
+            stats.postSeconds += post_s;
+            stats.phases.note(obs::Phase::RecoveryExec, post_s);
+            if (wobs.postLatency)
+                wobs.postLatency->push_back(post_s);
+            if (wobs.postOps) {
+                const auto &ops = rt.opCounts();
+                for (std::size_t i = 0; i < ops.size(); i++)
+                    (*wobs.postOps)[i] += ops[i];
+            }
+            if (wobs.live)
+                wobs.live->sample("post_exec_latency_us",
+                                  post_s * 1e6);
+        }
+        stats.postExecutions++;
+        stats.postTraceEntries += post_trace.size();
+
+        auto tb1 = std::chrono::steady_clock::now();
+        {
+            obs::SpanScope s2(tl, "replay", "backend", wobs.track);
+            replayPost(cur, pre, post_trace, fp, cand, dropped_commit);
+        }
+        double classify_s = secondsSince(tb1);
+        stats.backendSeconds += classify_s;
+        stats.phases.note(obs::Phase::Classify, classify_s);
+
+        cand.annotate([&](BugReport &b) {
+            b.frontierSeqs = frontier;
+            b.persistedMask = mask;
+        });
+
+        if (tl) {
+            for (const auto &b : cand.bugs()) {
+                std::vector<std::pair<std::string, std::string>> args;
+                args.emplace_back("type", bugTypeId(b.type));
+                args.emplace_back("reader", b.reader.str());
+                args.emplace_back("writer", b.writer.str());
+                args.emplace_back("failure_point",
+                                  strprintf("%u", fp));
+                std::string fs;
+                for (std::uint32_t s : frontier) {
+                    if (!fs.empty())
+                        fs += ',';
+                    fs += strprintf("%u", s);
+                }
+                args.emplace_back("frontier", std::move(fs));
+                args.emplace_back("persisted_mask", mask.toHex());
+                tl->recordInstant(strprintf("finding@fp#%u", fp),
+                                  "finding", wobs.track, tl->nowUs(),
+                                  std::move(args));
+            }
+        }
+        if (wobs.live)
+            wobs.live->count("crash_candidates");
+        local.merge(cand);
+    }
+    // Pages restored toward durable hold stale bytes relative to the
+    // working image; re-dirty them so the next anchor restore
+    // re-copies them (XFD_DELTA_VALIDATE holds across the mix).
+    if (deltaStore) {
+        std::size_t ps = deltaStore->pageSize();
+        for (std::uint32_t page : touched) {
+            exec_pool.markDirty(exec_pool.base() +
+                                    static_cast<Addr>(page) * ps,
+                                ps);
+        }
+    }
 }
 
 CampaignResult
@@ -568,6 +1080,27 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
     CampaignResult result;
     result.runConfig = cfg;
     result.stats.threads = threads;
+
+    if (cfg.crashStatesOn() && cfg.crashImageMode) {
+        fatal("--crash-states explores partial crash images itself "
+              "and cannot combine with --crash-image");
+    }
+    CrashStateCtx cs_ctx;
+    if (cfg.crashStatesOn() && !cfg.eadrOn()) {
+        bool exhaustive = false;
+        std::size_t n = 0;
+        if (!DetectorConfig::parseCrashStates(cfg.crashStates,
+                                              exhaustive, n)) {
+            fatal("bad --crash-states mode \"%s\" (expected anchor, "
+                  "sample:<n> or exhaustive)",
+                  cfg.crashStates.c_str());
+        }
+        cs_ctx.exhaustive = exhaustive;
+        // Exhaustive mode still samples frontiers beyond the
+        // --oracle-frontier bound; match the oracle's fallback width.
+        cs_ctx.sampleCount = n ? n : 64;
+        csCtx = &cs_ctx;
+    }
 
     obs::Timeline *tl =
         observer && observer->timeline.enabled() ? &observer->timeline
@@ -828,6 +1361,13 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
     for (unsigned t = 0; t < threads; t++) {
         result.stats.postExecutions += stats[t].postExecutions;
         result.stats.postTraceEntries += stats[t].postTraceEntries;
+        result.stats.crashStatesEnumerated +=
+            stats[t].crashStatesEnumerated;
+        result.stats.crashStatesExplored +=
+            stats[t].crashStatesExplored;
+        result.stats.crashStatesPruned += stats[t].crashStatesPruned;
+        for (auto &p : stats[t].crashPruned)
+            result.stats.crashPruned.push_back(std::move(p));
         if (threads == 1) {
             result.stats.postSeconds += stats[t].postSeconds;
             result.stats.backendSeconds += stats[t].backendSeconds;
@@ -843,6 +1383,7 @@ Driver::runParallel(const ProgramFn &pre, const ProgramFn &post,
     }
     deltaStore = nullptr;
     chunkSyncPages = nullptr;
+    csCtx = nullptr;
     if (threads > 1) {
         // Per-thread CPU times overlap; report the wall time split
         // proportionally like the serial breakdown would be.
@@ -928,6 +1469,33 @@ Driver::fillObserverStats(
     set("campaign.post_executions",
         "post-failure stage executions",
         static_cast<double>(s.postExecutions));
+    set("campaign.crashstates.enumerated",
+        "partial crash-state candidates enumerated (--crash-states)",
+        static_cast<double>(s.crashStatesEnumerated));
+    set("campaign.crashstates.explored",
+        "partial crash-state candidates executed",
+        static_cast<double>(s.crashStatesExplored));
+    set("campaign.crashstates.pruned",
+        "candidates skipped by equivalence-class pruning",
+        static_cast<double>(s.crashStatesPruned));
+    set("campaign.crashstates.partial_findings",
+        "findings first exposed on a partial crash image",
+        static_cast<double>(cfg.crashStatesOn()
+                                ? res.partialImageFindings()
+                                : 0));
+    {
+        Scalar &cs_en =
+            reg.scalar("campaign.crashstates.enumerated", "");
+        Scalar &cs_pr = reg.scalar("campaign.crashstates.pruned", "");
+        reg.formula("campaign.crashstates.prune_ratio",
+                    "fraction of enumerated candidates pruned as "
+                    "equivalent",
+                    [&cs_en, &cs_pr] {
+                        return cs_en.value()
+                                   ? cs_pr.value() / cs_en.value()
+                                   : 0.0;
+                    });
+    }
     set("campaign.pre_trace_entries", "pre-failure trace entries",
         static_cast<double>(s.preTraceEntries));
     set("campaign.post_trace_entries",

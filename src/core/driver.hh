@@ -31,6 +31,7 @@
 #include <array>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -69,6 +70,30 @@ struct CampaignStats
     /** Same-value stores elided at emit time (--elide-same-value). */
     std::size_t sameValueElided = 0;
     std::size_t postExecutions = 0;
+    /**
+     * @name Crash-state exploration volume (--crash-states)
+     * Partial candidates only — the anchor run is not counted here.
+     * @{
+     */
+    /** Partial candidate masks enumerated over all failure points. */
+    std::size_t crashStatesEnumerated = 0;
+    /** Partial candidates actually executed (recovery + classify). */
+    std::size_t crashStatesExplored = 0;
+    /** Candidates skipped by equivalence-class pruning. */
+    std::size_t crashStatesPruned = 0;
+    /**
+     * One record per pruned candidate: where it was skipped, the
+     * failure point whose identical candidate already executed, and
+     * the mask — the conformance tier oracle-rechecks exactly these.
+     */
+    struct PrunedCrashCandidate
+    {
+        std::uint32_t fp = 0;
+        std::uint32_t repFp = 0;
+        std::string maskHex;
+    };
+    std::vector<PrunedCrashCandidate> crashPruned;
+    /** @} */
     std::size_t preTraceEntries = 0;
     std::size_t postTraceEntries = 0;
     double preSeconds = 0;
@@ -103,7 +128,7 @@ struct CampaignStats
  * of Driver::run()/xfd::Campaign::run(). Prefer the accessors
  * (findings(), statistics(), phases(), config(), fingerprint()) over
  * reaching into the public members; the members stay public for one
- * PR of source compatibility (removal schedule: DESIGN.md §14).
+ * PR of source compatibility (removal schedule: DESIGN.md §15).
  */
 struct CampaignResult
 {
@@ -138,6 +163,16 @@ struct CampaignResult
      * batch-smoke job diff exactly this string.
      */
     std::string fingerprint() const;
+
+    /**
+     * Findings first exposed on a *partial* crash image: their
+     * persistedMask provenance has at least one cleared bit, i.e. the
+     * anchor (all-updates) image of the same failure point did not
+     * produce them. Meaningful for --crash-states campaigns; under
+     * --crash-image every finding's mask is all-zero by construction
+     * and counts here.
+     */
+    std::size_t partialImageFindings() const;
 
     /** Filled by the driver; read through config(). */
     DetectorConfig runConfig;
@@ -197,12 +232,8 @@ class Driver
          * split only as writes land).
          */
         PreCursor(AddrRange range, const DetectorConfig &cfg,
-                  const pm::CowImage &initial)
-            : shadow(range, cfg), image(initial)
-        {
-            if (cfg.crashImageMode)
-                durable = initial;
-        }
+                  const pm::CowImage &initial);
+        ~PreCursor();
 
         ShadowPM shadow;
         /** All updates applied (the paper's footnote-3 image). */
@@ -254,6 +285,16 @@ class Driver
          */
         std::set<std::uint32_t> durablePages;
         /** @} */
+
+        /**
+         * Crash-state exploration state (--crash-states): a
+         * cell-granular mirror of the oracle's persistency model so
+         * the driver's frontiers, candidate masks and candidate
+         * images agree with the oracle's byte for byte. Null unless
+         * the campaign explores partial crash states.
+         */
+        struct CsState;
+        std::unique_ptr<CsState> cs;
     };
 
     /**
@@ -293,10 +334,33 @@ class Driver
                             BugSink &sink, CampaignStats &stats,
                             const WorkerObs &wobs);
 
-    /** Replay one post-failure trace against the shadow PM. */
+    /**
+     * Replay one post-failure trace against the shadow PM.
+     * @param suppressSemantic drop commit-window (condition (3))
+     *        verdicts — set for partial candidates that dropped a
+     *        commit-variable write, where recovery legitimately
+     *        observes the previous committed epoch.
+     */
     void replayPost(PreCursor &cur, const trace::TraceBuffer &pre,
                     const trace::TraceBuffer &post, std::uint32_t fp,
-                    BugSink &sink);
+                    BugSink &sink, bool suppressSemantic = false);
+
+    /**
+     * Partial crash-state exploration at failure point @p fp
+     * (--crash-states=sample:<n>|exhaustive): enumerate the legal
+     * persisted subsets of the write frontier from the cursor's cell
+     * model, equivalence-prune against the campaign-global seen set,
+     * materialize each surviving candidate (durable image + masked
+     * frontier events) on @p exec_pool, run recovery and classify.
+     * Candidate findings merge into @p local annotated with their
+     * own persistedMask. Runs after the anchor execution; the exec
+     * pool is left consistent with the delta bookkeeping.
+     */
+    void exploreCrashStates(PreCursor &cur, pm::PmPool &exec_pool,
+                            const trace::TraceBuffer &pre,
+                            const ProgramFn &post, std::uint32_t fp,
+                            BugSink &local, CampaignStats &stats,
+                            const WorkerObs &wobs);
 
     /**
      * Aggregate campaign counters into the observer's registry:
@@ -330,6 +394,15 @@ class Driver
      * whole pool. Valid exactly while deltaStore is.
      */
     const std::set<std::uint32_t> *chunkSyncPages = nullptr;
+
+    /**
+     * Campaign-global crash-state exploration context (parsed mode
+     * knobs + the equivalence-class pruning set shared by every
+     * worker). Set by runParallel() while a --crash-states campaign
+     * is in flight, cleared before it returns; null otherwise.
+     */
+    struct CrashStateCtx;
+    CrashStateCtx *csCtx = nullptr;
 };
 
 } // namespace xfd::core

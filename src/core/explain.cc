@@ -41,10 +41,17 @@ explainOne(const BugReport &b, std::size_t idx,
         return s;
     }
 
+    bool partial = b.persistedMask.size() && !b.persistedMask.all();
     s += strprintf("  frontier: %zu write(s) in flight at the "
-                   "failure point (mask %s)\n",
+                   "failure point (mask %s%s)\n",
                    b.frontierSeqs.size(),
-                   b.persistedMask.toHex().c_str());
+                   b.persistedMask.toHex().c_str(),
+                   partial ? ", partial crash image" : "");
+    if (partial) {
+        s += "  only a --crash-states partial candidate reaches this "
+             "state;\n  the all-updates anchor image never executes "
+             "it\n";
+    }
     for (std::size_t i = 0; i < b.frontierSeqs.size(); i++) {
         std::uint32_t seq = b.frontierSeqs[i];
         bool persisted = b.persistedMask.test(i);

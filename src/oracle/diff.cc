@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "common/logging.hh"
+#include "lint/frontier.hh"
 #include "lint/lint.hh"
 #include "obs/json.hh"
 #include "trace/serialize.hh"
@@ -108,6 +109,14 @@ DiffReport::summary() const
                        "kept representatives: %zu\n",
                        prunedRechecked);
     }
+    if (partialChecked || crashPrunedRechecked) {
+        s += strprintf(
+            "crash-states conformance: %zu partial finding group(s) "
+            "checked (%zu disagree), %zu pruned candidate(s) "
+            "re-checked (%zu disagree)\n",
+            partialChecked, partialDisagreements, crashPrunedRechecked,
+            crashPrunedDisagreements);
+    }
     for (const auto &a : perFp) {
         if (a.agree)
             continue;
@@ -145,6 +154,11 @@ runDifferentialCampaign(pm::PmPool &pool, const core::ProgramFn &pre,
     // occurrences cumulatively, so a second run mutates differently).
     trace::TraceBuffer preTrace;
     std::map<std::uint32_t, std::set<core::BugType>> detectorByFp;
+    // Per-point partial-image findings (--crash-states), grouped by
+    // the persisted mask that first exposed them.
+    std::map<std::uint32_t,
+             std::map<trace::SubsetMask, std::set<core::BugType>>>
+        detectorByFpMask;
     std::mutex fpLock;
 
     core::CampaignObserver localObs;
@@ -159,6 +173,9 @@ runDifferentialCampaign(pm::PmPool &pool, const core::ProgramFn &pre,
         trace::TraceBuffer *preTrace = nullptr;
         std::map<std::uint32_t, std::set<core::BugType>> *byFp =
             nullptr;
+        std::map<std::uint32_t,
+                 std::map<trace::SubsetMask, std::set<core::BugType>>>
+            *byFpMask = nullptr;
         std::mutex *lock = nullptr;
 
         void
@@ -176,15 +193,27 @@ runDifferentialCampaign(pm::PmPool &pool, const core::ProgramFn &pre,
             if (inner)
                 inner->onFailurePoint(fp, sink);
             std::set<core::BugType> classes;
+            std::map<trace::SubsetMask, std::set<core::BugType>>
+                partial;
             for (const auto &b : sink.bugs()) {
                 // Performance bugs are a full-trace property and
                 // never appear in per-point sinks; filter
                 // defensively anyway.
-                if (b.type != core::BugType::Performance)
+                if (b.type == core::BugType::Performance)
+                    continue;
+                // Findings first exposed on a partial crash image
+                // (--crash-states) are conformance-checked against
+                // the oracle's candidate at the same mask, not the
+                // anchor.
+                if (b.persistedMask.size() && !b.persistedMask.all())
+                    partial[b.persistedMask].insert(b.type);
+                else
                     classes.insert(b.type);
             }
             std::lock_guard<std::mutex> guard(*lock);
             (*byFp)[fp] = std::move(classes);
+            if (!partial.empty())
+                (*byFpMask)[fp] = std::move(partial);
         }
 
         void
@@ -197,6 +226,7 @@ runDifferentialCampaign(pm::PmPool &pool, const core::ProgramFn &pre,
     capture.inner = obsv->hooks;
     capture.preTrace = &preTrace;
     capture.byFp = &detectorByFp;
+    capture.byFpMask = &detectorByFpMask;
     capture.lock = &fpLock;
     obsv->hooks = &capture;
 
@@ -228,13 +258,38 @@ runDifferentialCampaign(pm::PmPool &pool, const core::ProgramFn &pre,
     ocfg.frontierLimit = dcfg.oracleFrontierLimit;
     ocfg.seed = cfg.seed;
     ocfg.detector = dcfg;
+    // --crash-states conformance: mirror the detector's enumeration
+    // knobs and (below) its per-point sampler streams, so the oracle
+    // materializes exactly the masks the detector executed and its
+    // verdict at each of them is a direct cross-check.
+    bool csOn = dcfg.crashStatesOn() && !dcfg.eadrOn();
+    if (csOn) {
+        bool csExhaustive = false;
+        std::size_t csSample = 0;
+        core::DetectorConfig::parseCrashStates(
+            dcfg.crashStates, csExhaustive, csSample);
+        ocfg.exhaustive = csExhaustive;
+        ocfg.sampleCount = csSample ? csSample : 64;
+        ocfg.seed = dcfg.crashStatesSeed;
+    }
     CrashStateOracle oracle(preTrace, initial, ocfg);
+
+    // Mirror of the detector's candidate equivalence-class identity
+    // (ordering-point location + lint frontier signature): keys the
+    // sampler stream and resolves its pruning records.
+    lint::FrontierState lintState(dcfg.granularity, dcfg.eadrOn());
+    std::uint32_t lintCursor = 0;
+    // Oracle verdicts by (point, mask hex), kept only for re-checking
+    // the detector's equivalence-pruned candidates.
+    std::map<std::uint32_t,
+             std::map<std::string, std::set<core::BugType>>>
+        oracleByFpMask;
+    bool wantPruneRecheck =
+        csOn && !rep.detector.stats.crashPruned.empty();
 
     bool wrotePreTrace = false;
     auto toracle = std::chrono::steady_clock::now();
     for (std::uint32_t fp : plan.points) {
-        FpOracleResult ores = oracle.runFailurePoint(fp, post);
-
         FpAgreement a;
         a.fp = fp;
         auto pruned = prunedRep.find(fp);
@@ -244,6 +299,37 @@ runDifferentialCampaign(pm::PmPool &pool, const core::ProgramFn &pre,
             a.prunedRecheck = true;
             rep.prunedRechecked++;
         }
+
+        // Reproduce the detector's sampler stream for this point (the
+        // FNV-1a hash of its equivalence class) and hand the oracle
+        // the masks the detector's findings were first exposed on, so
+        // a verdict exists at every one of them even if enumeration
+        // drifts.
+        std::uint64_t stream = 0;
+        const std::uint64_t *streamPtr = nullptr;
+        std::vector<trace::SubsetMask> detMasks;
+        const std::vector<trace::SubsetMask> *extraMasks = nullptr;
+        if (csOn) {
+            for (; lintCursor < fp; lintCursor++)
+                lintState.apply(preTrace[lintCursor]);
+            std::string group =
+                preTrace[fp].loc.str() + '|' + lintState.signature();
+            stream = 1469598103934665603ull; // FNV-1a 64
+            for (char ch : group)
+                stream = (stream ^ static_cast<unsigned char>(ch)) *
+                         1099511628211ull;
+            streamPtr = &stream;
+            auto mit = detectorByFpMask.find(detectorFp);
+            if (mit != detectorByFpMask.end()) {
+                for (const auto &[m, classes] : mit->second)
+                    detMasks.push_back(m);
+                extraMasks = &detMasks;
+            }
+        }
+
+        FpOracleResult ores =
+            oracle.runFailurePoint(fp, post, extraMasks, streamPtr);
+
         auto it = detectorByFp.find(detectorFp);
         if (it != detectorByFp.end())
             a.detectorClasses = it->second;
@@ -252,6 +338,36 @@ runDifferentialCampaign(pm::PmPool &pool, const core::ProgramFn &pre,
         a.candidates = ores.candidates.size();
         a.sampled = ores.sampled;
         a.agree = a.detectorClasses == a.oracleClasses;
+
+        if (csOn) {
+            std::map<std::string, const std::set<core::BugType> *>
+                omasks;
+            for (const auto &c : ores.candidates)
+                omasks[c.mask.toHex()] = &c.classes;
+            auto mit = detectorByFpMask.find(detectorFp);
+            if (mit != detectorByFpMask.end()) {
+                for (const auto &[m, classes] : mit->second) {
+                    rep.partialChecked++;
+                    auto oit = omasks.find(m.toHex());
+                    bool ok = oit != omasks.end();
+                    if (ok) {
+                        for (core::BugType t : classes) {
+                            if (!oit->second->count(t))
+                                ok = false;
+                        }
+                    }
+                    if (!ok) {
+                        rep.partialDisagreements++;
+                        a.agree = false;
+                    }
+                }
+            }
+            if (wantPruneRecheck) {
+                auto &slot = oracleByFpMask[fp];
+                for (const auto &[hex, classes] : omasks)
+                    slot[hex] = *classes;
+            }
+        }
 
         rep.statesEnumerated += ores.statesLegal;
         rep.candidatesRun += ores.candidates.size();
@@ -307,6 +423,33 @@ runDifferentialCampaign(pm::PmPool &pool, const core::ProgramFn &pre,
         }
         rep.perFp.push_back(std::move(a));
     }
+
+    // Re-check the detector's equivalence-pruned candidates: the
+    // oracle ran the same mask at both the skipped point and the
+    // representative that executed in its place (same stream + seed,
+    // so both enumerations produced it); identical verdicts mean the
+    // pruning rule lost nothing.
+    if (wantPruneRecheck) {
+        for (const auto &p : rep.detector.stats.crashPruned) {
+            rep.crashPrunedRechecked++;
+            const std::set<core::BugType> *skipped = nullptr;
+            const std::set<core::BugType> *kept = nullptr;
+            auto fa = oracleByFpMask.find(p.fp);
+            if (fa != oracleByFpMask.end()) {
+                auto ma = fa->second.find(p.maskHex);
+                if (ma != fa->second.end())
+                    skipped = &ma->second;
+            }
+            auto fb = oracleByFpMask.find(p.repFp);
+            if (fb != oracleByFpMask.end()) {
+                auto mb = fb->second.find(p.maskHex);
+                if (mb != fb->second.end())
+                    kept = &mb->second;
+            }
+            if (!(skipped && kept && *skipped == *kept))
+                rep.crashPrunedDisagreements++;
+        }
+    }
     rep.oracleSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       toracle)
@@ -349,6 +492,19 @@ exportOracleStats(obs::StatsRegistry &reg, const DiffReport &r)
     set("campaign.oracle.extras_unexplained",
         "partial-candidate extra classes without one",
         static_cast<double>(r.extrasUnexplained));
+    set("campaign.oracle.partial_checked",
+        "detector partial-image finding groups cross-checked",
+        static_cast<double>(r.partialChecked));
+    set("campaign.oracle.partial_disagreements",
+        "partial-image groups the oracle could not reproduce",
+        static_cast<double>(r.partialDisagreements));
+    set("campaign.oracle.crash_pruned_rechecked",
+        "equivalence-pruned candidates re-checked by the oracle",
+        static_cast<double>(r.crashPrunedRechecked));
+    set("campaign.oracle.crash_pruned_disagreements",
+        "pruned candidates whose verdict differed from their "
+        "representative",
+        static_cast<double>(r.crashPrunedDisagreements));
     set("campaign.phase.oracle_seconds",
         "oracle enumeration + candidate recovery wall seconds",
         r.oracleSeconds);
@@ -390,6 +546,17 @@ oracleJsonSection(const DiffReport &r)
                     static_cast<std::uint64_t>(r.extrasExplained));
             w.field("extras_unexplained",
                     static_cast<std::uint64_t>(r.extrasUnexplained));
+            w.field("partial_checked",
+                    static_cast<std::uint64_t>(r.partialChecked));
+            w.field("partial_disagreements",
+                    static_cast<std::uint64_t>(
+                        r.partialDisagreements));
+            w.field("crash_pruned_rechecked",
+                    static_cast<std::uint64_t>(
+                        r.crashPrunedRechecked));
+            w.field("crash_pruned_disagreements",
+                    static_cast<std::uint64_t>(
+                        r.crashPrunedDisagreements));
             w.field("oracle_seconds", r.oracleSeconds);
             w.key("disagreement_fps").beginArray();
             for (const auto &a : r.perFp) {

@@ -18,6 +18,16 @@
  *    recovery, or expose a different committed version) rather than
  *    counted against conformance; an extra that cannot be attributed
  *    marks the report unclean.
+ *  - Under --crash-states the detector explores partial candidates
+ *    itself. The harness then mirrors the detector's enumeration
+ *    knobs and per-point sampler stream (the equivalence-class hash
+ *    of DESIGN.md §14), so the oracle materializes the same masks,
+ *    and checks two more properties: every detector finding first
+ *    exposed on a partial image must be reproduced by the oracle's
+ *    candidate at the same mask, and every candidate the detector
+ *    pruned as equivalent must get the same oracle verdict as the
+ *    representative that ran in its place (agreement 1.0 means the
+ *    pruning rule lost nothing).
  *
  * Disagreements are dumped as replayable artifacts: the pre-failure
  * trace (trace/serialize format) once per campaign, plus one JSON
@@ -138,6 +148,22 @@ struct DiffReport
     std::size_t extrasExplained = 0;
     std::size_t extrasUnexplained = 0;
 
+    /**
+     * --crash-states conformance: detector partial-image finding
+     * groups (one per distinct persisted mask at a point) checked
+     * against the oracle's candidate at the same mask.
+     */
+    std::size_t partialChecked = 0;
+    std::size_t partialDisagreements = 0;
+
+    /**
+     * Candidates the detector's equivalence pruning skipped,
+     * re-checked by comparing the oracle's verdict at the skipped
+     * (point, mask) against the representative that ran instead.
+     */
+    std::size_t crashPrunedRechecked = 0;
+    std::size_t crashPrunedDisagreements = 0;
+
     /** Artifact files written (disagreements only). */
     std::vector<std::string> artifacts;
 
@@ -158,7 +184,9 @@ struct DiffReport
     bool
     clean() const
     {
-        return disagreements == 0 && extrasUnexplained == 0;
+        return disagreements == 0 && extrasUnexplained == 0 &&
+               partialDisagreements == 0 &&
+               crashPrunedDisagreements == 0;
     }
 
     /** Multi-line human-readable report. */

@@ -5,7 +5,6 @@
 #include <cstring>
 
 #include "common/logging.hh"
-#include "common/rng.hh"
 #include "pm/delta.hh"
 #include "trace/runtime.hh"
 
@@ -228,47 +227,23 @@ CrashStateOracle::collectFrontier() const
     return frontier;
 }
 
-bool
-CrashStateOracle::legalMask(
-    const trace::SubsetMask &mask,
+trace::CandidateSet
+CrashStateOracle::buildCandidateSet(
+    std::vector<FrontierEvent> frontier,
     const std::map<std::uint32_t, std::size_t> &bitOf) const
 {
+    std::vector<std::vector<std::size_t>> chains;
     for (const auto &[idx, c] : cells) {
-        bool unset = false;
-        for (std::uint32_t s : c.tail) {
-            bool applied = mask.test(bitOf.at(s));
-            if (applied && unset)
-                return false;
-            if (!applied)
-                unset = true;
-        }
+        if (c.tail.empty())
+            continue;
+        std::vector<std::size_t> chain;
+        chain.reserve(c.tail.size());
+        for (std::uint32_t s : c.tail)
+            chain.push_back(bitOf.at(s));
+        chains.push_back(std::move(chain));
     }
-    return true;
-}
-
-void
-CrashStateOracle::repairMask(
-    trace::SubsetMask &mask,
-    const std::map<std::uint32_t, std::size_t> &bitOf) const
-{
-    // Clearing a shared event's bit can break another cell's prefix,
-    // so iterate to a fixpoint (bits only ever clear).
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        for (const auto &[idx, c] : cells) {
-            bool unset = false;
-            for (std::uint32_t s : c.tail) {
-                std::size_t b = bitOf.at(s);
-                if (!mask.test(b)) {
-                    unset = true;
-                } else if (unset) {
-                    mask.set(b, false);
-                    changed = true;
-                }
-            }
-        }
-    }
+    return trace::CandidateSet(std::move(frontier),
+                               std::move(chains));
 }
 
 void
@@ -354,7 +329,8 @@ CrashStateOracle::applyMask(
 }
 
 std::set<core::BugType>
-CrashStateOracle::runCandidate(const core::ProgramFn &post)
+CrashStateOracle::runCandidate(const core::ProgramFn &post,
+                               bool suppressSemantic)
 {
     using trace::Op;
 
@@ -407,9 +383,11 @@ CrashStateOracle::runCandidate(const core::ProgramFn &post)
             int v = classifyRead(e.addr, e.size, pflags, scoped);
             if (v == 1) {
                 classes.insert(core::BugType::CrossFailureRace);
-            } else if (v == 2 && !cfg.detector.crashImageMode) {
+            } else if (v == 2 && !cfg.detector.crashImageMode &&
+                       !suppressSemantic) {
                 // Mirrors the driver: the commit-window verdict
-                // assumes the all-updates image.
+                // assumes the all-updates image (and, per candidate,
+                // that no commit write was dropped).
                 classes.insert(core::BugType::CrossFailureSemantic);
             }
             break;
@@ -535,8 +513,10 @@ CrashStateOracle::registerRange(std::vector<OCommitVar> &vars,
 }
 
 FpOracleResult
-CrashStateOracle::runFailurePoint(std::uint32_t fp,
-                                  const core::ProgramFn &post)
+CrashStateOracle::runFailurePoint(
+    std::uint32_t fp, const core::ProgramFn &post,
+    const std::vector<trace::SubsetMask> *extraMasks,
+    const std::uint64_t *stream)
 {
     if (fp < cursor) {
         panic("oracle failure points must be fed in ascending order "
@@ -553,47 +533,28 @@ CrashStateOracle::runFailurePoint(std::uint32_t fp,
     for (std::size_t b = 0; b < k; b++)
         bitOf[res.frontier[b].seq] = b;
 
-    // The all-updates anchor goes first: its image byte-reproduces the
-    // detector's, so its classes are the conformance baseline.
-    std::vector<trace::SubsetMask> masks;
-    trace::SubsetMask full(k);
-    full.setAll();
-    masks.push_back(full);
+    trace::CandidateSet cset = buildCandidateSet(res.frontier, bitOf);
+    trace::CandidateSet::EnumerateOptions eopt;
+    eopt.exhaustive = cfg.exhaustive;
+    eopt.frontierLimit = cfg.frontierLimit;
+    eopt.sampleCount = cfg.sampleCount;
+    eopt.seed = cfg.seed;
+    eopt.stream = stream ? *stream : fp;
+    auto en = cset.enumerate(eopt);
+    std::vector<trace::SubsetMask> masks = std::move(en.masks);
+    res.sampled = en.sampled;
 
-    bool exhaustiveHere = cfg.exhaustive && k <= cfg.frontierLimit;
-    res.sampled = !exhaustiveHere;
-    if (exhaustiveHere) {
-        std::uint64_t space = std::uint64_t{1} << k;
-        // All values except all-ones, which is already at masks[0].
-        for (std::uint64_t m = 0; m + 1 < space; m++) {
-            trace::SubsetMask cand(k);
-            for (std::size_t b = 0; b < k; b++) {
-                if (m & (std::uint64_t{1} << b))
-                    cand.set(b);
-            }
-            if (legalMask(cand, bitOf))
-                masks.push_back(std::move(cand));
-        }
-    } else {
-        std::set<trace::SubsetMask> seen;
-        seen.insert(full);
-        trace::SubsetMask none(k);
-        if (seen.insert(none).second)
-            masks.push_back(std::move(none));
-        Rng rng(cfg.seed ^
-                (std::uint64_t{fp} * 0x9e3779b97f4a7c15ull));
-        std::size_t want = std::max<std::size_t>(cfg.sampleCount, 2);
-        // Random bits repaired to downward closure; duplicates are
-        // discarded, so bound the attempts for tiny legal spaces.
-        for (std::size_t tries = 0;
-             masks.size() < want && tries < want * 8; tries++) {
-            trace::SubsetMask cand(k);
-            for (std::size_t b = 0; b < k; b++) {
-                if (rng.next() & 1)
-                    cand.set(b);
-            }
-            repairMask(cand, bitOf);
-            if (seen.insert(cand).second)
+    if (extraMasks) {
+        // Detector-explored candidates the enumeration above missed
+        // (different knobs or a different sampler stream): classify
+        // them too, after repairing to legality.
+        std::set<trace::SubsetMask> have(masks.begin(), masks.end());
+        for (const auto &m : *extraMasks) {
+            if (m.size() != k)
+                continue;
+            trace::SubsetMask cand = m;
+            cset.repair(cand);
+            if (have.insert(cand).second)
                 masks.push_back(std::move(cand));
         }
     }
@@ -603,9 +564,22 @@ CrashStateOracle::runFailurePoint(std::uint32_t fp,
     for (const auto &m : masks) {
         restoreExecPool();
         applyMask(res.frontier, m, bitOf);
+        bool droppedCommit = false;
+        for (std::size_t b = 0; b < k && !droppedCommit; b++) {
+            if (m.test(b))
+                continue;
+            AddrRange ev{res.frontier[b].addr,
+                         res.frontier[b].addr + res.frontier[b].size};
+            for (const auto &cv : cvars) {
+                if (cv.var.overlaps(ev)) {
+                    droppedCommit = true;
+                    break;
+                }
+            }
+        }
         CandidateOutcome out;
         out.mask = m;
-        out.classes = runCandidate(post);
+        out.classes = runCandidate(post, droppedCommit);
         res.candidates.push_back(std::move(out));
     }
     return res;

@@ -53,6 +53,7 @@
 #include "pm/image.hh"
 #include "pm/pool.hh"
 #include "trace/buffer.hh"
+#include "trace/candidates.hh"
 #include "trace/subset.hh"
 
 namespace xfd::oracle
@@ -84,14 +85,12 @@ struct OracleConfig
     core::DetectorConfig detector;
 };
 
-/** One in-flight write event at a failure point. */
-struct FrontierEvent
-{
-    /** Pre-trace seq of the write. */
-    std::uint32_t seq = 0;
-    Addr addr = 0;
-    std::uint32_t size = 0;
-};
+/**
+ * One in-flight write event at a failure point. The type moved to
+ * trace/candidates.hh when the driver's --crash-states mode started
+ * sharing the enumeration; this alias keeps oracle call sites stable.
+ */
+using FrontierEvent = trace::FrontierEvent;
 
 /** Outcome of running recovery on one candidate crash image. */
 struct CandidateOutcome
@@ -157,9 +156,24 @@ class CrashStateOracle
      * failure point at pre-trace position @p fp (the entry at fp does
      * not retire). @p post is the recovery program, run once per
      * candidate on the oracle's own pool replica.
+     *
+     * @p extraMasks (may be null) are candidate masks some other
+     * explorer — the driver's --crash-states mode — executed for this
+     * failure point; any of them the oracle's own enumeration did not
+     * produce is appended and classified too, so the differential
+     * harness can look up the oracle's verdict at every detector
+     * candidate even when enumeration knobs differ.
+     *
+     * @p stream (may be null) overrides the sampler stream identity.
+     * The oracle defaults to the failure point; the driver's
+     * --crash-states mode samples per candidate equivalence class, so
+     * the differential harness passes the driver's class hash here to
+     * reproduce the exact detector mask sequence.
      */
-    FpOracleResult runFailurePoint(std::uint32_t fp,
-                                   const core::ProgramFn &post);
+    FpOracleResult runFailurePoint(
+        std::uint32_t fp, const core::ProgramFn &post,
+        const std::vector<trace::SubsetMask> *extraMasks = nullptr,
+        const std::uint64_t *stream = nullptr);
 
     /** Candidate recovery executions so far (stats). */
     std::size_t candidatesRun() const { return nCandidates; }
@@ -208,14 +222,14 @@ class CrashStateOracle
     /** Collect the frontier (union of tails) at the current cursor. */
     std::vector<FrontierEvent> collectFrontier() const;
 
-    /** Is the per-cell prefix rule satisfied by @p mask? */
-    bool legalMask(const trace::SubsetMask &mask,
-                   const std::map<std::uint32_t, std::size_t> &bitOf)
-        const;
-
-    /** Clear mask bits until every cell's applied set is a prefix. */
-    void repairMask(trace::SubsetMask &mask,
-                    const std::map<std::uint32_t, std::size_t> &bitOf)
+    /**
+     * The frontier plus the per-cell prefix chains as a shared
+     * CandidateSet (legality, repair and enumeration live in
+     * trace/candidates.cc, shared with the driver).
+     */
+    trace::CandidateSet
+    buildCandidateSet(std::vector<FrontierEvent> frontier,
+                      const std::map<std::uint32_t, std::size_t> &bitOf)
         const;
 
     /** Reset the exec pool to the durable image (delta restore). */
@@ -226,8 +240,15 @@ class CrashStateOracle
                    const trace::SubsetMask &mask,
                    const std::map<std::uint32_t, std::size_t> &bitOf);
 
-    /** Run recovery on the current pool and classify its trace. */
-    std::set<core::BugType> runCandidate(const core::ProgramFn &post);
+    /**
+     * Run recovery on the current pool and classify its trace.
+     * @p suppressSemantic mirrors the driver's dropped-commit rule: a
+     * candidate that drops a commit-variable write shows recovery the
+     * previous committed epoch, so commit-window (condition (3))
+     * verdicts on it describe a legitimate older state, not a bug.
+     */
+    std::set<core::BugType> runCandidate(const core::ProgramFn &post,
+                                         bool suppressSemantic);
 
     /** Mirror of the post-read decision procedure over oracle state. */
     int classifyRead(Addr a, std::size_t n,

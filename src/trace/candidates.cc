@@ -1,0 +1,103 @@
+#include "trace/candidates.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hh"
+
+namespace xfd::trace
+{
+
+bool
+CandidateSet::legal(const SubsetMask &mask) const
+{
+    for (const auto &chain : cellChains) {
+        bool unset = false;
+        for (std::size_t b : chain) {
+            bool applied = mask.test(b);
+            if (applied && unset)
+                return false;
+            if (!applied)
+                unset = true;
+        }
+    }
+    return true;
+}
+
+void
+CandidateSet::repair(SubsetMask &mask) const
+{
+    // Clearing a shared event's bit can break another cell's prefix,
+    // so iterate to a fixpoint (bits only ever clear).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto &chain : cellChains) {
+            bool unset = false;
+            for (std::size_t b : chain) {
+                if (!mask.test(b)) {
+                    unset = true;
+                } else if (unset) {
+                    mask.set(b, false);
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+CandidateSet::Enumeration
+CandidateSet::enumerate(const EnumerateOptions &opt) const
+{
+    Enumeration out;
+    std::size_t k = bits();
+
+    // The all-updates anchor goes first: its image byte-reproduces
+    // the detector's footnote-3 image, so its classes are the
+    // conformance baseline.
+    SubsetMask full(k);
+    full.setAll();
+    out.masks.push_back(full);
+
+    bool exhaustiveHere =
+        opt.exhaustive && k <= std::min<std::size_t>(opt.frontierLimit,
+                                                     20);
+    out.sampled = !exhaustiveHere;
+    if (exhaustiveHere) {
+        std::uint64_t space = std::uint64_t{1} << k;
+        // All values except all-ones, which is already at masks[0].
+        for (std::uint64_t m = 0; m + 1 < space; m++) {
+            SubsetMask cand(k);
+            for (std::size_t b = 0; b < k; b++) {
+                if (m & (std::uint64_t{1} << b))
+                    cand.set(b);
+            }
+            if (legal(cand))
+                out.masks.push_back(std::move(cand));
+        }
+    } else {
+        std::set<SubsetMask> seen;
+        seen.insert(full);
+        SubsetMask none(k);
+        if (seen.insert(none).second)
+            out.masks.push_back(std::move(none));
+        Rng rng(opt.seed ^ (opt.stream * 0x9e3779b97f4a7c15ull));
+        std::size_t want = std::max<std::size_t>(opt.sampleCount, 2);
+        // Random bits repaired to downward closure; duplicates are
+        // discarded, so bound the attempts for tiny legal spaces.
+        for (std::size_t tries = 0;
+             out.masks.size() < want && tries < want * 8; tries++) {
+            SubsetMask cand(k);
+            for (std::size_t b = 0; b < k; b++) {
+                if (rng.next() & 1)
+                    cand.set(b);
+            }
+            repair(cand);
+            if (seen.insert(cand).second)
+                out.masks.push_back(std::move(cand));
+        }
+    }
+    return out;
+}
+
+} // namespace xfd::trace

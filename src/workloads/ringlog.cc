@@ -1,0 +1,278 @@
+#include "workloads/ringlog.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "pmlib/objpool.hh"
+
+namespace xfd::workloads
+{
+
+namespace
+{
+
+constexpr std::uint64_t nSlots = 64;
+constexpr unsigned checkpointEvery = 4;
+
+/** Checkpoint descriptor: a summary of the log up to `count`. */
+struct CpRec
+{
+    std::uint64_t count;
+    std::uint64_t sum;
+};
+
+struct Ring
+{
+    /** Mirrored record counters, updated in one fence epoch. */
+    std::uint64_t wr;
+    std::uint64_t chk;
+    /** Checkpoint descriptor install pair (one fence epoch). */
+    std::uint64_t cpValid;
+    pm::PPtr<CpRec> cp;
+    std::uint64_t slots[nSlots];
+};
+
+struct RingRoot
+{
+    pm::PPtr<Ring> ring;
+};
+
+class Impl
+{
+  public:
+    Impl(trace::PmRuntime &rt, pmlib::ObjPool &op, const BugMask &bugs)
+        : rt(rt), op(op), bugs(bugs)
+    {
+    }
+
+    void
+    createRing()
+    {
+        RingRoot *r = op.root<RingRoot>();
+        bool ok = op.heap().allocAtomic(
+            r->ring, sizeof(Ring), [&](trace::PmRuntime &rt, Ring *g) {
+                rt.store(g->wr, std::uint64_t{0});
+                rt.store(g->chk, std::uint64_t{0});
+                rt.store(g->cpValid, std::uint64_t{0});
+                rt.store(g->cp, pm::PPtr<CpRec>());
+                for (std::uint64_t i = 0; i < nSlots; i++)
+                    rt.store(g->slots[i], std::uint64_t{0});
+            });
+        if (!ok)
+            panic("ringlog: pool exhausted");
+        annotate();
+    }
+
+    /**
+     * Register the protocol fields as commit variables (Table 2):
+     * recovery's guard reads of them are benign, and dropping one of
+     * their writes legitimately exposes the previous epoch.
+     */
+    void
+    annotate()
+    {
+        Ring *g = ring();
+        rt.addCommitVar(g->wr);
+        rt.addCommitVar(g->chk);
+        rt.addCommitVar(g->cpValid);
+        rt.addCommitVar(g->cp);
+    }
+
+    void
+    append(std::uint64_t v)
+    {
+        Ring *g = ring();
+        std::uint64_t n = rt.load(g->wr);
+        // Payload first, persisted in its own epoch, so the record is
+        // durable before the cursors can ever cover it.
+        rt.store(g->slots[n % nSlots], v);
+        rt.persistBarrier(&g->slots[n % nSlots],
+                          sizeof(g->slots[0]));
+        // Mirror-cursor epoch: both counters stored back to back and
+        // persisted by one barrier. No ordering point separates them,
+        // so only a partial crash image can tear the pair.
+        rt.store(g->wr, n + 1);
+        rt.store(g->chk, n + 1);
+        rt.persistBarrier(&g->wr, sizeof(g->wr) + sizeof(g->chk));
+    }
+
+    /** Summarize the log into a fresh descriptor and install it. */
+    void
+    checkpoint()
+    {
+        Ring *g = ring();
+        std::uint64_t n = rt.load(g->wr);
+        std::uint64_t sum = 0;
+        for (std::uint64_t i = 0; i < std::min(n, nSlots); i++)
+            sum += rt.load(g->slots[i]);
+
+        Addr ra = op.heap().palloc(sizeof(CpRec));
+        if (!ra)
+            panic("ringlog: pool exhausted");
+        CpRec *rec = static_cast<CpRec *>(rt.pool().toHost(ra));
+        rt.store(rec->count, n);
+        rt.store(rec->sum, sum);
+        rt.persistBarrier(rec, sizeof(CpRec));
+
+        // Descriptor install epoch. The defective variant raises the
+        // valid flag before the pointer lands, so a crash image that
+        // persists only the flag points recovery at the previous
+        // (possibly null) descriptor. Superseded descriptors are
+        // deliberately leaked: freeing them would leave a torn
+        // install (flag applied, pointer dropped) aimed at reclaimed
+        // memory even in the bug-free variant.
+        if (bug("ringlog.recovery.torn_pair_wild")) {
+            rt.store(g->cpValid, std::uint64_t{1});
+            rt.store(g->cp, pm::PPtr<CpRec>(ra));
+        } else {
+            rt.store(g->cp, pm::PPtr<CpRec>(ra));
+            rt.store(g->cpValid, std::uint64_t{1});
+        }
+        rt.persistBarrier(&g->cpValid,
+                          sizeof(g->cpValid) + sizeof(g->cp));
+    }
+
+    /** Recovery: reconcile the cursors, then reload the checkpoint. */
+    void
+    recover()
+    {
+        Ring *g = ring();
+        annotate();
+        std::uint64_t a = rt.load(g->wr);
+        std::uint64_t b = rt.load(g->chk);
+        if (a != b) {
+            if (bug("ringlog.recovery.mirror_mismatch_abort")) {
+                // Defective recovery treats the torn pair as fatal
+                // corruption instead of the expected crash artifact.
+                throw trace::PostFailureAbort{
+                    strprintf("ringlog: mirror counters diverged "
+                              "(wr=%llu chk=%llu)",
+                              static_cast<unsigned long long>(a),
+                              static_cast<unsigned long long>(b)),
+                    trace::here()};
+            }
+            // The smaller cursor is the last count both copies agree
+            // covers durable records; repair the pair to it.
+            std::uint64_t n = std::min(a, b);
+            rt.store(g->wr, n);
+            rt.store(g->chk, n);
+            rt.persistBarrier(&g->wr, sizeof(g->wr) + sizeof(g->chk));
+        }
+
+        if (rt.load(g->cpValid)) {
+            pm::PPtr<CpRec> cp = rt.load(g->cp);
+            if (bug("ringlog.recovery.torn_pair_wild")) {
+                // Defective recovery trusts the flag alone; on the
+                // torn install image the pointer is still null/stale
+                // and the dereference goes wild.
+                CpRec *rec =
+                    static_cast<CpRec *>(rt.pool().toHost(cp.addr(),
+                                                          sizeof(CpRec)));
+                (void)rt.load(rec->count);
+                (void)rt.load(rec->sum);
+            } else if (!cp.null()) {
+                CpRec *rec = cp.get(rt.pool());
+                (void)rt.load(rec->count);
+                (void)rt.load(rec->sum);
+            }
+        }
+    }
+
+    bool
+    ringExists()
+    {
+        RingRoot *r = op.root<RingRoot>();
+        return !rt.load(r->ring).null();
+    }
+
+    std::uint64_t count() { return rt.load(ring()->wr); }
+
+    std::uint64_t
+    slotAt(std::uint64_t i)
+    {
+        return rt.load(ring()->slots[i % nSlots]);
+    }
+
+  private:
+    bool bug(const char *id) const { return bugs.has(id); }
+
+    Ring *
+    ring()
+    {
+        RingRoot *r = op.root<RingRoot>();
+        return rt.load(r->ring).get(rt.pool());
+    }
+
+    trace::PmRuntime &rt;
+    pmlib::ObjPool &op;
+    const BugMask &bugs;
+};
+
+void
+run(Impl &impl, const WorkloadConfig &cfg, unsigned from, unsigned to)
+{
+    for (unsigned i = from; i < to; i++) {
+        Rng rng(cfg.seed * 31 + i);
+        impl.append(rng.next() | 1);
+        if ((i + 1) % checkpointEvery == 0)
+            impl.checkpoint();
+    }
+}
+
+} // namespace
+
+void
+RingLog::pre(trace::PmRuntime &rt)
+{
+    if (cfg.roiFromStart)
+        rt.roiBegin();
+    pmlib::ObjPool op =
+        pmlib::ObjPool::create(rt, "ringlog", sizeof(RingRoot));
+    Impl impl(rt, op, cfg.bugs);
+    impl.createRing();
+    run(impl, cfg, 0, cfg.initOps);
+    if (!cfg.roiFromStart)
+        rt.roiBegin();
+    run(impl, cfg, cfg.initOps, cfg.initOps + cfg.testOps);
+    rt.roiEnd();
+}
+
+void
+RingLog::post(trace::PmRuntime &rt)
+{
+    pmlib::ObjPool op =
+        pmlib::ObjPool::openOrCreate(rt, "ringlog", sizeof(RingRoot));
+    Impl impl(rt, op, cfg.bugs);
+    trace::RoiScope roi(rt);
+    if (!impl.ringExists()) {
+        // The failure hit before the ring was published; initialize
+        // from scratch like first boot.
+        impl.createRing();
+    } else {
+        impl.recover();
+    }
+    unsigned done = cfg.initOps + cfg.testOps;
+    run(impl, cfg, done, done + cfg.postOps);
+}
+
+std::string
+RingLog::verify(trace::PmRuntime &rt)
+{
+    pmlib::ObjPool op = pmlib::ObjPool::open(rt, "ringlog");
+    Impl impl(rt, op, cfg.bugs);
+    unsigned total = cfg.initOps + cfg.testOps;
+    if (impl.count() != total)
+        return strprintf("count %llu != expected %u",
+                         static_cast<unsigned long long>(impl.count()),
+                         total);
+    unsigned from = total > nSlots ? total - nSlots : 0;
+    for (unsigned i = from; i < total; i++) {
+        Rng rng(cfg.seed * 31 + i);
+        std::uint64_t want = rng.next() | 1;
+        if (impl.slotAt(i) != want)
+            return strprintf("slot %u holds the wrong record", i);
+    }
+    return "";
+}
+
+} // namespace xfd::workloads

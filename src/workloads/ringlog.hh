@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Persistent ring log with mirrored cursors and a double-written
+ * checkpoint descriptor.
+ *
+ * The log keeps two copies of its record count (`wr`/`chk`) and
+ * updates both inside one fence epoch; a checkpoint installs a
+ * descriptor pointer plus a valid flag the same way. Because no
+ * ordering point separates the paired stores, the all-updates
+ * (footnote-3) crash image always holds both halves or neither — the
+ * states where the pair is torn exist only on *partial* crash images,
+ * which makes this the workload for the --crash-states recall tier:
+ * its `ringlog.recovery.*` defects are invisible to anchor-only
+ * detection by construction.
+ *
+ * All four protocol fields are registered as commit variables, so
+ * recovery's guard reads of them are benign cross-failure races (the
+ * Fig. 2 pattern) and the clean workload stays finding-free.
+ */
+
+#ifndef XFD_WORKLOADS_RINGLOG_HH
+#define XFD_WORKLOADS_RINGLOG_HH
+
+#include "workloads/workload.hh"
+
+namespace xfd::workloads
+{
+
+/** The ring-log workload (crash-state exploration suite). */
+class RingLog : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "Ring-Log"; }
+    void pre(trace::PmRuntime &rt) override;
+    void post(trace::PmRuntime &rt) override;
+    std::string verify(trace::PmRuntime &rt) override;
+};
+
+} // namespace xfd::workloads
+
+#endif // XFD_WORKLOADS_RINGLOG_HH

@@ -10,6 +10,7 @@
 #include "workloads/mini_memcached.hh"
 #include "workloads/mini_redis.hh"
 #include "workloads/rbtree.hh"
+#include "workloads/ringlog.hh"
 
 namespace xfd::workloads
 {
@@ -70,7 +71,8 @@ std::vector<std::string>
 workloadNames()
 {
     return {"btree",  "wal_btree", "ctree",     "rbtree",
-            "hashmap_tx", "hashmap_atomic", "redis", "memcached"};
+            "hashmap_tx", "hashmap_atomic", "redis", "memcached",
+            "ringlog"};
 }
 
 std::unique_ptr<Workload>
@@ -92,6 +94,8 @@ makeWorkload(const std::string &name, WorkloadConfig cfg)
         return std::make_unique<MiniRedis>(std::move(cfg));
     if (name == "memcached")
         return std::make_unique<MiniMemcached>(std::move(cfg));
+    if (name == "ringlog")
+        return std::make_unique<RingLog>(std::move(cfg));
     fatal("unknown workload: %s", name.c_str());
 }
 

@@ -118,7 +118,7 @@ class Workload
 /** Names accepted by makeWorkload(). */
 std::vector<std::string> workloadNames();
 
-/** Factory over all eight evaluated programs. */
+/** Factory over all evaluated programs. */
 std::unique_ptr<Workload> makeWorkload(const std::string &name,
                                        WorkloadConfig cfg);
 

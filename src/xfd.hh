@@ -134,7 +134,7 @@ class Campaign
 
     /**
      * @deprecated Use backend("delta") / backend("full"); kept one PR
-     * for source compatibility (removal schedule: DESIGN.md §14).
+     * for source compatibility (removal schedule: DESIGN.md §15).
      */
     Campaign &
     deltaImages(bool on = true)
@@ -220,7 +220,7 @@ class Campaign
 
     /**
      * @deprecated Use backend("batched"); kept one PR for source
-     * compatibility (removal schedule: DESIGN.md §14).
+     * compatibility (removal schedule: DESIGN.md §15).
      */
     Campaign &
     lintPrune(bool on = true)

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Property tests pinning the crash-state candidate enumeration the
+ * --crash-states mode and the oracle share (trace::CandidateSet):
+ * every generated mask satisfies the per-cell prefix closure, the
+ * all-updates anchor leads the enumeration, masks never repeat (so
+ * the driver's equivalence-class pruning can key on mask identity),
+ * and a fixed (seed, stream) pair reproduces the sequence exactly.
+ * Randomized frontiers are seeded; XFD_FUZZ_SEED replays one case.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "harness.hh"
+#include "trace/candidates.hh"
+
+namespace
+{
+
+using namespace xfd;
+using trace::CandidateSet;
+using trace::FrontierEvent;
+using trace::SubsetMask;
+
+/**
+ * A random frontier of @p k events spread over a random number of
+ * cells. Indices are assigned to cells in ascending order, so each
+ * chain is ascending as the CandidateSet contract requires.
+ */
+CandidateSet
+randomSet(Rng &rng, std::size_t k)
+{
+    std::vector<FrontierEvent> frontier;
+    for (std::size_t i = 0; i < k; i++) {
+        frontier.push_back({static_cast<std::uint32_t>(i * 3 + 1),
+                            0x1000 + i, 1});
+    }
+    std::size_t cells = k ? 1 + rng.below(k) : 0;
+    std::vector<std::vector<std::size_t>> chains(cells);
+    for (std::size_t i = 0; i < k; i++)
+        chains[rng.below(cells)].push_back(i);
+    return CandidateSet(std::move(frontier), std::move(chains));
+}
+
+CandidateSet::EnumerateOptions
+randomOptions(Rng &rng)
+{
+    CandidateSet::EnumerateOptions opt;
+    opt.exhaustive = rng.below(2) == 0;
+    opt.frontierLimit = 4 + rng.below(6);
+    opt.sampleCount = 2 + rng.below(40);
+    opt.seed = rng.next();
+    opt.stream = rng.next();
+    return opt;
+}
+
+void
+fuzzOne(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::size_t k = rng.below(13);
+    CandidateSet set = randomSet(rng, k);
+    CandidateSet::EnumerateOptions opt = randomOptions(rng);
+
+    CandidateSet::Enumeration en = set.enumerate(opt);
+    ASSERT_FALSE(en.masks.empty()) << "XFD_FUZZ_SEED=" << seed;
+
+    // The anchor (all updates applied) always leads.
+    EXPECT_EQ(en.masks[0].size(), set.bits());
+    EXPECT_TRUE(en.masks[0].all()) << "XFD_FUZZ_SEED=" << seed;
+
+    std::set<SubsetMask> seen;
+    for (const SubsetMask &m : en.masks) {
+        EXPECT_EQ(m.size(), set.bits());
+        // Prefix closure: per cell, the applied events form a prefix
+        // of the cell's write tail.
+        EXPECT_TRUE(set.legal(m))
+            << "illegal mask " << m.toHex() << " XFD_FUZZ_SEED=" << seed;
+        // Legal masks are fixed points of repair().
+        SubsetMask repaired = m;
+        set.repair(repaired);
+        EXPECT_EQ(repaired, m) << "XFD_FUZZ_SEED=" << seed;
+        // No duplicates: the driver's equivalence pruning keys
+        // candidates by mask identity, so a repeat would silently
+        // halve coverage.
+        EXPECT_TRUE(seen.insert(m).second)
+            << "duplicate mask " << m.toHex()
+            << " XFD_FUZZ_SEED=" << seed;
+    }
+
+    // Sampling promises the empty image too (nothing persisted).
+    if (k > 0 && !opt.exhaustive) {
+        SubsetMask none(set.bits());
+        EXPECT_TRUE(seen.count(none)) << "XFD_FUZZ_SEED=" << seed;
+    }
+
+    // Determinism: the same (seed, stream) reproduces the sequence
+    // mask-for-mask — what keeps serial, parallel and batched
+    // campaigns fingerprint-identical.
+    CandidateSet::Enumeration again = set.enumerate(opt);
+    EXPECT_EQ(again.masks, en.masks) << "XFD_FUZZ_SEED=" << seed;
+
+    // repair() always lands on a legal mask, from any starting point.
+    for (int i = 0; i < 8; i++) {
+        SubsetMask m(set.bits());
+        for (std::size_t b = 0; b < set.bits(); b++) {
+            if (rng.below(2))
+                m.set(b);
+        }
+        set.repair(m);
+        EXPECT_TRUE(set.legal(m)) << "XFD_FUZZ_SEED=" << seed;
+    }
+}
+
+TEST(CrashStatesProp, EnumerationInvariantsHoldOnRandomFrontiers)
+{
+    for (std::uint64_t seed = 1; seed <= 200; seed++) {
+        SCOPED_TRACE(seed);
+        fuzzOne(seed);
+    }
+}
+
+TEST(CrashStatesProp, ExhaustiveSweepCoversEveryLegalMask)
+{
+    // Small frontiers enumerate completely: cross-check the sweep
+    // against a brute-force scan of all 2^k subsets.
+    Rng rng(7);
+    for (int round = 0; round < 20; round++) {
+        SCOPED_TRACE(round);
+        CandidateSet set = randomSet(rng, 1 + rng.below(8));
+        CandidateSet::EnumerateOptions opt;
+        opt.exhaustive = true;
+        opt.frontierLimit = 8;
+        CandidateSet::Enumeration en = set.enumerate(opt);
+        EXPECT_FALSE(en.sampled);
+
+        std::size_t legal = 0;
+        for (std::uint64_t bitsv = 0;
+             bitsv < (std::uint64_t{1} << set.bits()); bitsv++) {
+            SubsetMask m(set.bits());
+            for (std::size_t b = 0; b < set.bits(); b++) {
+                if (bitsv & (std::uint64_t{1} << b))
+                    m.set(b);
+            }
+            if (set.legal(m))
+                legal++;
+        }
+        EXPECT_EQ(en.masks.size(), legal);
+    }
+}
+
+TEST(CrashStatesPropReplay, ReplayFromEnv)
+{
+    std::uint64_t s = 0;
+    if (!xfdtest::fuzzSeedFromEnv(s))
+        GTEST_SKIP()
+            << "set XFD_FUZZ_SEED=<seed from a failure message> to "
+               "replay a single enumeration case";
+    fuzzOne(s);
+}
+
+} // namespace

@@ -147,6 +147,9 @@ TEST(OracleDiff, FullBugsuiteAgreesPerFailurePoint)
     for (const bugsuite::BugCase &c : bugsuite::allBugCases()) {
         SCOPED_TRACE(c.id.empty() ? c.workload : c.id);
         oracle::DiffConfig cfg;
+        // Cases that live only on partial crash images declare the
+        // exploration tier they need (mirrors runBugCase).
+        cfg.detector.crashStates = c.crashStates;
         oracle::DiffReport rep;
         if (c.workload == "pool_create") {
             // §6.3.2 bug 4 lives in the library, not in a workload.

@@ -120,9 +120,9 @@ INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadParamTest,
                              return n;
                          });
 
-TEST(WorkloadFactory, ListsEightWorkloads)
+TEST(WorkloadFactory, ListsNineWorkloads)
 {
-    EXPECT_EQ(workloads::workloadNames().size(), 8u);
+    EXPECT_EQ(workloads::workloadNames().size(), 9u);
 }
 
 TEST(WorkloadScaling, MoreOpsMoreTraceEntries)

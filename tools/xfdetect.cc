@@ -148,6 +148,19 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; i++) {
         const char *a = argv[i];
+        // Every value-taking option accepts both "--flag value" and
+        // "--flag=value"; boolean options only match their bare
+        // spelling.
+        std::string name = a;
+        const char *attached = nullptr;
+        if (std::size_t eq = name.find('='); eq != std::string::npos) {
+            attached = a + eq + 1;
+            name.resize(eq);
+        }
+        const char *n = name.c_str();
+        auto val = [&]() -> const char * {
+            return attached ? attached : need_value(i);
+        };
         if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) {
             usage();
             return 0;
@@ -160,62 +173,54 @@ main(int argc, char **argv)
                 (i + 1 < argc && argv[i + 1][0] != '-') ? argv[++i]
                                                         : nullptr;
             return listBugs(wl);
-        } else if (!std::strcmp(a, "--workload")) {
-            workload = need_value(i);
-        } else if (!std::strcmp(a, "--init")) {
+        } else if (!std::strcmp(n, "--workload")) {
+            workload = val();
+        } else if (!std::strcmp(n, "--init")) {
             cfg.initOps = static_cast<unsigned>(
-                std::strtoul(need_value(i), nullptr, 10));
-        } else if (!std::strcmp(a, "--test")) {
+                std::strtoul(val(), nullptr, 10));
+        } else if (!std::strcmp(n, "--test")) {
             cfg.testOps = static_cast<unsigned>(
-                std::strtoul(need_value(i), nullptr, 10));
-        } else if (!std::strcmp(a, "--post")) {
+                std::strtoul(val(), nullptr, 10));
+        } else if (!std::strcmp(n, "--post")) {
             cfg.postOps = static_cast<unsigned>(
-                std::strtoul(need_value(i), nullptr, 10));
-        } else if (!std::strcmp(a, "--seed")) {
-            cfg.seed = std::strtoull(need_value(i), nullptr, 10);
-        } else if (!std::strcmp(a, "--bug")) {
-            cfg.bugs.enable(need_value(i));
+                std::strtoul(val(), nullptr, 10));
+        } else if (!std::strcmp(n, "--seed")) {
+            cfg.seed = std::strtoull(val(), nullptr, 10);
+        } else if (!std::strcmp(n, "--bug")) {
+            cfg.bugs.enable(val());
         } else if (!std::strcmp(a, "--roi-from-start")) {
             cfg.roiFromStart = true;
         } else if (!std::strcmp(a, "--baseline")) {
             baseline = true;
-        } else if (!std::strcmp(a, "--threads")) {
+        } else if (!std::strcmp(n, "--threads")) {
             threads = static_cast<unsigned>(
-                std::strtoul(need_value(i), nullptr, 10));
-        } else if (!std::strcmp(a, "--dump-pre-trace")) {
-            dump_trace_path = need_value(i);
-        } else if (!std::strcmp(a, "--analyze-trace")) {
-            analyze_trace_path = need_value(i);
-        } else if (!std::strcmp(a, "--stats-json")) {
-            stats_json_path = need_value(i);
-        } else if (!std::strcmp(a, "--trace-events")) {
-            trace_events_path = need_value(i);
-        } else if (!std::strcmp(a, "--report-json")) {
-            report_json_path = need_value(i);
-        } else if (!std::strcmp(a, "--fingerprint")) {
-            fingerprint_path = need_value(i);
-        } else if (!std::strcmp(a, "--lint-json")) {
-            lint_json_path = need_value(i);
-        } else if (!std::strcmp(a, "--explain")) {
-            explain_selector = need_value(i);
+                std::strtoul(val(), nullptr, 10));
+        } else if (!std::strcmp(n, "--dump-pre-trace")) {
+            dump_trace_path = val();
+        } else if (!std::strcmp(n, "--analyze-trace")) {
+            analyze_trace_path = val();
+        } else if (!std::strcmp(n, "--stats-json")) {
+            stats_json_path = val();
+        } else if (!std::strcmp(n, "--trace-events")) {
+            trace_events_path = val();
+        } else if (!std::strcmp(n, "--report-json")) {
+            report_json_path = val();
+        } else if (!std::strcmp(n, "--fingerprint")) {
+            fingerprint_path = val();
+        } else if (!std::strcmp(n, "--lint-json")) {
+            lint_json_path = val();
+        } else if (!std::strcmp(n, "--explain")) {
+            explain_selector = val();
         } else if (!std::strcmp(a, "--quiet")) {
             setVerbose(false);
         } else {
             // All DetectorConfig knobs come from one descriptor
             // table (config_flags.cc) — parsing, --help, and the
-            // stats-JSON config echo cannot drift apart. Both
-            // "--flag value" and "--flag=value" are accepted; flags
-            // with an implied value ("--mutate") only take the
-            // attached form.
-            std::string name = a;
-            const char *attached = nullptr;
-            if (std::size_t eq = name.find('=');
-                eq != std::string::npos) {
-                attached = a + eq + 1;
-                name.resize(eq);
-            }
+            // stats-JSON config echo cannot drift apart. Flags with
+            // an implied value ("--mutate") only take the attached
+            // form.
             const core::ConfigFlagDesc *d =
-                core::findDetectorFlag(name.c_str());
+                core::findDetectorFlag(n);
             if (!d) {
                 std::fprintf(stderr, "unknown option: %s\n", a);
                 usage();
@@ -226,6 +231,14 @@ main(int argc, char **argv)
                 value = need_value(i);
             core::applyDetectorFlag(*d, dcfg, value);
         }
+    }
+
+    if (dcfg.crashStatesOn() && dcfg.crashImageMode) {
+        std::fprintf(stderr,
+                     "--crash-states already explores realistic "
+                     "partial images; it cannot be combined with "
+                     "--crash-image\n");
+        return 2;
     }
 
     bool lint_on = !dcfg.lintRules.empty() || !lint_json_path.empty();
