@@ -252,11 +252,23 @@ struct DetectorConfig
 
     /**
      * Static lint pass (src/lint): empty = off. "all" enables every
-     * rule; otherwise a comma-separated list of rule ids (XL01..XL07)
+     * rule; otherwise a comma-separated list of rule ids (XL01..XL08)
      * or names (redundant_writeback, ...). Reporting only — campaign
      * findings are unchanged.
      */
     std::string lintRules;
+
+    /**
+     * Repair advisor (src/fix): empty = off. When set, xfdetect runs
+     * a fix campaign instead of a single detection campaign: the
+     * broken baseline is detected and linted, a repair plan is
+     * synthesized per finding/diagnostic, and each plan is applied as
+     * an inverse mutation and machine-checked by re-running the
+     * campaign. "all" checks every plan; a finding id ("F3") or plan
+     * id ("R2") checks only the plans targeting it. Incompatible with
+     * mutateOps (both repurpose the campaign loop).
+     */
+    std::string fixTargets;
 
     /**
      * Jaaru-style same-value write elision at trace-emit time: a

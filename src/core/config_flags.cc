@@ -16,7 +16,7 @@ namespace xfd::core
  * constant together with the table.
  */
 static_assert(sizeof(DetectorConfig) ==
-                  96 + 8 * sizeof(std::string),
+                  96 + 9 * sizeof(std::string),
               "DetectorConfig changed: add a ConfigFlagDesc row for "
               "the new field, then update this size tripwire");
 
@@ -178,9 +178,15 @@ buildTable()
           "crash_states_seed", &C::crashStatesSeed);
     strf("--lint", "[=<rules>]",
          "run the static lint pass over the pre-failure trace; "
-         "<rules> is \"all\" (default) or a comma list of XL01..XL07 "
+         "<rules> is \"all\" (default) or a comma list of XL01..XL08 "
          "ids or names (redundant_writeback, duplicate_tx_add, ...)",
          "lint_rules", &C::lintRules, "all");
+    strf("--fix", "[=<id|all>]",
+         "run the repair advisor: synthesize a repair plan per "
+         "finding/lint diagnostic, apply each as an inverse mutation "
+         "and machine-check it by re-running the campaign; <id> "
+         "limits checking to one finding (\"F3\") or plan (\"R2\")",
+         "fix_targets", &C::fixTargets, "all");
     alias("--lint-prune", "deprecated alias for --backend=batched",
           &C::backend, "batched");
     sw("--elide-same-value",

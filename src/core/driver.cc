@@ -235,7 +235,9 @@ Driver::advanceShadow(PreCursor &cur, const trace::TraceBuffer &pre,
           case Op::Clwb:
           case Op::ClflushOpt:
           case Op::Clflush:
-            if (shadow.preFlush(e.addr, e.seq) && detectable &&
+            if (shadow.preFlush(e.addr, e.seq,
+                                e.has(trace::flagRepair)) &&
+                detectable &&
                 perf_sink && cfg.reportPerformanceBugs) {
                 BugReport r;
                 r.type = BugType::Performance;

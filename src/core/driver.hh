@@ -128,7 +128,7 @@ struct CampaignStats
  * of Driver::run()/xfd::Campaign::run(). Prefer the accessors
  * (findings(), statistics(), phases(), config(), fingerprint()) over
  * reaching into the public members; the members stay public for one
- * PR of source compatibility (removal schedule: DESIGN.md §15).
+ * PR of source compatibility (removal schedule: DESIGN.md §16).
  */
 struct CampaignResult
 {

@@ -121,7 +121,7 @@ struct CampaignObserver
      * @name Deprecated functional hooks (v1)
      * Superseded by CampaignHooks; the driver still fires these when
      * set, after the hooks-interface call. Removal schedule:
-     * DESIGN.md §15.
+     * DESIGN.md §16.
      * @{
      */
 

@@ -109,9 +109,13 @@ ShadowPM::preWrite(Addr a, std::size_t n, std::uint32_t seq,
 }
 
 bool
-ShadowPM::preFlush(Addr line, std::uint32_t seq)
+ShadowPM::preFlush(Addr line, std::uint32_t seq, bool repair)
 {
     (void)seq;
+    auto repairClean = [&] {
+        return std::find(repairCleanLines.begin(), repairCleanLines.end(),
+                         line);
+    };
     // Flush-free model: a writeback neither persists anything new nor
     // counts as redundant — the instruction is simply dead weight the
     // program carries for clwb portability, not a performance bug.
@@ -137,6 +141,16 @@ ShadowPM::preFlush(Addr line, std::uint32_t seq)
         idx += run;
     }
     if (!any_modified) {
+        if (!repair) {
+            auto it = repairClean();
+            if (it != repairCleanLines.end()) {
+                // The line was cleaned by a repair-inserted flush just
+                // ahead of this program flush; the program flush was
+                // not redundant in the unrepaired execution.
+                repairCleanLines.erase(it);
+                return false;
+            }
+        }
         // Fig. 9 yellow edges: flushing a line with nothing modified
         // (clean, already pending, or already persisted) is redundant.
         if (obs::statsCompiledIn && collect)
@@ -158,6 +172,14 @@ ShadowPM::preFlush(Addr line, std::uint32_t seq)
             }
         }
         idx += run;
+    }
+    if (repair) {
+        if (repairClean() == repairCleanLines.end())
+            repairCleanLines.push_back(line);
+    } else {
+        auto it = repairClean();
+        if (it != repairCleanLines.end())
+            repairCleanLines.erase(it);
     }
     return false;
 }

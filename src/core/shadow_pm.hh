@@ -122,10 +122,17 @@ class ShadowPM
 
     /**
      * Apply a CLWB/CLFLUSH of one cache line.
+     *
+     * @param repair true for entries carrying flagRepair (flushes
+     *        inserted by a repair plan, xfdetect --fix). A repair
+     *        flush that cleans a line exonerates the next program
+     *        flush of that line from the redundant-flush verdict —
+     *        the program flush was not redundant in the unrepaired
+     *        execution.
      * @return true when the flush was redundant (no modified data in
      *         the line) — a performance bug (Fig. 9 yellow edges).
      */
-    bool preFlush(Addr line, std::uint32_t seq);
+    bool preFlush(Addr line, std::uint32_t seq, bool repair = false);
 
     /** Apply an SFENCE/MFENCE: pending writebacks become persisted. */
     void preFence();
@@ -293,6 +300,13 @@ class ShadowPM
     std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages;
     /** Cells with a writeback pending, resolved at the next fence. */
     std::vector<std::uint64_t> pendingCells;
+    /**
+     * Lines last cleaned by an internal (repair-inserted) flush. Each
+     * entry exonerates at most one subsequent program flush of the
+     * line from the redundant-flush performance verdict. Bounded by
+     * the number of repair insertions — tiny in practice.
+     */
+    std::vector<Addr> repairCleanLines;
     std::vector<CommitVar> commitVars;
     /** commitVars as of beginPostReplay, restored by endPostReplay. */
     std::vector<CommitVar> savedCommitVars;

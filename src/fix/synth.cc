@@ -1,0 +1,644 @@
+/**
+ * @file
+ * Repair-plan synthesis: from a finding (or a lint diagnostic) to the
+ * trace edit that removes it.
+ *
+ * The synthesizer re-walks the frontier dataflow the lint pass uses
+ * (lint::FrontierState) to locate the cell a cross-failure race is
+ * about at its failure point, and derives the repair from the cell's
+ * persistency state: a Modified cell needs a CLWB + SFENCE after its
+ * writer, a WritebackPending cell only needs the SFENCE its existing
+ * writeback is missing. Commit-ordering semantic bugs reuse the XL06
+ * diagnostic (the premature commit store's seq) and compute, by
+ * continuing the same walk, the first fence at which the data the
+ * commit guards has become durable — the reinsertion point for the
+ * reordered store. Performance findings map onto the lint
+ * diagnostics at the same source line, whose seqs are exactly the
+ * redundant operations to drop.
+ *
+ * Two classes of findings deliberately get advisory (never-applied)
+ * plans: a racy write inside an open transaction with no covering
+ * TX_ADD, where inserting the flush that would silence the race
+ * check destroys undo-log atomicity (the repaired trace would
+ * machine-"verify" while the real bug got worse); and reads of
+ * never-initialized allocations, where no ordering edit can invent
+ * the missing initialization.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "common/logging.hh"
+#include "fix/fix.hh"
+#include "lint/frontier.hh"
+#include "trace/iter.hh"
+
+namespace xfd::fix
+{
+
+namespace
+{
+
+using core::BugReport;
+using core::BugType;
+using lint::Diagnostic;
+using lint::Rule;
+using mutate::EditScript;
+using trace::TraceEntry;
+
+std::string
+locStr(const trace::SrcLoc &l)
+{
+    return strprintf("%s:%u", l.file, l.line);
+}
+
+/** The dedup key the mutation engine uses (campaign identity). */
+std::string
+findingKey(const BugReport &b)
+{
+    return strprintf("%d|%s:%u|%s:%u", static_cast<int>(b.type),
+                     b.reader.file, b.reader.line, b.writer.file,
+                     b.writer.line);
+}
+
+/** Canonical signature of an edit script, for plan deduplication. */
+std::string
+editSig(const EditScript &s)
+{
+    std::string sig = "d:";
+    for (std::uint32_t q : s.dropSeqs)
+        sig += strprintf("%u,", q);
+    sig += "|s:";
+    for (std::uint64_t o : s.skipTxAdds)
+        sig += strprintf("%llu,", static_cast<unsigned long long>(o));
+    sig += strprintf("|wf:%s:%u|ff:%s:%u|c:%u>%u",
+                     s.flushFenceAfterWritesAt.file,
+                     s.flushFenceAfterWritesAt.line,
+                     s.fenceAfterFlushAt.file, s.fenceAfterFlushAt.line,
+                     s.commitSeq, s.reinsertAfterSeq);
+    return sig;
+}
+
+/** TX_ADD occurrence (library call index) of the TxAdd entry @p seq. */
+std::uint64_t
+txAddOccurrence(const trace::TraceBuffer &pre, std::uint32_t seq)
+{
+    std::uint64_t occ = 0;
+    for (const TraceEntry &e : pre) {
+        if (e.seq >= seq)
+            break;
+        if (e.op == trace::Op::TxAdd)
+            occ++;
+    }
+    return occ;
+}
+
+/** Replay the frontier dataflow over entries with seq < @p to. */
+lint::FrontierState
+replayTo(const trace::TraceBuffer &pre, std::uint32_t to,
+         const core::DetectorConfig &cfg)
+{
+    lint::FrontierState fsm(cfg.granularity, cfg.eadrOn());
+    for (const TraceEntry &e : pre) {
+        if (e.seq >= to)
+            break;
+        fsm.apply(e);
+    }
+    return fsm;
+}
+
+/**
+ * Is the write at @p writerSeq inside an open transaction with no
+ * TX_ADD covering its range since the transaction began? That is the
+ * one race shape whose flush-repair would be unsound.
+ */
+bool
+uncoveredTxWrite(const trace::TraceBuffer &pre, std::uint32_t writerSeq)
+{
+    bool inTx = false;
+    bool covered = false;
+    bool isStore = false;
+    std::vector<AddrRange> adds;
+    for (const TraceEntry &e : pre) {
+        if (e.seq > writerSeq)
+            break;
+        if (trace::isTxBoundary(e)) {
+            inTx = std::strcmp(e.label, trace::labels::txBegin) == 0;
+            adds.clear();
+        } else if (e.op == trace::Op::TxAdd) {
+            adds.push_back(AddrRange{
+                e.addr, e.addr + std::max<std::uint32_t>(e.size, 1)});
+        }
+        if (e.seq == writerSeq && e.isWrite()) {
+            isStore = true;
+            AddrRange w{e.addr,
+                        e.addr + std::max<std::uint32_t>(e.size, 1)};
+            for (const AddrRange &r : adds) {
+                if (w.overlaps(r)) {
+                    covered = true;
+                    break;
+                }
+            }
+        }
+    }
+    return inTx && isStore && !covered;
+}
+
+/** Last flush before @p before whose line set covers @p addr. */
+const TraceEntry *
+lastCoveringFlush(const trace::TraceBuffer &pre, Addr addr,
+                  std::uint32_t before)
+{
+    const TraceEntry *last = nullptr;
+    Addr line = lineBase(addr);
+    for (const TraceEntry &e : pre) {
+        if (e.seq >= before)
+            break;
+        if (!e.isFlush())
+            continue;
+        trace::forEachLine(e.addr, std::max<std::uint32_t>(e.size, 1),
+                           [&](Addr l) {
+                               if (l == line)
+                                   last = &e;
+                           });
+    }
+    return last;
+}
+
+/** Lint diagnostics of @p rules at the source line of @p loc. */
+std::vector<const Diagnostic *>
+diagsAt(const lint::LintReport &rep,
+        std::initializer_list<Rule> rules, const trace::SrcLoc &loc)
+{
+    std::vector<const Diagnostic *> out;
+    for (const Diagnostic &d : rep.diagnostics) {
+        if (!(d.loc == loc))
+            continue;
+        for (Rule r : rules) {
+            if (d.rule == r) {
+                out.push_back(&d);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<RepairPlan>
+synthesizePlans(const core::CampaignResult &baseline,
+                const lint::LintReport &lintRep,
+                const trace::TraceBuffer &pre,
+                const core::DetectorConfig &cfg,
+                std::vector<UnplannedFinding> *unplanned)
+{
+    std::vector<RepairPlan> plans;
+    std::set<std::string> sigs;
+
+    auto push = [&](RepairPlan p) {
+        std::string sig = editSig(p.edits);
+        if (!p.edits.empty() && !sigs.insert(sig).second)
+            return; // an earlier plan already makes this exact edit
+        p.id = strprintf("R%zu", plans.size() + 1);
+        p.advisory = p.advisory || repairKindAdvisory(p.kind);
+        plans.push_back(std::move(p));
+    };
+
+    auto skip = [&](const std::string &fid, const BugReport &b,
+                    const char *reason) {
+        if (unplanned)
+            unplanned->push_back(UnplannedFinding{fid, b.str(), reason});
+    };
+
+    const std::vector<BugReport> &bugs = baseline.findings();
+    for (std::size_t i = 0; i < bugs.size(); i++) {
+        const BugReport &b = bugs[i];
+        std::string fid = strprintf("F%zu", i + 1);
+
+        RepairPlan p;
+        p.findingId = fid;
+        p.targetKey = findingKey(b);
+        p.target = b.str();
+
+        switch (b.type) {
+          case BugType::Performance: {
+            if (b.note.find("writeback") != std::string::npos) {
+                // The redundant flush; the lint pass walks the same
+                // FSM, so its XL01/XL03 seqs at this source line are
+                // exactly the dynamic finding's occurrences.
+                auto ds = diagsAt(lintRep,
+                                  {Rule::RedundantWriteback,
+                                   Rule::FlushUnmodified},
+                                  b.reader);
+                if (ds.empty()) {
+                    skip(fid, b,
+                         "no lint diagnostic pins down the redundant "
+                         "flush occurrences");
+                    break;
+                }
+                p.kind = RepairKind::DropFlush;
+                for (const Diagnostic *d : ds)
+                    p.edits.dropSeqs.push_back(d->seq);
+                p.site = b.reader;
+                p.patch = strprintf("remove the redundant flush at %s",
+                                    locStr(b.reader).c_str());
+                push(std::move(p));
+            } else if (b.note.find("TX_ADD") != std::string::npos) {
+                auto ds =
+                    diagsAt(lintRep, {Rule::DuplicateTxAdd}, b.reader);
+                if (ds.empty()) {
+                    skip(fid, b,
+                         "no lint diagnostic pins down the duplicated "
+                         "TX_ADD occurrences");
+                    break;
+                }
+                p.kind = RepairKind::SkipTxAdd;
+                for (const Diagnostic *d : ds) {
+                    p.edits.skipTxAdds.push_back(
+                        txAddOccurrence(pre, d->seq));
+                }
+                p.site = b.reader;
+                p.patch =
+                    strprintf("remove the duplicated TX_ADD at %s",
+                              locStr(b.reader).c_str());
+                push(std::move(p));
+            } else {
+                skip(fid, b, "unrecognized performance-bug shape");
+            }
+            break;
+          }
+
+          case BugType::CrossFailureRace: {
+            lint::FrontierState fsm = replayTo(pre, b.failurePoint, cfg);
+            unsigned gran = fsm.granularity();
+            bool found = false;
+            lint::FrontierCell cell;
+            fsm.forEachInFlight([&](Addr a, const lint::FrontierCell &c) {
+                if (!found && b.addr >= a && b.addr < a + gran) {
+                    cell = c;
+                    found = true;
+                }
+            });
+            if (!found) {
+                skip(fid, b,
+                     "racy cell not in flight at the failure point");
+                break;
+            }
+            if (cell.uninit) {
+                p.kind = RepairKind::Advisory;
+                p.site = cell.writer;
+                p.patch = strprintf(
+                    "initialize the allocation from %s before "
+                    "publishing it; no ordering edit can invent the "
+                    "missing initialization",
+                    locStr(cell.writer).c_str());
+                push(std::move(p));
+                break;
+            }
+            if (uncoveredTxWrite(pre, cell.writerSeq)) {
+                // Flushing here would silence the race check while
+                // leaving the update outside the undo log — the
+                // repaired trace would "verify" as the bug got worse.
+                p.kind = RepairKind::AddTxAdd;
+                p.site = cell.writer;
+                p.patch = strprintf(
+                    "TX_ADD the object before the in-transaction "
+                    "store at %s; a flush alone would mask the lost "
+                    "undo-log coverage",
+                    locStr(cell.writer).c_str());
+                push(std::move(p));
+                break;
+            }
+            if (cell.st == lint::CellState::WritebackPending) {
+                const TraceEntry *fl =
+                    lastCoveringFlush(pre, b.addr, b.failurePoint);
+                if (fl) {
+                    p.kind = RepairKind::AddFence;
+                    p.edits.fenceAfterFlushAt = fl->loc;
+                    p.site = fl->loc;
+                    p.patch = strprintf(
+                        "insert sfence after the writeback at %s",
+                        locStr(fl->loc).c_str());
+                    push(std::move(p));
+                    break;
+                }
+                // An ntstore pending with no flush to anchor on:
+                // fall through to the writer-site flush + fence.
+            }
+            p.kind = RepairKind::AddFlushFence;
+            p.edits.flushFenceAfterWritesAt = cell.writer;
+            p.site = cell.writer;
+            p.patch =
+                strprintf("insert clwb + sfence after the store at %s",
+                          locStr(cell.writer).c_str());
+            push(std::move(p));
+            break;
+          }
+
+          case BugType::CrossFailureSemantic: {
+            // When the inconsistent data itself is still in flight at
+            // the failure point, the commit protocol ordering is not
+            // the defect — the data store inside the commit window was
+            // simply never persisted. Persist it at its writer;
+            // reordering the commit cannot help because the data never
+            // becomes durable at all.
+            {
+                lint::FrontierState fsm =
+                    replayTo(pre, b.failurePoint, cfg);
+                unsigned gran = fsm.granularity();
+                bool found = false;
+                lint::FrontierCell cell;
+                fsm.forEachInFlight(
+                    [&](Addr a, const lint::FrontierCell &c) {
+                        if (!found && b.addr >= a && b.addr < a + gran) {
+                            cell = c;
+                            found = true;
+                        }
+                    });
+                if (found && !cell.uninit &&
+                    !uncoveredTxWrite(pre, cell.writerSeq)) {
+                    if (cell.st == lint::CellState::WritebackPending) {
+                        const TraceEntry *fl = lastCoveringFlush(
+                            pre, b.addr, b.failurePoint);
+                        if (fl) {
+                            p.kind = RepairKind::AddFence;
+                            p.edits.fenceAfterFlushAt = fl->loc;
+                            p.site = fl->loc;
+                            p.patch = strprintf(
+                                "insert sfence after the writeback at "
+                                "%s",
+                                locStr(fl->loc).c_str());
+                            push(std::move(p));
+                            break;
+                        }
+                    }
+                    p.kind = RepairKind::AddFlushFence;
+                    p.edits.flushFenceAfterWritesAt = cell.writer;
+                    p.site = cell.writer;
+                    p.patch = strprintf(
+                        "insert clwb + sfence after the store at %s "
+                        "so the data persists inside its commit "
+                        "window",
+                        locStr(cell.writer).c_str());
+                    push(std::move(p));
+                    break;
+                }
+            }
+
+            // "Uncommitted" means the data store and its commit write
+            // share one ordering epoch: the global timestamp advances
+            // only at fences (§5.4), so with no fence between them the
+            // commit write cannot vouch for the data. The inverse of
+            // the missing persist is clwb + sfence right after the
+            // data store, splitting the epoch. If the data is instead
+            // mis-ordered against the protocol (e.g. updated outside
+            // its dirty window), the edit fails the machine check and
+            // the plan reports incomplete rather than a bogus fix.
+            if (b.note.find("uncommitted") != std::string::npos) {
+                const TraceEntry *w = nullptr;
+                for (const TraceEntry &e : pre) {
+                    if (e.seq >= b.failurePoint)
+                        break;
+                    if (e.isWrite() && e.addr <= b.addr &&
+                        b.addr < e.addr + e.size) {
+                        w = &e;
+                    }
+                }
+                if (w) {
+                    p.kind = RepairKind::AddFlushFence;
+                    p.edits.flushFenceAfterWritesAt = w->loc;
+                    p.site = w->loc;
+                    p.patch = strprintf(
+                        "insert clwb + sfence after the store at %s "
+                        "so the data persists and fences before its "
+                        "commit write",
+                        locStr(w->loc).c_str());
+                    push(std::move(p));
+                    break;
+                }
+            }
+
+            // The XL06 diagnostic carries the premature commit store;
+            // pick the nearest one before this finding's failure
+            // point.
+            const Diagnostic *best = nullptr;
+            for (const Diagnostic &d : lintRep.diagnostics) {
+                if (d.rule != Rule::CommitFenceMissing)
+                    continue;
+                if (d.seq < b.failurePoint &&
+                    (!best || d.seq > best->seq)) {
+                    best = &d;
+                }
+            }
+            if (!best) {
+                p.kind = RepairKind::Advisory;
+                p.site = b.writer;
+                p.patch =
+                    "crash-consistency mechanism violation with no "
+                    "premature-commit signature; the repair needs a "
+                    "semantic change, not a trace edit";
+                push(std::move(p));
+                break;
+            }
+
+            // Cells in flight when the commit store issued — the data
+            // the commit publishes before it is durable. The commit
+            // variable's own cells are excluded: they are the store
+            // being moved.
+            lint::FrontierState fsm = replayTo(pre, best->seq, cfg);
+            std::set<Addr> waitFor;
+            fsm.forEachInFlight(
+                [&](Addr a, const lint::FrontierCell &) {
+                    if (!fsm.isCommitVarAddr(a))
+                        waitFor.insert(a);
+                });
+
+            // Continue the walk to the first fence after which none
+            // of that data is still in flight: the reinsertion point.
+            std::uint32_t reinsertAt = EditScript::noSeq;
+            for (const TraceEntry &e : pre) {
+                if (e.seq < best->seq)
+                    continue;
+                fsm.apply(e);
+                if (!e.isFence() || e.seq <= best->seq)
+                    continue;
+                bool pending = false;
+                fsm.forEachInFlight(
+                    [&](Addr a, const lint::FrontierCell &) {
+                        if (waitFor.count(a))
+                            pending = true;
+                    });
+                if (!pending) {
+                    reinsertAt = e.seq;
+                    break;
+                }
+            }
+            if (reinsertAt == EditScript::noSeq) {
+                skip(fid, b,
+                     "the data the commit guards never becomes "
+                     "durable; reordering has no legal target");
+                break;
+            }
+
+            p.kind = RepairKind::ReorderCommit;
+            p.edits.commitSeq = best->seq;
+            p.edits.reinsertAfterSeq = reinsertAt;
+            // The commit store's original writebacks would flush a
+            // line with nothing modified once the store moves; drop
+            // them (the fences stay — other data may retire there).
+            for (const TraceEntry &e : pre) {
+                if (e.seq <= best->seq)
+                    continue;
+                if (e.seq >= reinsertAt)
+                    break;
+                if (!e.isFlush())
+                    continue;
+                bool covers = false;
+                trace::forEachLine(
+                    e.addr, std::max<std::uint32_t>(e.size, 1),
+                    [&](Addr l) {
+                        if (l == lineBase(best->addr))
+                            covers = true;
+                    });
+                if (covers)
+                    p.edits.dropSeqs.push_back(e.seq);
+            }
+            p.site = best->loc;
+            p.patch = strprintf(
+                "move the commit store at %s (and its flush + fence) "
+                "after the fence at seq %u, where the data it "
+                "publishes has become durable",
+                locStr(best->loc).c_str(), reinsertAt);
+            push(std::move(p));
+            break;
+          }
+
+          case BugType::RecoveryFailure:
+            skip(fid, b,
+                 "recovery failed outright; no single trace edit can "
+                 "be derived from the failure");
+            break;
+        }
+    }
+
+    // Lint-only plans: statically-decidable repairs whose targets the
+    // dynamic campaign never surfaced (or surfaced elsewhere). One
+    // plan covers every diagnostic with the same (rule, addr, source
+    // line) — the identity a re-lint checks — so a flush that is
+    // redundant on every execution gets all its occurrences dropped
+    // at once. Edits already claimed by a finding-driven plan dedup
+    // away in push().
+    std::vector<const Diagnostic *> groups;
+    std::map<std::string, std::size_t> groupOf;
+    std::map<std::size_t, std::vector<const Diagnostic *>> members;
+    for (const Diagnostic &d : lintRep.diagnostics) {
+        std::string key =
+            strprintf("%d|%llx|%s:%u", static_cast<int>(d.rule),
+                      static_cast<unsigned long long>(d.addr),
+                      d.loc.file, d.loc.line);
+        auto [it, fresh] = groupOf.emplace(key, groups.size());
+        if (fresh)
+            groups.push_back(&d);
+        members[it->second].push_back(&d);
+    }
+    for (std::size_t g = 0; g < groups.size(); g++) {
+        const Diagnostic &d = *groups[g];
+        RepairPlan p;
+        p.lintRule = d.rule;
+        p.lintAddr = d.addr;
+        p.lintTarget = true;
+        p.target = d.str();
+        p.site = d.loc;
+        switch (d.rule) {
+          case Rule::RedundantWriteback:
+          case Rule::FlushUnmodified:
+            p.kind = RepairKind::DropFlush;
+            for (const Diagnostic *m : members[g])
+                p.edits.dropSeqs.push_back(m->seq);
+            p.patch = strprintf("remove the redundant flush at %s",
+                                locStr(d.loc).c_str());
+            break;
+          case Rule::FenceNoPending:
+            p.kind = RepairKind::DropFence;
+            for (const Diagnostic *m : members[g])
+                p.edits.dropSeqs.push_back(m->seq);
+            p.patch = strprintf("remove the no-op fence at %s",
+                                locStr(d.loc).c_str());
+            break;
+          case Rule::DuplicateTxAdd:
+            p.kind = RepairKind::SkipTxAdd;
+            for (const Diagnostic *m : members[g]) {
+                p.edits.skipTxAdds.push_back(
+                    txAddOccurrence(pre, m->seq));
+            }
+            p.patch = strprintf("remove the duplicated TX_ADD at %s",
+                                locStr(d.loc).c_str());
+            break;
+          case Rule::UnpersistedAtExit:
+            if (uncoveredTxWrite(pre, d.seq)) {
+                p.kind = RepairKind::AddTxAdd;
+                p.patch = strprintf(
+                    "TX_ADD the object before the in-transaction "
+                    "store at %s; a flush alone would mask the lost "
+                    "undo-log coverage",
+                    locStr(d.loc).c_str());
+                break;
+            }
+            p.kind = RepairKind::AddFlushFence;
+            p.edits.flushFenceAfterWritesAt = d.loc;
+            p.patch =
+                strprintf("insert clwb + sfence after the store at %s",
+                          locStr(d.loc).c_str());
+            break;
+          default:
+            continue; // XL06..XL08 have no lint-only mechanical plan
+        }
+        push(std::move(p));
+    }
+
+    return plans;
+}
+
+std::string
+RepairPlan::describe() const
+{
+    std::string s = strprintf("%s %s @ %s", id.c_str(),
+                              repairKindName(kind), locStr(site).c_str());
+    if (!findingId.empty())
+        s += strprintf(" (%s)", findingId.c_str());
+    else if (lintTarget)
+        s += strprintf(" (%s)", lint::ruleId(lintRule));
+    return s;
+}
+
+const char *
+repairKindName(RepairKind k)
+{
+    switch (k) {
+      case RepairKind::DropFlush: return "drop_flush";
+      case RepairKind::DropFence: return "drop_fence";
+      case RepairKind::SkipTxAdd: return "skip_tx_add";
+      case RepairKind::AddFlushFence: return "add_flush_fence";
+      case RepairKind::AddFence: return "add_fence";
+      case RepairKind::ReorderCommit: return "reorder_commit";
+      case RepairKind::AddTxAdd: return "add_tx_add";
+      case RepairKind::Advisory: return "advisory";
+    }
+    return "?";
+}
+
+const char *
+verdictName(Verdict v)
+{
+    switch (v) {
+      case Verdict::Verified: return "verified";
+      case Verdict::Incomplete: return "incomplete";
+      case Verdict::Regressed: return "regressed";
+    }
+    return "?";
+}
+
+} // namespace xfd::fix

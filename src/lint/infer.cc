@@ -1,0 +1,233 @@
+/**
+ * @file
+ * WITCHER-style commit-variable inference (XL08).
+ *
+ * A commit variable is the atomically-written flag a low-level
+ * crash-consistency mechanism publishes through: the program stores
+ * it and immediately makes exactly that store durable (flush + fence
+ * with nothing else pending), over and over. The inference pass walks
+ * the pre-failure trace once with a small cell model and records, per
+ * store target, how often its retiring fence persisted *only* it —
+ * the solo-persist publish signature. Comparing the signature against
+ * the trace's CommitVar/CommitRange annotations yields the XL08
+ * diagnostics in rules.cc:
+ *
+ *  - an annotated commit variable whose stores become durable but are
+ *    never solo-persisted does not behave like one (the annotation is
+ *    suspect, or the publish lost its own fence);
+ *  - an address that exhibits the full signature but is covered by no
+ *    annotation is a likely missing annotation — reported only when
+ *    the workload annotates at all, so unannotated (transactional)
+ *    workloads stay silent.
+ *
+ * Library-internal stores never become candidates (the PM library's
+ * own publishes, e.g. pmlib::atomicStore targets, are the library's
+ * business), but their cells still participate in the persistency
+ * model so a fence retiring app data *and* library data is correctly
+ * not a solo persist.
+ */
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "lint/lint.hh"
+
+namespace xfd::lint
+{
+
+namespace
+{
+
+constexpr Addr lineBytes = 64;
+
+/** Would the dynamic detector report on this entry? (rules.cc twin) */
+bool
+detectable(const trace::TraceEntry &e)
+{
+    return e.has(trace::flagInRoi) && !e.has(trace::flagInternal) &&
+           !e.has(trace::flagSkipDetection);
+}
+
+/** Per-cell model state: who wrote it last, and is it pending. */
+struct Cell
+{
+    /** Base address of the last store covering the cell. */
+    Addr writerAddr = 0;
+    /** The last writer was a detectable application store. */
+    bool writerDetectable = false;
+};
+
+/** Running stats of one store target. */
+struct Stat
+{
+    std::uint32_t size = 0;
+    std::uint32_t stores = 0;
+    std::uint32_t soloPersists = 0;
+    bool everDurable = false;
+    std::uint32_t lastStoreSeq = 0;
+    trace::SrcLoc lastStore;
+};
+
+} // namespace
+
+CommitVarInferenceResult
+inferCommitVars(const trace::TraceBuffer &pre, unsigned granularity,
+                bool flushFree)
+{
+    using trace::Op;
+
+    CommitVarInferenceResult out;
+    if (granularity == 0)
+        granularity = 1;
+    if (flushFree)
+        return out;
+
+    std::map<Addr, Stat> stats;      // keyed by store base address
+    std::map<std::uint64_t, Cell> cells; // keyed by cell index
+    // Cells flushed (or ntstored), retiring at the next fence.
+    std::set<std::uint64_t> pending;
+    std::vector<AddrRange> annotations;
+
+    auto cellsOf = [granularity](Addr a, std::uint32_t n,
+                                 const std::function<void(std::uint64_t)>
+                                     &fn) {
+        if (n == 0)
+            return;
+        for (std::uint64_t c = a / granularity;
+             c <= (a + n - 1) / granularity; c++) {
+            fn(c);
+        }
+    };
+
+    for (const auto &e : pre) {
+        switch (e.op) {
+          case Op::Write:
+          case Op::NtWrite: {
+            if (e.has(trace::flagImageOnly))
+                break;
+            bool det = detectable(e);
+            if (det) {
+                Stat &s = stats[e.addr];
+                s.stores++;
+                s.size = std::max(s.size, e.size);
+                s.lastStoreSeq = e.seq;
+                s.lastStore = e.loc;
+            }
+            cellsOf(e.addr, e.size, [&](std::uint64_t c) {
+                cells[c] = Cell{e.addr, det};
+                if (e.op == Op::NtWrite)
+                    pending.insert(c);
+                else
+                    pending.erase(c);
+            });
+            break;
+          }
+          case Op::Clwb:
+          case Op::ClflushOpt:
+          case Op::Clflush: {
+            Addr lo = e.addr & ~(lineBytes - 1);
+            Addr hi = e.addr + std::max<std::uint32_t>(e.size, 1);
+            for (Addr line = lo; line < hi; line += lineBytes) {
+                cellsOf(line, static_cast<std::uint32_t>(lineBytes),
+                        [&](std::uint64_t c) {
+                            if (cells.count(c))
+                                pending.insert(c);
+                        });
+            }
+            break;
+          }
+          case Op::Sfence:
+          case Op::Mfence: {
+            if (pending.empty())
+                break;
+            // One distinct detectable writer across every retired
+            // cell is the solo-persist signature. A retirement set
+            // made up entirely of already-annotated targets also
+            // counts for each of them: protocols legitimately publish
+            // a group of commit variables through one fence (ringlog
+            // flushes wr and chk together).
+            std::set<Addr> writers;
+            bool foreign = false;
+            for (std::uint64_t c : pending) {
+                auto it = cells.find(c);
+                if (it == cells.end())
+                    continue;
+                if (!it->second.writerDetectable) {
+                    foreign = true;
+                    continue;
+                }
+                writers.insert(it->second.writerAddr);
+            }
+            bool allAnnotated = !foreign && !writers.empty();
+            for (Addr w : writers) {
+                const Stat &s = stats[w];
+                AddrRange r{w, w + std::max<std::uint32_t>(s.size, 1)};
+                bool hit = false;
+                for (const AddrRange &a : annotations) {
+                    if (r.overlaps(a)) {
+                        hit = true;
+                        break;
+                    }
+                }
+                if (!hit) {
+                    allAnnotated = false;
+                    break;
+                }
+            }
+            for (Addr w : writers) {
+                auto it = stats.find(w);
+                if (it == stats.end())
+                    continue;
+                it->second.everDurable = true;
+                if ((writers.size() == 1 && !foreign) || allAnnotated)
+                    it->second.soloPersists++;
+            }
+            // Retired cells leave the model until rewritten.
+            for (std::uint64_t c : pending)
+                cells.erase(c);
+            pending.clear();
+            break;
+          }
+          case Op::CommitVar:
+            out.annotationsPresent = true;
+            [[fallthrough]];
+          case Op::CommitRange:
+            annotations.push_back(
+                AddrRange{e.addr, e.addr + std::max<std::uint32_t>(
+                                               e.size, 1)});
+            break;
+          case Op::Free:
+            cellsOf(e.addr, e.size, [&](std::uint64_t c) {
+                cells.erase(c);
+                pending.erase(c);
+            });
+            break;
+          default:
+            break;
+        }
+    }
+
+    for (const auto &[addr, s] : stats) {
+        CommitVarCandidate c;
+        c.addr = addr;
+        c.size = s.size;
+        c.stores = s.stores;
+        c.soloPersists = s.soloPersists;
+        c.everDurable = s.everDurable;
+        c.lastStoreSeq = s.lastStoreSeq;
+        c.lastStore = s.lastStore;
+        AddrRange r{addr, addr + std::max<std::uint32_t>(s.size, 1)};
+        for (const AddrRange &a : annotations) {
+            if (r.overlaps(a)) {
+                c.annotated = true;
+                break;
+            }
+        }
+        out.candidates.push_back(std::move(c));
+    }
+    return out;
+}
+
+} // namespace xfd::lint

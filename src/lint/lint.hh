@@ -7,11 +7,13 @@
  * lint pass finds the statically-decidable subset by walking the
  * pre-failure trace once, with no post-failure stage at all:
  *
- *  - diagnostics: seven rules (XL01..XL07) over the persistency FSM —
+ *  - diagnostics: eight rules (XL01..XL08) over the persistency FSM —
  *    redundant writebacks, duplicated TX_ADD, flushes of unmodified
  *    lines, no-op fences, writes never persisted at exit, commit
- *    writes issued before their data is durable, and epoch
- *    (write -> flush -> fence) ordering violations;
+ *    writes issued before their data is durable, epoch
+ *    (write -> flush -> fence) ordering violations, and
+ *    WITCHER-style commit-variable inference disagreeing with a
+ *    workload's annotations;
  *  - prunability: per planned failure point, whether an earlier point
  *    at the same ordering-point source location had an identical
  *    frontier signature, in which case the post-failure execution is
@@ -48,10 +50,11 @@ enum class Rule : std::uint8_t
     UnpersistedAtExit,  ///< XL05: write still in flight at trace end
     CommitFenceMissing, ///< XL06: commit write before data is durable
     EpochOrder,         ///< XL07: write to a flushed, un-fenced line
+    CommitVarInference, ///< XL08: inferred commit var vs. annotation
 };
 
 /** Number of distinct rules (for per-rule counter arrays). */
-inline constexpr std::size_t ruleCount = 7;
+inline constexpr std::size_t ruleCount = 8;
 
 /** Bit for @p r in a rule mask. */
 inline constexpr std::uint32_t
@@ -63,7 +66,7 @@ ruleBit(Rule r)
 /** Mask with every rule enabled. */
 inline constexpr std::uint32_t allRules = (1u << ruleCount) - 1;
 
-/** Stable rule identifier ("XL01".."XL07"). */
+/** Stable rule identifier ("XL01".."XL08"). */
 const char *ruleId(Rule r);
 
 /** Stable rule name ("redundant_writeback", ...). */
@@ -117,12 +120,67 @@ struct LintConfig
      * eADR/CXL flush-free persistency semantics (match the detector's
      * --pm-model). Stores are durable on arrival: the flush-centric
      * rules (XL01 redundant writeback, XL03 flush-unmodified, XL04
-     * no-op fence, XL07 epoch order) are suppressed — every flush is
-     * equally dead weight, not a persistency mistake — and the
-     * frontier dataflow mirrors the flush-free shadow PM.
+     * no-op fence, XL07 epoch order, XL08 commit-var inference) are
+     * suppressed — every flush is equally dead weight, not a
+     * persistency mistake, and the solo-persist publish signature
+     * XL08 keys on does not exist — and the frontier dataflow
+     * mirrors the flush-free shadow PM.
      */
     bool flushFree = false;
 };
+
+/**
+ * One address the WITCHER-style inference pass tracked: a location
+ * the program stores to and persists, with how often the store was
+ * the *only* data a fence retired (the atomic-publish signature a
+ * commit variable exhibits).
+ */
+struct CommitVarCandidate
+{
+    Addr addr = 0;
+    std::uint32_t size = 0;
+    /** Detectable stores to this address. */
+    std::uint32_t stores = 0;
+    /** Stores whose retiring fence persisted nothing else. */
+    std::uint32_t soloPersists = 0;
+    /** The address ever became durable (retired by some fence). */
+    bool everDurable = false;
+    /** Covered by a CommitVar or CommitRange annotation. */
+    bool annotated = false;
+    std::uint32_t lastStoreSeq = 0;
+    trace::SrcLoc lastStore;
+
+    /**
+     * Behaves like a commit variable: repeatedly stored, every store
+     * immediately and solely persisted, atomically writable.
+     */
+    bool
+    looksLikeCommitVar() const
+    {
+        return stores >= 2 && soloPersists == stores && size <= 16;
+    }
+};
+
+/** Result of the commit-variable inference pass. */
+struct CommitVarInferenceResult
+{
+    /** Every store target the pass tracked, in address order. */
+    std::vector<CommitVarCandidate> candidates;
+    /** The trace registered at least one commit variable. */
+    bool annotationsPresent = false;
+};
+
+/**
+ * Infer likely commit variables from trace invariants (the WITCHER
+ * direction, PAPERS.md): a commit variable is a fixed address the
+ * program stores to repeatedly where each store is the last — and
+ * only — data the next fence makes durable. Under the flush-free
+ * persistency model the signature is meaningless (every store is
+ * instantly durable) and the result is empty.
+ */
+CommitVarInferenceResult inferCommitVars(const trace::TraceBuffer &pre,
+                                         unsigned granularity,
+                                         bool flushFree = false);
 
 /**
  * Per-failure-point prunability verdicts. A point is pruned when an

@@ -23,6 +23,7 @@ ruleId(Rule r)
       case Rule::UnpersistedAtExit: return "XL05";
       case Rule::CommitFenceMissing: return "XL06";
       case Rule::EpochOrder: return "XL07";
+      case Rule::CommitVarInference: return "XL08";
     }
     return "XL??";
 }
@@ -38,6 +39,7 @@ ruleName(Rule r)
       case Rule::UnpersistedAtExit: return "unpersisted_at_exit";
       case Rule::CommitFenceMissing: return "commit_fence_missing";
       case Rule::EpochOrder: return "epoch_order";
+      case Rule::CommitVarInference: return "commit_var_inference";
     }
     return "unknown";
 }
@@ -65,6 +67,7 @@ ruleSeverity(Rule r)
       case Rule::UnpersistedAtExit: return Severity::Error;
       case Rule::CommitFenceMissing: return Severity::Error;
       case Rule::EpochOrder: return Severity::Warning;
+      case Rule::CommitVarInference: return Severity::Note;
     }
     return Severity::Note;
 }
@@ -98,9 +101,11 @@ parseRuleList(const std::string &csv, std::uint32_t &mask,
         }
         if (!found) {
             if (err) {
+                // %02zu: past nine rules, "XL0%zu" would render the
+                // last id as "XL010" and no longer match ruleId().
                 *err = strprintf(
                     "unknown lint rule \"%s\" (expected \"all\", "
-                    "XL01..XL0%zu, or rule names)",
+                    "XL01..XL%02zu, or rule names)",
                     tok.c_str(), ruleCount);
             }
             return false;

@@ -102,7 +102,8 @@ runLint(const trace::TraceBuffer &pre, const LintConfig &cfg,
         effective &= ~(ruleBit(Rule::RedundantWriteback) |
                        ruleBit(Rule::FlushUnmodified) |
                        ruleBit(Rule::FenceNoPending) |
-                       ruleBit(Rule::EpochOrder));
+                       ruleBit(Rule::EpochOrder) |
+                       ruleBit(Rule::CommitVarInference));
     }
     rep.rules = effective;
     DiagSink sink(rep, effective);
@@ -229,6 +230,48 @@ runLint(const trace::TraceBuffer &pre, const LintConfig &cfg,
                                "durability before the trace ends",
                                g.cellCount);
             sink.report(std::move(d));
+        }
+    }
+
+    // XL08: WITCHER-style commit-variable inference vs. annotations.
+    // Both directions fire only against annotations, so workloads
+    // that never annotate (transactional mechanisms) stay silent.
+    if (sink.enabled(Rule::CommitVarInference)) {
+        CommitVarInferenceResult inf =
+            inferCommitVars(pre, cfg.granularity, cfg.flushFree);
+        for (const CommitVarCandidate &c : inf.candidates) {
+            if (c.annotated && c.stores > 0 && c.everDurable &&
+                c.soloPersists == 0) {
+                // Annotated, durably stored, but every retirement
+                // carried other data too: no publish behavior. (A var
+                // that never becomes durable at all is XL05's case.)
+                Diagnostic d;
+                d.rule = Rule::CommitVarInference;
+                d.addr = c.addr;
+                d.size = c.size;
+                d.seq = c.lastStoreSeq;
+                d.loc = c.lastStore;
+                d.note = strprintf(
+                    "annotated commit variable is never the only data "
+                    "a fence retires (%u store(s)); inference sees no "
+                    "atomic-publish behavior here",
+                    c.stores);
+                sink.report(std::move(d));
+            } else if (!c.annotated && inf.annotationsPresent &&
+                       c.looksLikeCommitVar()) {
+                Diagnostic d;
+                d.rule = Rule::CommitVarInference;
+                d.addr = c.addr;
+                d.size = c.size;
+                d.seq = c.lastStoreSeq;
+                d.loc = c.lastStore;
+                d.note = strprintf(
+                    "store is immediately and solely persisted %u "
+                    "time(s) like a commit variable but is covered by "
+                    "no annotation",
+                    c.soloPersists);
+                sink.report(std::move(d));
+            }
         }
     }
 

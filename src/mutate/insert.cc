@@ -1,0 +1,144 @@
+#include "mutate/insert.hh"
+
+#include <cstring>
+
+namespace xfd::mutate
+{
+
+namespace
+{
+
+bool
+locMatches(const trace::SrcLoc &a, const trace::SrcLoc &b)
+{
+    return b.file[0] != '\0' && a.line == b.line &&
+           std::strcmp(a.file, b.file) == 0;
+}
+
+/** Flags an inserted repair entry carries (see insert.hh). */
+std::uint16_t
+repairFlags(const trace::TraceEntry &host)
+{
+    return static_cast<std::uint16_t>(host.flags | trace::flagInternal |
+                                      trace::flagSkipFailure |
+                                      trace::flagRepair);
+}
+
+trace::TraceEntry
+mkEntry(trace::Op op, const trace::TraceEntry &host, Addr addr,
+        std::uint32_t size)
+{
+    trace::TraceEntry e;
+    e.op = op;
+    e.addr = addr;
+    e.size = size;
+    e.loc = host.loc;
+    e.flags = repairFlags(host);
+    return e;
+}
+
+/** Append one Clwb per cache line covering [addr, addr+size), matching
+ * how PmRuntime::clwb decomposes a multi-line flush into per-line
+ * entries.  A single range-sized Clwb would leave lines beyond the
+ * first Modified in the shadow state. */
+std::size_t
+pushLineFlushes(std::vector<trace::TraceEntry> &extra,
+                const trace::TraceEntry &host, Addr addr,
+                std::uint32_t size)
+{
+    Addr first = lineBase(addr);
+    Addr last = lineBase(addr + (size ? size - 1 : 0));
+    std::size_t n = 0;
+    for (Addr line = first; line <= last; line += cacheLineSize) {
+        extra.push_back(mkEntry(trace::Op::Clwb, host, line,
+                                static_cast<std::uint32_t>(cacheLineSize)));
+        n++;
+    }
+    return n;
+}
+
+} // namespace
+
+InsertionMutation::InsertionMutation(const EditScript &s) : script(s)
+{
+    drops.insert(s.dropSeqs.begin(), s.dropSeqs.end());
+    skips.insert(s.skipTxAdds.begin(), s.skipTxAdds.end());
+}
+
+bool
+InsertionMutation::onEmit(trace::TraceEntry &e)
+{
+    (void)e;
+    curSeq = static_cast<std::uint32_t>(calls++);
+    if (drops.count(curSeq)) {
+        dropsDone++;
+        return false;
+    }
+    if (script.commitSeq != EditScript::noSeq &&
+        curSeq == script.commitSeq) {
+        // Stash the commit store (payload included — deterministic
+        // re-execution reproduces the baseline bytes) and drop it;
+        // onInsert re-emits it after the target fence.
+        stash = e;
+        stashed = true;
+        return false;
+    }
+    return true;
+}
+
+void
+InsertionMutation::onInsert(const trace::TraceEntry &e, bool kept,
+                            std::vector<trace::TraceEntry> &extra)
+{
+    if (kept && e.isWrite() &&
+        locMatches(e.loc, script.flushFenceAfterWritesAt)) {
+        std::size_t lines = pushLineFlushes(extra, e, e.addr, e.size);
+        extra.push_back(mkEntry(trace::Op::Sfence, e, 0, 0));
+        insertedCount += lines + 1;
+    }
+    if (kept && e.isFlush() &&
+        locMatches(e.loc, script.fenceAfterFlushAt)) {
+        extra.push_back(mkEntry(trace::Op::Sfence, e, 0, 0));
+        insertedCount += 1;
+    }
+    if (script.reinsertAfterSeq != EditScript::noSeq &&
+        curSeq == script.reinsertAfterSeq && stashed && !reinserted) {
+        trace::TraceEntry w = stash;
+        w.flags = repairFlags(stash);
+        extra.push_back(std::move(w));
+        std::size_t lines =
+            pushLineFlushes(extra, stash, stash.addr, stash.size);
+        extra.push_back(mkEntry(trace::Op::Sfence, stash, 0, 0));
+        insertedCount += lines + 2;
+        reinserted = true;
+    }
+}
+
+trace::MutationHook::TxAddAction
+InsertionMutation::onTxAdd()
+{
+    std::uint64_t idx = txAddCalls++;
+    if (skips.count(idx)) {
+        skipsDone++;
+        return TxAddAction::Skip;
+    }
+    return TxAddAction::Normal;
+}
+
+bool
+InsertionMutation::fired() const
+{
+    if (dropsDone != drops.size() || skipsDone != skips.size())
+        return false;
+    if (script.commitSeq != EditScript::noSeq && !reinserted)
+        return false;
+    if (script.flushFenceAfterWritesAt.file[0] != '\0' &&
+        insertedCount == 0) {
+        return false;
+    }
+    if (script.fenceAfterFlushAt.file[0] != '\0' && insertedCount == 0)
+        return false;
+    return true;
+}
+
+} // namespace xfd::mutate

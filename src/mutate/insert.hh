@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Insertion mutations: the repair operators (add_flush, add_fence,
+ * reorder_commit, add_tx_add) run the fault operators in reverse.
+ *
+ * Where ActiveMutation perturbs exactly one planned occurrence to
+ * *plant* a bug, an InsertionMutation applies a whole edit script to
+ * *remove* one: it drops entries by their baseline position, skips
+ * TX_ADD calls by occurrence, and splices synthesized CLWB/SFENCE
+ * entries (or a re-ordered commit store) into the trace through
+ * MutationHook::onInsert. The repair advisor (src/fix) synthesizes
+ * one script per finding and machine-checks it by re-running the
+ * campaign over the edited trace.
+ *
+ * Addressing rules:
+ *
+ *  - onEmit is invoked for every would-be entry whether or not a
+ *    previous one was dropped, so the running call index equals the
+ *    entry's seq in the *unedited* baseline trace. Drops, the commit
+ *    store to move, and the fence to re-insert it after are all
+ *    addressed by that baseline seq.
+ *  - A skipped TX_ADD changes what the PM library emits downstream
+ *    (the TxAdd entry and the commit-time flushes of its range), so
+ *    scripts that skip TX_ADDs must use only occurrence addressing —
+ *    the synthesizer never mixes skips with seq-addressed edits.
+ *  - Inserted entries carry flagInternal | flagSkipFailure on top of
+ *    the host entry's context: they advance the persistency FSM like
+ *    any library-issued writeback, but are neither failure points nor
+ *    reportable operations — the model of a fix whose persist the
+ *    library guarantees (pmlib::atomicStore's SkipFailureScope).
+ */
+
+#ifndef XFD_MUTATE_INSERT_HH
+#define XFD_MUTATE_INSERT_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "trace/entry.hh"
+#include "trace/mutation.hh"
+
+namespace xfd::mutate
+{
+
+/**
+ * One trace-edit script: everything a repair plan changes about the
+ * pre-failure trace, in baseline-trace coordinates.
+ */
+struct EditScript
+{
+    static constexpr std::uint32_t noSeq = ~std::uint32_t{0};
+
+    /** Baseline seqs of entries to drop (redundant flushes/fences). */
+    std::vector<std::uint32_t> dropSeqs;
+
+    /** TX_ADD call occurrences to skip (duplicated snapshots). */
+    std::vector<std::uint64_t> skipTxAdds;
+
+    /**
+     * add_flush + add_fence: after every Write/NtWrite whose source
+     * location matches, splice a covering CLWB plus an SFENCE.
+     * Unset (empty file) = off.
+     */
+    trace::SrcLoc flushFenceAfterWritesAt;
+
+    /**
+     * add_fence: after every flush whose source location matches,
+     * splice an SFENCE (the writeback exists, its fence is missing).
+     */
+    trace::SrcLoc fenceAfterFlushAt;
+
+    /**
+     * reorder_commit: drop the commit-variable store at commitSeq and
+     * re-emit it (with CLWB + SFENCE) right after the fence at
+     * reinsertAfterSeq, where its guarded data has become durable.
+     */
+    std::uint32_t commitSeq = noSeq;
+    std::uint32_t reinsertAfterSeq = noSeq;
+
+    bool
+    empty() const
+    {
+        return dropSeqs.empty() && skipTxAdds.empty() &&
+               flushFenceAfterWritesAt.file[0] == '\0' &&
+               fenceAfterFlushAt.file[0] == '\0' &&
+               commitSeq == noSeq;
+    }
+};
+
+/** MutationHook applying one EditScript during re-execution. */
+class InsertionMutation : public trace::MutationHook
+{
+  public:
+    explicit InsertionMutation(const EditScript &script);
+
+    bool onEmit(trace::TraceEntry &e) override;
+    void onInsert(const trace::TraceEntry &e, bool kept,
+                  std::vector<trace::TraceEntry> &extra) override;
+    TxAddAction onTxAdd() override;
+
+    /** Every planned edit was reached and applied. */
+    bool fired() const;
+
+    /** Entries spliced into the trace so far. */
+    std::size_t inserted() const { return insertedCount; }
+
+  private:
+    const EditScript &script;
+    std::set<std::uint32_t> drops;
+    std::set<std::uint64_t> skips;
+    std::uint64_t calls = 0;
+    std::uint64_t txAddCalls = 0;
+    /** Baseline seq of the entry the current onEmit/onInsert saw. */
+    std::uint32_t curSeq = EditScript::noSeq;
+    std::size_t dropsDone = 0;
+    std::size_t skipsDone = 0;
+    std::size_t insertedCount = 0;
+    trace::TraceEntry stash;
+    bool stashed = false;
+    bool reinserted = false;
+};
+
+} // namespace xfd::mutate
+
+#endif // XFD_MUTATE_INSERT_HH

@@ -13,6 +13,10 @@ mutationOpName(MutationOp op)
       case MutationOp::SkipTxAdd: return "skip_tx_add";
       case MutationOp::CommitBeforeData: return "commit_before_data";
       case MutationOp::StaleBackup: return "stale_backup";
+      case MutationOp::AddFlush: return "add_flush";
+      case MutationOp::AddFence: return "add_fence";
+      case MutationOp::ReorderCommit: return "reorder_commit";
+      case MutationOp::AddTxAdd: return "add_tx_add";
     }
     return "?";
 }
@@ -23,7 +27,10 @@ parseMutationOps(const std::string &spec, PerOp<bool> &enabled,
 {
     enabled.fill(false);
     if (spec == "all") {
-        enabled.fill(true);
+        // "all" means every *fault* operator; repair operators are
+        // driven by --fix plans, not planted as mutants.
+        for (std::size_t i = 0; i < faultOpCount; i++)
+            enabled[i] = true;
         return true;
     }
     if (spec == "quick") {

@@ -8,6 +8,12 @@
  * of the paper's §3 and §6.3: missing writebacks and fences (the
  * cross-failure races of Table 4), broken undo logging, and commit
  * ordering violations.
+ *
+ * The last four operators are *insertion* (repair) operators: they
+ * run the fault operators in reverse, splicing entries into the trace
+ * via MutationHook::onInsert instead of dropping them. The repair
+ * advisor (src/fix) uses them to apply synthesized fixes; the mutant
+ * planner never enumerates them (see faultOpCount).
  */
 
 #ifndef XFD_MUTATE_OPERATORS_HH
@@ -35,9 +41,36 @@ enum class MutationOp : unsigned
     CommitBeforeData,
     /** Write one undo-log backup but never publish its entry count. */
     StaleBackup,
+
+    /** Insert a CLWB covering a racy writer's bytes (repair). */
+    AddFlush,
+    /** Insert an SFENCE draining a pending writeback (repair). */
+    AddFence,
+    /** Re-emit a commit-variable store after its data's fence (repair). */
+    ReorderCommit,
+    /** Flag a missing TX_ADD before the first in-tx write (repair). */
+    AddTxAdd,
 };
 
-inline constexpr std::size_t mutationOpCount = 6;
+/**
+ * Total operator count, fault + repair. PerOp arrays span all of
+ * them so scoreboards and stats can report repair applications.
+ */
+inline constexpr std::size_t mutationOpCount = 10;
+
+/**
+ * Count of *fault* operators — the prefix of MutationOp the mutant
+ * planner enumerates. Repair operators past this index are only ever
+ * applied deliberately by src/fix, never planted as bugs.
+ */
+inline constexpr std::size_t faultOpCount = 6;
+
+/** True for the insertion (repair) operators. */
+constexpr bool
+isRepairOp(MutationOp op)
+{
+    return static_cast<std::size_t>(op) >= faultOpCount;
+}
 
 /** Per-operator flag/score array, indexed by MutationOp. */
 template <typename T>

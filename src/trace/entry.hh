@@ -85,6 +85,14 @@ enum EntryFlags : std::uint16_t
      * which is exactly right: the image already holds those bytes.
      */
     flagSameValue = 1 << 5,
+    /**
+     * Entry synthesized by a repair plan (xfdetect --fix), not emitted
+     * by the traced program. Repair flushes clean real data, but the
+     * program flush they pre-empt was not redundant in the unrepaired
+     * execution — the detector uses this bit to exonerate it from the
+     * redundant-flush performance verdict.
+     */
+    flagRepair = 1 << 6,
 };
 
 /**

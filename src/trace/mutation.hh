@@ -21,12 +21,28 @@
  *    the trace: dropping only the TxAdd annotation would be a no-op,
  *    as commit flushes from the persistent log.
  *
+ *  - onInsert() runs right after onEmit() for the same entry and may
+ *    append *new* entries to be spliced into the trace immediately
+ *    after it (or in its place, when onEmit dropped it). Insertion is
+ *    the inverse-mutation primitive the repair advisor (src/fix)
+ *    builds on: a synthesized CLWB+SFENCE pair after a racy writer,
+ *    or a commit-variable store re-emitted after its data's fence,
+ *    lands in the trace as if the program had issued it. Inserted
+ *    flush/fence entries carry no payload, so image replay is
+ *    unaffected; an inserted Write must carry the bytes the dropped
+ *    original carried (deterministic re-execution guarantees they
+ *    match). Inserted entries do NOT pass back through the hook, so
+ *    the onEmit call stream — and with it occurrence/seq addressing
+ *    against the unhooked baseline trace — stays aligned.
+ *
  * Post-failure runtimes never carry a hook; recovery and resumption
  * always run unperturbed.
  */
 
 #ifndef XFD_TRACE_MUTATION_HH
 #define XFD_TRACE_MUTATION_HH
+
+#include <vector>
 
 #include "trace/entry.hh"
 
@@ -45,6 +61,23 @@ class MutationHook
      * @return false to drop the entry from the trace.
      */
     virtual bool onEmit(TraceEntry &e) = 0;
+
+    /**
+     * Called right after onEmit() for the same pre-failure entry.
+     * Entries appended to @p extra are spliced into the trace
+     * immediately after @p e (or in its place when @p kept is false),
+     * with the flags they carry — compose them from e.flags; the
+     * context flags are already applied. Inserted entries are not fed
+     * back through the hook.
+     */
+    virtual void
+    onInsert(const TraceEntry &e, bool kept,
+             std::vector<TraceEntry> &extra)
+    {
+        (void)e;
+        (void)kept;
+        (void)extra;
+    }
 
     /** What the library should do with one TX_ADD call. */
     enum class TxAddAction

@@ -116,13 +116,24 @@ PmRuntime::push(TraceEntry e)
         if (ownerScopes->skipDetection > 0)
             f |= flagSkipDetection;
         e.flags |= f;
-        if (mutHook && stg == Stage::PreFailure && !mutHook->onEmit(e))
+        auto stage = [this](TraceEntry &&x) {
+            if (obs::statsCompiledIn)
+                ringEmitted[static_cast<std::size_t>(x.op)]++;
+            (*ring)[ringTail++] = std::move(x);
+            if (ringTail == ringSlots)
+                ringRetire();
+        };
+        if (mutHook && stg == Stage::PreFailure) {
+            bool keep = mutHook->onEmit(e);
+            std::vector<TraceEntry> extra;
+            mutHook->onInsert(e, keep, extra);
+            if (keep)
+                stage(std::move(e));
+            for (auto &x : extra)
+                stage(std::move(x));
             return;
-        if (obs::statsCompiledIn)
-            ringEmitted[static_cast<std::size_t>(e.op)]++;
-        (*ring)[ringTail++] = std::move(e);
-        if (ringTail == ringSlots)
-            ringRetire();
+        }
+        stage(std::move(e));
         return;
     }
     std::lock_guard<std::mutex> guard(emitLock);
@@ -144,11 +155,22 @@ PmRuntime::push(TraceEntry e)
         fatal("pre-failure trace exceeded %zu entries", entryCap);
     }
     e.flags |= currentFlags();
-    if (mutHook && stg == Stage::PreFailure && !mutHook->onEmit(e))
+    auto append = [this](TraceEntry &&x) {
+        if (obs::statsCompiledIn)
+            emitted[static_cast<std::size_t>(x.op)]++;
+        trace.append(std::move(x));
+    };
+    if (mutHook && stg == Stage::PreFailure) {
+        bool keep = mutHook->onEmit(e);
+        std::vector<TraceEntry> extra;
+        mutHook->onInsert(e, keep, extra);
+        if (keep)
+            append(std::move(e));
+        for (auto &x : extra)
+            append(std::move(x));
         return;
-    if (obs::statsCompiledIn)
-        emitted[static_cast<std::size_t>(e.op)]++;
-    trace.append(std::move(e));
+    }
+    append(std::move(e));
 }
 
 void

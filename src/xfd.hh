@@ -134,7 +134,7 @@ class Campaign
 
     /**
      * @deprecated Use backend("delta") / backend("full"); kept one PR
-     * for source compatibility (removal schedule: DESIGN.md §15).
+     * for source compatibility (removal schedule: DESIGN.md §16).
      */
     Campaign &
     deltaImages(bool on = true)
@@ -209,7 +209,7 @@ class Campaign
 
     /**
      * Enable the static lint pass: "all" or a comma list of rule ids
-     * (XL01..XL07) or names. Reporting only; see lint::runLint.
+     * (XL01..XL08) or names. Reporting only; see lint::runLint.
      */
     Campaign &
     lintRules(const std::string &rules)
@@ -220,7 +220,7 @@ class Campaign
 
     /**
      * @deprecated Use backend("batched"); kept one PR for source
-     * compatibility (removal schedule: DESIGN.md §15).
+     * compatibility (removal schedule: DESIGN.md §16).
      */
     Campaign &
     lintPrune(bool on = true)

@@ -1,6 +1,6 @@
 /**
  * @file
- * Unit coverage for src/lint: every rule (XL01..XL07) on a handcrafted
+ * Unit coverage for src/lint: every rule (XL01..XL08) on a handcrafted
  * trace with golden text output, rule-list parsing, RoI/internal
  * gating, report-level deduplication, the JSON document, and the
  * prunability verdicts — including the allocation-region tag that
@@ -14,11 +14,13 @@
 #include <string>
 #include <tuple>
 
+#include "harness.hh"
 #include "lint/frontier.hh"
 #include "lint/lint.hh"
 #include "obs/json.hh"
 #include "trace/buffer.hh"
 #include "trace/runtime.hh"
+#include "workloads/workload.hh"
 
 namespace
 {
@@ -277,6 +279,20 @@ TEST(LintParse, RuleListSpellings)
     EXPECT_EQ(err, "empty lint rule list");
 }
 
+TEST(LintParse, UnknownRuleErrorNamesCurrentRange)
+{
+    // The message derives the upper bound from ruleCount with a
+    // zero-padded field: it must track the registry ("XL01..XL08"),
+    // not misrender the count ("XL010"-style).
+    std::uint32_t mask = 0;
+    std::string err;
+    ASSERT_FALSE(lint::parseRuleList("bogus_rule", mask, &err));
+    EXPECT_NE(err.find("XL01..XL08"), std::string::npos) << err;
+    EXPECT_EQ(err.find("XL010"), std::string::npos) << err;
+    EXPECT_EQ(std::string(lint::ruleId(Rule::CommitVarInference)),
+              "XL08");
+}
+
 TEST(LintRender, TextScoreboardGolden)
 {
     TraceBuffer buf;
@@ -414,6 +430,83 @@ TEST(LintPrune, AllocationRegionsDisambiguateAliasingStores)
     EXPECT_EQ(v.kept.size(), 2u);
     ASSERT_EQ(v.pruned.size(), 1u);
     EXPECT_EQ(v.pruned.front().keptRep, fenceSeqs(buf).front());
+}
+
+// ---------------------------------------------------------------
+// XL08: WITCHER-style commit-variable inference.
+// ---------------------------------------------------------------
+
+/** Pre-failure trace of one stock (bug-free) workload run. */
+TraceBuffer
+workloadTrace(const std::string &name)
+{
+    workloads::WorkloadConfig wcfg;
+    wcfg.initOps = 3;
+    wcfg.testOps = 3;
+    if (name == "memcached")
+        wcfg.memcachedCapacity = 8;
+    TraceBuffer captured;
+    core::CampaignObserver obs;
+    obs.onPreTraceReady = [&captured](const TraceBuffer &b) {
+        captured = b;
+    };
+    xfdtest::RunOptions opt;
+    opt.observer = &obs;
+    opt.detector.maxFailurePoints = 1;
+    xfdtest::runWorkload(name, wcfg, opt);
+    return captured;
+}
+
+TEST(LintInference, CommitVarSweepAcrossWorkloads)
+{
+    // The inference invariants must hold on every stock workload:
+    // candidates come in address order, the solo-persist count never
+    // exceeds (and implies) durable stores, annotations are seen
+    // where the workload registers commit variables, and the XL08
+    // cross-check stays silent — correct code must not cry wolf.
+    unsigned annotatedWorkloads = 0;
+    for (const std::string &name : workloads::workloadNames()) {
+        SCOPED_TRACE(name);
+        TraceBuffer buf = workloadTrace(name);
+        ASSERT_FALSE(buf.empty());
+
+        lint::LintConfig cfg;
+        lint::CommitVarInferenceResult inf =
+            lint::inferCommitVars(buf, cfg.granularity);
+        Addr prev = 0;
+        for (const lint::CommitVarCandidate &c : inf.candidates) {
+            EXPECT_GE(c.addr, prev);
+            prev = c.addr;
+            EXPECT_LE(c.soloPersists, c.stores);
+            if (c.soloPersists > 0) {
+                EXPECT_TRUE(c.everDurable);
+            }
+            if (c.looksLikeCommitVar()) {
+                EXPECT_GE(c.stores, 2u);
+            }
+        }
+        if (inf.annotationsPresent) {
+            annotatedWorkloads++;
+            // Agreement: anything exhibiting the atomic-publish
+            // signature is covered by an annotation.
+            for (const lint::CommitVarCandidate &c : inf.candidates) {
+                EXPECT_TRUE(!c.looksLikeCommitVar() || c.annotated)
+                    << "unannotated commit-var candidate at "
+                    << c.lastStore.str();
+            }
+        }
+
+        LintReport rep = lintOf(
+            buf, lint::ruleBit(Rule::CommitVarInference));
+        EXPECT_EQ(rep.diagnostics.size(), 0u)
+            << lint::renderText(rep);
+
+        // Flush-free persistency: the signature cannot exist.
+        EXPECT_TRUE(lint::inferCommitVars(buf, cfg.granularity, true)
+                        .candidates.empty());
+    }
+    // The commit-variable mechanisms really annotate.
+    EXPECT_GE(annotatedWorkloads, 1u);
 }
 
 TEST(LintPrune, ReportCarriesVerdictsWhenPlanSupplied)

@@ -208,9 +208,14 @@ TEST(MutationOps, ParseSpecs)
     mutate::PerOp<bool> ops{};
     std::string err;
 
+    // "all" covers the fault operators; the repair (insertion)
+    // operators are applied by --fix plans, never planted as mutants.
     EXPECT_TRUE(mutate::parseMutationOps("all", ops, &err));
-    for (bool b : ops)
-        EXPECT_TRUE(b);
+    for (std::size_t i = 0; i < mutate::mutationOpCount; i++)
+        EXPECT_EQ(ops[i], i < mutate::faultOpCount) << i;
+
+    EXPECT_TRUE(mutate::parseMutationOps("add_flush", ops, &err));
+    EXPECT_TRUE(ops[opIdx(MutationOp::AddFlush)]);
 
     EXPECT_TRUE(mutate::parseMutationOps("quick", ops, &err));
     EXPECT_TRUE(ops[opIdx(MutationOp::DropFlush)]);

@@ -32,6 +32,7 @@
 #include "core/config_flags.hh"
 #include "core/explain.hh"
 #include "core/prefailure_checker.hh"
+#include "fix/fix.hh"
 #include "lint/lint.hh"
 #include "mutate/campaign.hh"
 #include "obs/progress.hh"
@@ -241,6 +242,20 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (!dcfg.fixTargets.empty() && !dcfg.mutateOps.empty()) {
+        std::fprintf(stderr,
+                     "--fix machine-checks repairs of this (buggy) "
+                     "workload; it cannot be combined with --mutate's "
+                     "fault injection of a correct one\n");
+        return 2;
+    }
+    if (!dcfg.fixTargets.empty() && !dcfg.oracleMode.empty()) {
+        warn("--oracle is implied by --fix (every candidate repair is "
+             "cross-checked against the oracle); ignoring the "
+             "explicit flag");
+        dcfg.oracleMode.clear();
+    }
+
     bool lint_on = !dcfg.lintRules.empty() || !lint_json_path.empty();
     lint::LintConfig lcfg;
     lcfg.granularity = dcfg.granularity;
@@ -440,6 +455,8 @@ main(int argc, char **argv)
     std::vector<core::JsonSection> extra;
     mutate::MutationReport mrep;
     oracle::DiffReport orep;
+    fix::FixReport frep;
+    bool fix_on = !dcfg.fixTargets.empty();
     int exit_code = 0;
 
     bool oracle_on = !dcfg.oracleMode.empty();
@@ -461,7 +478,38 @@ main(int argc, char **argv)
         ocfg.observer = &obs;
     }
 
-    if (!dcfg.mutateOps.empty()) {
+    if (fix_on) {
+        // Fix mode: detect + lint the broken workload, synthesize a
+        // repair plan per finding, machine-check each by re-running
+        // the campaign with the repair applied as an inverse
+        // mutation.
+        fix::FixConfig fxcfg;
+        fxcfg.pre = [&](trace::PmRuntime &rt) { w->pre(rt); };
+        fxcfg.post = [&](trace::PmRuntime &rt) { w->post(rt); };
+        fxcfg.poolBytes = 1 << 23;
+        fxcfg.threads = threads;
+        fxcfg.detector = dcfg;
+        fxcfg.targets = dcfg.fixTargets;
+        fxcfg.observer = &obs;
+        obs::ProgressMeter fixMeter("plan");
+        fxcfg.onPlan = [&fixMeter](std::size_t done,
+                                   std::size_t total,
+                                   const fix::RepairPlan &,
+                                   fix::Verdict) {
+            fixMeter.update(done, total, 0);
+        };
+        frep = fix::runFixCampaign(fxcfg);
+        std::printf("%s", frep.baseline.summary().c_str());
+        std::printf("%s", frep.scoreboard().c_str());
+        fix::exportFixStats(frep, obs.stats);
+        res = frep.baseline;
+        extra.push_back(core::JsonSection{
+            "fix", [&frep](obs::JsonWriter &w) { frep.writeJson(w); }});
+        // A regressed plan means the advisor made things worse —
+        // that, not the baseline's (expected) findings, is the
+        // failure mode of fix mode.
+        exit_code = frep.regressed ? 1 : 0;
+    } else if (!dcfg.mutateOps.empty()) {
         // Mutation mode: score the detector against fault injections
         // of this (assumed-correct) workload configuration.
         mutate::PerOp<bool> ops{};
@@ -603,6 +651,22 @@ main(int argc, char **argv)
             return 2;
         }
         std::printf("%s", text.c_str());
+        if (fix_on) {
+            // Patch sites for the explained finding(s).
+            if (explain_selector == "all") {
+                for (std::size_t i = 0; i < res.bugs.size(); i++) {
+                    std::printf("%s",
+                                frep.renderFixFor(
+                                        "F" + std::to_string(i + 1))
+                                    .c_str());
+                }
+            } else {
+                std::string fid = explain_selector[0] == 'F'
+                                      ? explain_selector
+                                      : "F" + explain_selector;
+                std::printf("%s", frep.renderFixFor(fid).c_str());
+            }
+        }
     }
     return exit_code;
 }
